@@ -1,0 +1,312 @@
+//! # lsv-arch — architecture parameters and the analytical SIMD machine model
+//!
+//! This crate holds everything the paper's Section 3 ("Architecture Analytical
+//! Model") describes, plus the cache/memory geometry of the evaluation
+//! platform (Section 7):
+//!
+//! * [`ArchParams`] — the machine description used by every other crate:
+//!   SIMD length, register file size, FMA unit count/latency, cache
+//!   geometries, memory latencies, LLC banking and core count.
+//! * [`presets`] — ready-made configurations for the NEC SX-Aurora TSUBASA
+//!   (the paper's platform), an Intel Skylake-like 512-bit machine (Table 1's
+//!   comparison point), and vector-length-limited Aurora variants used by the
+//!   paper's Figure 5 sweep.
+//! * [`model`] — the analytical formulas: Formula 1 (independent-computation
+//!   requirement), Formula 2 (register blocking lower bound), Formula 3
+//!   (cache conflict-miss predicate) and Formula 4 (the Bounded Direct
+//!   Convolution blocking range).
+//!
+//! The analytical model is deliberately separate from the cycle-level
+//! simulator (`lsv-vengine` / `lsv-cache`): the paper uses the *model* to
+//! derive optimization variables and the *hardware* to validate them; we use
+//! the model to drive kernel generation and the simulator to validate it.
+
+pub mod model;
+pub mod presets;
+
+pub use model::{
+    bdc_register_block_range, formula1_required_independent_elems, formula2_rb_min,
+    formula3_predicts_conflicts, formula4_rb_upper_bound, RegisterBlockRange,
+};
+pub use presets::{a64fx_sve, aurora_with_vlen_bits, rvv_longvector, skylake_avx512, sx_aurora};
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+///
+/// All sizes are in bytes. `ways == 0` is invalid; a fully-associative cache
+/// is expressed by `ways == size / line`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Cache line size in bytes.
+    pub line: usize,
+    /// Associativity (number of ways per set).
+    pub ways: usize,
+}
+
+impl CacheGeometry {
+    /// Create a geometry, validating the invariants used by the simulator.
+    ///
+    /// # Panics
+    /// Panics if the configuration is not realizable (zero sizes,
+    /// non-power-of-two line, capacity not divisible by `line * ways`).
+    pub fn new(size: usize, line: usize, ways: usize) -> Self {
+        assert!(size > 0 && line > 0 && ways > 0, "zero cache parameter");
+        assert!(line.is_power_of_two(), "cache line must be a power of two");
+        assert!(
+            size.is_multiple_of(line * ways),
+            "cache size {size} not divisible by line {line} * ways {ways}"
+        );
+        Self { size, line, ways }
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(&self) -> usize {
+        self.size / (self.line * self.ways)
+    }
+
+    /// Total number of lines.
+    #[inline]
+    pub fn lines(&self) -> usize {
+        self.size / self.line
+    }
+
+    /// Set index of a byte address.
+    #[inline]
+    pub fn set_of(&self, addr: u64) -> usize {
+        ((addr / self.line as u64) % self.sets() as u64) as usize
+    }
+
+    /// Line-aligned tag address (the address of the first byte of the line).
+    #[inline]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.line as u64 - 1)
+    }
+}
+
+/// Access latencies (in core cycles) for each memory level, measured from
+/// issue of a scalar load to availability of the result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemLatencies {
+    /// L1 data cache hit latency.
+    pub l1: u64,
+    /// L2 hit latency.
+    pub l2: u64,
+    /// LLC hit latency.
+    pub llc: u64,
+    /// Main (HBM) memory latency.
+    pub mem: u64,
+}
+
+/// Parameters of the banked last-level cache (Section 7: the SX-Aurora LLC
+/// interleaves 128-byte lines over 16 memory banks; gathers whose blocks land
+/// in the same bank are serialized — Section 8's `bwdw` analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LlcBanking {
+    /// Number of independent LLC banks.
+    pub banks: usize,
+    /// Cycles to service one cache line from a bank once the request reaches
+    /// the LLC (serialization quantum for same-bank conflicts).
+    pub service_cycles: u64,
+}
+
+/// Complete description of a long-SIMD architecture.
+///
+/// Field names follow the paper's notation where one exists
+/// (`n_vlen`, `n_vregs`, `n_fma`, `l_fma`, `b_seq`, `n_cline`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchParams {
+    /// Human-readable name (used in benchmark CSV output).
+    pub name: String,
+    /// SIMD register width in bits.
+    pub vlen_bits: usize,
+    /// Element width in bits (the paper evaluates 32-bit floats throughout).
+    pub elem_bits: usize,
+    /// Number of addressable vector registers (`N_vregs`).
+    pub n_vregs: usize,
+    /// Number of independent vector FMA units (`N_fma`).
+    pub n_fma: usize,
+    /// FMA pipeline latency in cycles (`L_fma`).
+    pub l_fma: usize,
+    /// Hardware lanes per FMA port: elements processed per cycle per port.
+    /// For SX-Aurora this is 64 (a 512-element vector occupies a port for
+    /// 8 cycles — the "8-cycle deep pipeline" of Section 7).
+    pub lanes_per_port: usize,
+    /// Minimum instruction distance between dependent SIMD FMAs created by
+    /// the interleaved scalar code (`B_seq`, Section 6.2). Three on
+    /// SX-Aurora/RISC-V V: scalar load + pointer update + FMA.
+    pub b_seq: usize,
+    /// Scalar pipeline issue width (instructions per cycle for address
+    /// arithmetic and scalar loads).
+    pub scalar_issue_width: usize,
+    /// Store-to-consumer forwarding window of the scalar pipeline, in
+    /// cycles: a scalar load whose data is ready within this many cycles of
+    /// its consumer's dispatch does not block the frontend (the pipeline's
+    /// decode-to-dispatch distance covers an L1 hit). Misses beyond the
+    /// window stall the consumer for the remainder — the starvation effect
+    /// of Section 5.2.
+    pub scalar_forward_window: u64,
+    /// Core clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Number of cores sharing the LLC.
+    pub cores: usize,
+    /// L1 data cache geometry.
+    pub l1d: CacheGeometry,
+    /// Unified L2 geometry.
+    pub l2: CacheGeometry,
+    /// Shared last-level cache geometry.
+    pub llc: CacheGeometry,
+    /// Load-to-use latencies per level.
+    pub lat: MemLatencies,
+    /// Main-memory bandwidth model: cycles of vector-pipe occupancy charged
+    /// per cache line fetched from (or written back to) main memory by a
+    /// vector memory instruction. Roughly `line_bytes / (HBM BW per core)`.
+    pub mem_line_cycles: u64,
+    /// LLC banking model.
+    pub llc_banking: LlcBanking,
+}
+
+impl ArchParams {
+    /// SIMD length in elements (`N_vlen` of Table 1).
+    #[inline]
+    pub fn n_vlen(&self) -> usize {
+        self.vlen_bits / self.elem_bits
+    }
+
+    /// Element size in bytes.
+    #[inline]
+    pub fn elem_bytes(&self) -> usize {
+        self.elem_bits / 8
+    }
+
+    /// Cache line size in elements (`N_cline` in the paper's element units).
+    #[inline]
+    pub fn n_cline(&self) -> usize {
+        self.l1d.line / self.elem_bytes()
+    }
+
+    /// Peak FLOP/s of a single core: `lanes_per_port * n_fma * 2 * freq`.
+    ///
+    /// For the SX-Aurora preset this evaluates to the paper's 614.4 GFLOP/s
+    /// (64 lanes x 3 ports x 2 flops x 1.6 GHz).
+    pub fn peak_flops_per_core(&self) -> f64 {
+        self.lanes_per_port as f64 * self.n_fma as f64 * 2.0 * self.freq_ghz * 1e9
+    }
+
+    /// Peak FLOP/s of the full chip.
+    pub fn peak_flops(&self) -> f64 {
+        self.peak_flops_per_core() * self.cores as f64
+    }
+
+    /// Peak flops per cycle per core (used to convert simulated cycles into
+    /// the efficiency axis of Figure 4).
+    pub fn peak_flops_per_cycle(&self) -> f64 {
+        self.lanes_per_port as f64 * self.n_fma as f64 * 2.0
+    }
+
+    /// Port occupancy in cycles of one vector instruction of length `vl`.
+    #[inline]
+    pub fn vector_occupancy(&self, vl: usize) -> u64 {
+        (vl.max(1)).div_ceil(self.lanes_per_port) as u64
+    }
+
+    /// A copy of this architecture with the maximum SIMD length clamped to
+    /// `vlen_bits` (the Figure 5 experiment: "limiting the maximum vector
+    /// length of the SX-Aurora system to 512, 2048, 8192, and 16384 bits").
+    ///
+    /// Everything else — cache hierarchy, FMA units, frequency — is kept, as
+    /// on the real machine.
+    pub fn with_max_vlen_bits(&self, vlen_bits: usize) -> ArchParams {
+        assert!(
+            vlen_bits.is_multiple_of(self.elem_bits) && vlen_bits > 0,
+            "vlen_bits must be a positive multiple of the element width"
+        );
+        let mut p = self.clone();
+        p.vlen_bits = vlen_bits;
+        p.name = format!("{}-vl{}", self.name, vlen_bits);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_geometry_sets_and_lines() {
+        let g = CacheGeometry::new(32 * 1024, 128, 2);
+        assert_eq!(g.sets(), 128);
+        assert_eq!(g.lines(), 256);
+        assert_eq!(g.set_of(0), 0);
+        assert_eq!(g.set_of(128), 1);
+        // stride of 32KB maps back to the same set
+        assert_eq!(g.set_of(32 * 1024), 0);
+        assert_eq!(g.line_addr(130), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn cache_geometry_rejects_non_pow2_line() {
+        CacheGeometry::new(32 * 1024, 96, 2);
+    }
+
+    #[test]
+    fn aurora_peak_matches_paper() {
+        let a = sx_aurora();
+        // Section 7: 614 GFLOP/s per core, 4912 GFLOP/s for 8 cores.
+        assert!((a.peak_flops_per_core() - 614.4e9).abs() < 1e6);
+        assert!((a.peak_flops() - 4915.2e9).abs() < 1e7);
+        assert_eq!(a.n_vlen(), 512);
+        assert_eq!(a.n_cline(), 32);
+        assert_eq!(a.vector_occupancy(512), 8);
+        assert_eq!(a.vector_occupancy(64), 1);
+        assert_eq!(a.vector_occupancy(65), 2);
+    }
+
+    #[test]
+    fn vlen_clamp_preserves_caches() {
+        let a = sx_aurora();
+        let b = a.with_max_vlen_bits(2048);
+        assert_eq!(b.n_vlen(), 64);
+        assert_eq!(b.l1d, a.l1d);
+        assert_eq!(b.cores, a.cores);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::presets::{rvv_longvector, sx_aurora};
+
+    #[test]
+    fn peak_flops_per_cycle_consistent_with_peak_flops() {
+        for a in [sx_aurora(), rvv_longvector()] {
+            let per_cycle = a.peak_flops_per_cycle();
+            let per_core = per_cycle * a.freq_ghz * 1e9;
+            assert!((per_core - a.peak_flops_per_core()).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn vector_occupancy_is_monotone_and_exact_at_multiples() {
+        let a = sx_aurora();
+        let mut prev = 0;
+        for vl in 1..=a.n_vlen() {
+            let occ = a.vector_occupancy(vl);
+            assert!(occ >= prev);
+            prev = occ;
+            if vl % a.lanes_per_port == 0 {
+                assert_eq!(occ as usize, vl / a.lanes_per_port);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn with_max_vlen_rejects_non_multiple() {
+        sx_aurora().with_max_vlen_bits(100);
+    }
+}

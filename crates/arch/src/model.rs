@@ -1,0 +1,191 @@
+//! The analytical SIMD machine model (Section 3) and the blocking-factor
+//! formulas derived from it (Sections 4.1, 5.2, 6.2).
+//!
+//! Units follow the paper with one clarification that the text leaves
+//! implicit: the activation blocking factor `A_b` of Formula 3 is measured in
+//! *elements* (it equals `IC_b` or `OC_b`, which are `min(C, N_vlen)`
+//! elements), so the byte footprint of one register-block sweep of the
+//! scalar access stream is `A_b * RB_h * RB_w * C_str * elem_bytes`.
+//! With this reading, the SX-Aurora worked example of Section 5.2 comes out
+//! exactly: `32768 / (512 * 4) = 16 > RB` conflicts-free bound versus the
+//! `RB >= 24` requirement of Formula 2 — the unsolvable pair `(16 > RB` and
+//! `24 < RB)` quoted in the paper.
+
+use crate::ArchParams;
+
+/// Formula 1: the number of independent element computations `E` that must be
+/// in flight to fully subscribe the FMA pipelines:
+/// `E >= N_vlen * N_fma * L_fma`.
+///
+/// Table 1 lists `E = 160` for Skylake and `E = 12288` for SX-Aurora.
+#[inline]
+pub fn formula1_required_independent_elems(arch: &ArchParams) -> usize {
+    arch.n_vlen() * arch.n_fma * arch.l_fma
+}
+
+/// Formula 2: the register blocking lower bound for the state-of-the-art
+/// direct convolution: `RB_w * RB_h >= N_fma * L_fma`.
+#[inline]
+pub fn formula2_rb_min(arch: &ArchParams) -> usize {
+    arch.n_fma * arch.l_fma
+}
+
+/// Formula 3: predicts L1 cache conflict misses for the direct-convolution
+/// scalar access stream: conflicts appear when
+/// `L1_size < A_b * RB_h * RB_w * C_str` (byte units; `A_b` in elements).
+///
+/// * `ab_elems` — the activation feature-map blocking factor (`IC_b` or
+///   `OC_b` depending on which tensor the algorithm reads with scalar loads).
+/// * `rb` — the combined register blocking factor `RB_h * RB_w`.
+/// * `c_str` — the effective spatial stride of the scalar stream (the
+///   convolution stride on the forward pass; 1 for the backward passes,
+///   whose scalar stream walks the output gradients at unit spatial steps).
+#[inline]
+pub fn formula3_predicts_conflicts(
+    arch: &ArchParams,
+    ab_elems: usize,
+    rb: usize,
+    c_str: usize,
+) -> bool {
+    (arch.l1d.size as u128) < (ab_elems as u128) * (rb as u128) * (c_str as u128) * (arch.elem_bytes() as u128)
+}
+
+/// The largest conflict-free combined register block (the exclusive upper
+/// bound of Formula 4): `RB_h * RB_w < L1_size / (A_b * C_str)` in the
+/// element-unit reading of Formula 3.
+///
+/// Returns the largest `rb` such that
+/// [`formula3_predicts_conflicts`] is false, i.e.
+/// `floor(L1_size / (A_b * C_str * elem_bytes))`.
+#[inline]
+pub fn formula4_rb_upper_bound(arch: &ArchParams, ab_elems: usize, c_str: usize) -> usize {
+    let denom = ab_elems.max(1) * c_str.max(1) * arch.elem_bytes();
+    arch.l1d.size / denom
+}
+
+/// The valid BDC register-blocking range of Formula 4:
+/// `N_fma * L_fma / B_seq <= RB_h * RB_w < L1_size / (A_b * C_str)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterBlockRange {
+    /// Inclusive lower bound (`ceil(N_fma * L_fma / B_seq)`).
+    pub min: usize,
+    /// Inclusive upper bound (largest conflict-free block). May be smaller
+    /// than `min` for very large `A_b * C_str`; see [`RegisterBlockRange::pick`].
+    pub max: usize,
+}
+
+impl RegisterBlockRange {
+    /// Whether the range is non-empty.
+    #[inline]
+    pub fn is_satisfiable(&self) -> bool {
+        self.min <= self.max
+    }
+
+    /// Choose a combined register block within the range.
+    ///
+    /// BDC policy: the *largest* conflict-free value — it satisfies the
+    /// relaxed dependency bound while maximizing the reuse of each weights
+    /// vector and minimizing partial-sum traffic at block boundaries
+    /// ("judiciously limits the amount of computation exposed", Section
+    /// 6.2). When the range is empty — conflict misses are unavoidable at
+    /// any block size that hides latency — prefer the conflict-free maximum
+    /// (the cache bound takes priority: the scalar code between FMAs
+    /// tolerates partial under-subscription), but never drop below 1.
+    #[inline]
+    pub fn pick(&self) -> usize {
+        self.max.max(1)
+    }
+}
+
+/// Formula 4: the BDC register-blocking range for an architecture and a
+/// scalar stream described by (`ab_elems`, `c_str`).
+///
+/// The SX-Aurora worked example of Section 6.2: with `B_seq = 3` the lower
+/// bound drops from 24 to 8.
+pub fn bdc_register_block_range(
+    arch: &ArchParams,
+    ab_elems: usize,
+    c_str: usize,
+) -> RegisterBlockRange {
+    let min = formula2_rb_min(arch).div_ceil(arch.b_seq.max(1));
+    let upper = formula4_rb_upper_bound(arch, ab_elems, c_str);
+    // Formula 3 is a strict inequality: conflicts appear when footprint
+    // exceeds the L1; `upper` itself is the last conflict-free value.
+    RegisterBlockRange { min, max: upper }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{skylake_avx512, sx_aurora};
+
+    #[test]
+    fn formula2_matches_section5_example() {
+        // "requires a combined register blocking factor of 24" (Section 5.2).
+        assert_eq!(formula2_rb_min(&sx_aurora()), 24);
+        assert_eq!(formula2_rb_min(&skylake_avx512()), 10);
+    }
+
+    #[test]
+    fn section_5_2_unsolvable_inequality() {
+        // A_b = N_vlen = 512 elements, C_str = 1 on SX-Aurora: the conflict-
+        // free bound is 16, below the 24 required by Formula 2.
+        let a = sx_aurora();
+        let ab = a.n_vlen();
+        assert_eq!(formula4_rb_upper_bound(&a, ab, 1), 16);
+        assert!(formula3_predicts_conflicts(&a, ab, 24, 1));
+        assert!(!formula3_predicts_conflicts(&a, ab, 16, 1));
+    }
+
+    #[test]
+    fn bdc_lower_bound_is_8_on_aurora() {
+        // Section 6.2: "setting B_seq to three allows the register blocking
+        // factors to be as low as 8, in contrast to the previous minimum
+        // value of 24".
+        let a = sx_aurora();
+        let r = bdc_register_block_range(&a, a.n_vlen(), 1);
+        assert_eq!(r.min, 8);
+        assert_eq!(r.max, 16);
+        assert!(r.is_satisfiable());
+        assert_eq!(r.pick(), 16, "largest conflict-free block");
+    }
+
+    #[test]
+    fn bdc_range_can_be_empty_for_strided_layers() {
+        // A_b = 512, stride 2: upper bound is 8 == min; stride 4 would make
+        // the range empty and pick() falls back to the conflict-free max.
+        let a = sx_aurora();
+        let r2 = bdc_register_block_range(&a, 512, 2);
+        assert_eq!(r2.max, 8);
+        assert!(r2.is_satisfiable());
+        let r4 = bdc_register_block_range(&a, 512, 4);
+        assert_eq!(r4.max, 4);
+        assert!(!r4.is_satisfiable());
+        assert_eq!(r4.pick(), 4);
+    }
+
+    #[test]
+    fn skylake_never_conflicts_on_resnet_blocks() {
+        // Short SIMD: A_b <= 16 elements; even RB = 30 with stride 2 stays
+        // far below the 32 KB L1 (Figure 3's pattern is harmless at 512-bit).
+        let s = skylake_avx512();
+        assert!(!formula3_predicts_conflicts(&s, 16, 30, 2));
+    }
+
+    #[test]
+    fn conflict_predicate_monotone_in_every_argument() {
+        let a = sx_aurora();
+        for ab in [32usize, 64, 128, 256, 512] {
+            for rb in [1usize, 8, 16, 24, 56] {
+                for s in [1usize, 2] {
+                    let base = formula3_predicts_conflicts(&a, ab, rb, s);
+                    if base {
+                        assert!(formula3_predicts_conflicts(&a, ab * 2, rb, s));
+                        assert!(formula3_predicts_conflicts(&a, ab, rb + 1, s));
+                        assert!(formula3_predicts_conflicts(&a, ab, rb, s * 2));
+                    }
+                }
+            }
+        }
+    }
+}

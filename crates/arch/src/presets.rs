@@ -1,0 +1,217 @@
+//! Ready-made [`ArchParams`] configurations.
+//!
+//! The two named machines correspond to Table 1 of the paper; the Aurora
+//! variants with clamped maximum vector length drive the Figure 5 sweep.
+
+use crate::{ArchParams, CacheGeometry, LlcBanking, MemLatencies};
+
+/// The NEC SX-Aurora TSUBASA vector engine used in the paper's evaluation
+/// (Section 7).
+///
+/// * 16,384-bit SIMD registers (512 x f32), 64 logical vector registers.
+/// * 3 vector FMA ports, 8-cycle pipelines, 64 elements/cycle/port
+///   (614.4 GFLOP/s per core at 1.6 GHz).
+/// * 32 KB 2-way L1D, 256 KB 4-way L2, 16 MB shared LLC with 128-byte lines
+///   interleaved over 16 banks; 8 cores.
+pub fn sx_aurora() -> ArchParams {
+    ArchParams {
+        name: "sx-aurora".to_string(),
+        vlen_bits: 16384,
+        elem_bits: 32,
+        n_vregs: 64,
+        n_fma: 3,
+        l_fma: 8,
+        lanes_per_port: 64,
+        b_seq: 3,
+        // One instruction per cycle: the B_seq = 3 instruction distance of
+        // Section 6.2 is exactly 3 cycles between dependent FMAs.
+        scalar_issue_width: 1,
+        scalar_forward_window: 3,
+        freq_ghz: 1.6,
+        cores: 8,
+        l1d: CacheGeometry::new(32 * 1024, 128, 2),
+        l2: CacheGeometry::new(256 * 1024, 128, 4),
+        llc: CacheGeometry::new(16 * 1024 * 1024, 128, 16),
+        lat: MemLatencies {
+            l1: 2,
+            l2: 14,
+            llc: 45,
+            mem: 180,
+        },
+        // 1.35 TB/s HBM2 over 8 cores at 1.6 GHz ~= 105 B/cycle/core, i.e.
+        // a little over one cycle per 128-byte line.
+        mem_line_cycles: 1,
+        llc_banking: LlcBanking {
+            banks: 16,
+            // Same-bank cache blocks of one gather serialize their transfer
+            // through the bank; the effective per-line cost (Section 8's
+            // "high vector load latency") is far above the pipelined
+            // unit-stride rate.
+            service_cycles: 24,
+        },
+    }
+}
+
+/// An Intel Skylake-like AVX-512 machine — the short-SIMD comparison point of
+/// Table 1 (`N_vlen` = 16, `N_fma` = 2, `L_fma` = 5).
+///
+/// Cache geometry follows Skylake-SP: 32 KB 8-way L1D, 1 MB 16-way L2,
+/// 1.375 MB/core 11-way LLC slices (modelled as a single 11 MB LLC for an
+/// 8-core slice group), 64-byte lines.
+pub fn skylake_avx512() -> ArchParams {
+    ArchParams {
+        name: "skylake-avx512".to_string(),
+        vlen_bits: 512,
+        elem_bits: 32,
+        n_vregs: 32,
+        n_fma: 2,
+        l_fma: 5,
+        lanes_per_port: 16,
+        b_seq: 1,
+        scalar_issue_width: 4,
+        scalar_forward_window: 6,
+        freq_ghz: 2.1,
+        cores: 8,
+        l1d: CacheGeometry::new(32 * 1024, 64, 8),
+        l2: CacheGeometry::new(1024 * 1024, 64, 16),
+        llc: CacheGeometry::new(11 * 1024 * 1024, 64, 11),
+        lat: MemLatencies {
+            l1: 4,
+            l2: 14,
+            llc: 40,
+            mem: 200,
+        },
+        // ~120 GB/s DDR over 8 cores at 2.1 GHz ~= 7 B/cycle/core: about
+        // 9 cycles per 64-byte line.
+        mem_line_cycles: 9,
+        llc_banking: LlcBanking {
+            banks: 8,
+            service_cycles: 2,
+        },
+    }
+}
+
+/// SX-Aurora with its maximum vector length clamped to `vlen_bits`
+/// (512, 2048, 8192 or 16384 in Figure 5).
+///
+/// # Panics
+/// Panics if `vlen_bits` is not a positive multiple of 32.
+pub fn aurora_with_vlen_bits(vlen_bits: usize) -> ArchParams {
+    sx_aurora().with_max_vlen_bits(vlen_bits)
+}
+
+/// A hypothetical RISC-V "V" long-vector machine (the emerging ISA the
+/// paper's introduction motivates): 4096-bit registers, 32 vector
+/// registers, two FMA pipes, DDR-class memory. Useful for exploring how
+/// the algorithms behave between the Skylake and SX-Aurora extremes.
+pub fn rvv_longvector() -> ArchParams {
+    ArchParams {
+        name: "rvv-4096".to_string(),
+        vlen_bits: 4096,
+        elem_bits: 32,
+        n_vregs: 32,
+        n_fma: 2,
+        l_fma: 6,
+        lanes_per_port: 16,
+        b_seq: 3,
+        scalar_issue_width: 1,
+        scalar_forward_window: 3,
+        freq_ghz: 2.0,
+        cores: 8,
+        l1d: CacheGeometry::new(32 * 1024, 64, 4),
+        l2: CacheGeometry::new(512 * 1024, 64, 8),
+        llc: CacheGeometry::new(8 * 1024 * 1024, 64, 16),
+        lat: MemLatencies {
+            l1: 3,
+            l2: 16,
+            llc: 50,
+            mem: 220,
+        },
+        mem_line_cycles: 4,
+        llc_banking: LlcBanking {
+            banks: 8,
+            service_cycles: 8,
+        },
+    }
+}
+
+/// A Fujitsu A64FX-like SVE machine (512-bit SVE, the long-vector ARM
+/// design the paper cites): modelled as one CMG (12 cores sharing an 8 MB
+/// L2-as-LLC) with HBM2 memory.
+pub fn a64fx_sve() -> ArchParams {
+    ArchParams {
+        name: "a64fx-sve".to_string(),
+        vlen_bits: 512,
+        elem_bits: 32,
+        n_vregs: 32,
+        n_fma: 2,
+        l_fma: 9,
+        lanes_per_port: 16,
+        b_seq: 2,
+        scalar_issue_width: 2,
+        scalar_forward_window: 5,
+        freq_ghz: 2.2,
+        cores: 12,
+        l1d: CacheGeometry::new(64 * 1024, 256, 4),
+        l2: CacheGeometry::new(64 * 1024, 256, 4), // modelled L1.5 (A64FX has no private L2)
+        llc: CacheGeometry::new(8 * 1024 * 1024, 256, 16),
+        lat: MemLatencies {
+            l1: 5,
+            l2: 5,
+            llc: 47,
+            mem: 260,
+        },
+        mem_line_cycles: 2,
+        llc_banking: LlcBanking {
+            banks: 16,
+            service_cycles: 4,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::formula1_required_independent_elems;
+
+    #[test]
+    fn table1_values() {
+        // Table 1 of the paper.
+        let sky = skylake_avx512();
+        assert_eq!(sky.n_vlen(), 16);
+        assert_eq!(sky.n_fma, 2);
+        assert_eq!(sky.l_fma, 5);
+        assert_eq!(formula1_required_independent_elems(&sky), 160);
+
+        let aur = sx_aurora();
+        assert_eq!(aur.n_vlen(), 512);
+        assert_eq!(aur.n_fma, 3);
+        assert_eq!(aur.l_fma, 8);
+        assert_eq!(formula1_required_independent_elems(&aur), 12288);
+    }
+
+    #[test]
+    fn alternative_isa_presets_are_consistent() {
+        let rvv = rvv_longvector();
+        assert_eq!(rvv.n_vlen(), 128);
+        assert!(rvv.peak_flops() > 0.0);
+        let sve = a64fx_sve();
+        assert_eq!(sve.n_vlen(), 16);
+        assert_eq!(sve.n_cline(), 64, "256-byte lines");
+        // Formula 1 scales with the machine.
+        assert!(
+            formula1_required_independent_elems(&rvv)
+                > formula1_required_independent_elems(&sve)
+        );
+    }
+
+    #[test]
+    fn figure5_vlen_sweep_presets() {
+        for bits in [512, 2048, 8192, 16384] {
+            let a = aurora_with_vlen_bits(bits);
+            assert_eq!(a.n_vlen(), bits / 32);
+            assert_eq!(a.cores, 8);
+            assert_eq!(a.l1d.size, 32 * 1024);
+        }
+    }
+}

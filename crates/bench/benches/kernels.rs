@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks of the simulator substrate itself: cache
+//! accesses, scoreboard throughput, functional kernels and layout
+//! conversions. These track the *host-side* cost of the simulation
+//! infrastructure (useful when extending the engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lsv_arch::presets::sx_aurora;
+use lsv_cache::Hierarchy;
+use lsv_conv::{Algorithm, ConvDesc, ConvProblem, Direction};
+use lsv_tensor::{ActTensor, ActivationLayout};
+use lsv_vengine::{Arena, ExecutionMode, ScalarValue, VCore};
+
+fn bench_cache_hierarchy(c: &mut Criterion) {
+    let arch = sx_aurora();
+    let mut g = c.benchmark_group("substrate/cache_access");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("sequential_10k", |b| {
+        b.iter_batched(
+            || Hierarchy::for_core(&arch, 1),
+            |mut h| {
+                for i in 0..10_000u64 {
+                    std::hint::black_box(h.access_line(i * 128, false));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("thrashing_10k", |b| {
+        b.iter_batched(
+            || Hierarchy::for_core(&arch, 1),
+            |mut h| {
+                for i in 0..10_000u64 {
+                    std::hint::black_box(h.access_line((i % 24) * 2048 + (i / 24) * 4, false));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_scoreboard(c: &mut Criterion) {
+    let arch = sx_aurora();
+    let mut g = c.benchmark_group("substrate/vfma_issue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("timing_only_10k", |b| {
+        b.iter_batched(
+            || VCore::new(&arch, ExecutionMode::TimingOnly, 1),
+            |mut core| {
+                for i in 0..10_000usize {
+                    core.vfma_bcast(i % 16, 30, ScalarValue::constant(1.0), 512);
+                }
+                std::hint::black_box(core.drain())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_functional_kernels(c: &mut Criterion) {
+    let arch = sx_aurora();
+    let p = ConvProblem::new(1, 32, 32, 12, 12, 3, 3, 1, 1);
+    let src: Vec<f32> = (0..p.n * p.ic * p.ih * p.iw).map(|i| i as f32 * 1e-3).collect();
+    let wei: Vec<f32> = (0..p.oc * p.ic * p.kh * p.kw).map(|i| i as f32 * 1e-4).collect();
+    let mut g = c.benchmark_group("substrate/functional_fwd");
+    g.sample_size(10);
+    for alg in Algorithm::ALL {
+        let prim = ConvDesc::new(p, Direction::Fwd, alg).create(&arch, 1).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(alg.short_name()), &prim, |b, prim| {
+            b.iter(|| std::hint::black_box(prim.run_functional(&src, &wei, &[])))
+        });
+    }
+    g.finish();
+}
+
+fn bench_layout_conversion(c: &mut Criterion) {
+    let mut arena = Arena::new();
+    let t = ActTensor::alloc(&mut arena, 1, 256, 28, 28, ActivationLayout { cb: 32 });
+    let data: Vec<f32> = (0..t.elems()).map(|i| i as f32).collect();
+    let mut g = c.benchmark_group("substrate/layout");
+    g.throughput(Throughput::Elements(t.elems() as u64));
+    g.bench_function("store_nchw_256x28x28", |b| {
+        b.iter(|| t.store_nchw(&mut arena, std::hint::black_box(&data)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_cache_hierarchy,
+    bench_scoreboard,
+    bench_functional_kernels,
+    bench_layout_conversion,
+);
+criterion_main!(kernels);

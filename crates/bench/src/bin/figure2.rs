@@ -1,0 +1,45 @@
+//! Figure 2: micro-kernel memory footprint of the state-of-the-art SIMD
+//! direct convolution for 3x3 layers (VGG/ResNet shapes) across vector
+//! lengths. The paper's observation: the weights sub-tensor grows
+//! quadratically with `N_vlen`, reaching ~9 MB at 16,384-bit vectors.
+
+use lsv_arch::presets::aurora_with_vlen_bits;
+use lsv_arch::formula2_rb_min;
+use lsv_conv::footprint::microkernel_footprint;
+use lsv_conv::tuning::split_register_block;
+use lsv_conv::ConvProblem;
+
+fn main() {
+    // 3x3 layers of VGG and ResNet, labelled by spatial size x channels as
+    // in the figure's x-axis.
+    let shapes: &[(usize, usize)] = &[
+        (224, 64),
+        (112, 128),
+        (56, 64),
+        (56, 256),
+        (28, 128),
+        (28, 512),
+        (14, 256),
+        (14, 512),
+        (7, 512),
+    ];
+    let vlens = [512usize, 2048, 4096, 8192, 16384];
+    print!("layer");
+    for v in vlens {
+        print!(",{}b_MiB", v);
+    }
+    println!();
+    for &(hw, c) in shapes {
+        print!("{}x{}_{}ch", hw, hw, c);
+        for v in vlens {
+            let arch = aurora_with_vlen_bits(v);
+            let p = ConvProblem::new(256, c, c, hw, hw, 3, 3, 1, 1);
+            let rb = split_register_block(formula2_rb_min(&arch), p.ow(), p.oh());
+            let fp = microkernel_footprint(&arch, &p, rb);
+            print!(",{:.3}", fp.total_mib());
+        }
+        println!();
+    }
+    println!();
+    println!("# Paper Figure 2: footprints reach ~9 MiB at 16384-bit vectors for 512-channel layers.");
+}

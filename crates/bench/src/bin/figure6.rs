@@ -1,0 +1,37 @@
+//! Figure 6: ResNet-101 training-step throughput (GFLOP/s over all three
+//! passes) for vednn, DC, BDC and MBDC across minibatch sizes.
+//!
+//! Paper behaviour: BDC is best at every minibatch; vednn is slightly
+//! faster than DC below minibatch 32 and faster than MBDC at 8, but fails
+//! to scale as the problem grows.
+//!
+//! Usage: `figure6 [minibatches...]` (default 8 16 32 64 128 256).
+
+use lsv_arch::presets::sx_aurora;
+use lsv_bench::{layer_time_table, model_time_from_table, Engine};
+use lsv_conv::ExecutionMode;
+use lsv_models::ResNetModel;
+
+fn main() {
+    let args: Vec<usize> = std::env::args().filter_map(|a| a.parse().ok()).collect();
+    let minibatches: Vec<usize> = if args.is_empty() {
+        vec![8, 16, 32, 64, 128, 256]
+    } else {
+        args
+    };
+    let arch = sx_aurora();
+    let model = ResNetModel::R101;
+    println!("minibatch,algorithm,step_ms,gflops");
+    for &mb in &minibatches {
+        let flops = 3.0 * model.total_flops(mb) as f64;
+        for e in Engine::ALL {
+            let table = layer_time_table(&arch, mb, e, ExecutionMode::TimingOnly);
+            let ms = model_time_from_table(&table, model);
+            let gflops = flops / (ms / 1e3) / 1e9;
+            println!("{},{},{:.2},{:.1}", mb, e.name(), ms, gflops);
+        }
+    }
+    println!();
+    println!("# Paper Figure 6: BDC best everywhere; vednn competitive at small minibatch,");
+    println!("# does not scale; all direct algorithms scale with problem size.");
+}

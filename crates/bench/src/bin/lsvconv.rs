@@ -1,0 +1,187 @@
+//! `lsvconv` — the command-line front end a downstream user drives:
+//!
+//! ```text
+//! lsvconv info                                    # machine + model summary
+//! lsvconv bench  --layer 8 --dir fwdd --alg BDC [--minibatch 64] [--arch sx-aurora]
+//! lsvconv bench  --ic 512 --oc 128 --hw 28 --k 1 --stride 1 --pad 0 ...
+//! lsvconv verify --layer 8 --dir fwdd --alg MBDC [--minibatch 2]
+//! lsvconv tune   --layer 16 --dir fwdd --alg BDC  # show the generated config
+//! ```
+
+use lsv_arch::presets::{a64fx_sve, rvv_longvector, skylake_avx512, sx_aurora};
+use lsv_arch::ArchParams;
+use lsv_bench::{bench_engine, Engine};
+use lsv_conv::{validate, Algorithm, ConvDesc, ConvProblem, Direction, ExecutionMode};
+use lsv_models::resnet_layer;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let val = args.get(i + 1).cloned().unwrap_or_default();
+            map.insert(key.to_string(), val);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    map
+}
+
+fn arch_by_name(name: &str) -> ArchParams {
+    match name {
+        "sx-aurora" | "" => sx_aurora(),
+        "skylake" | "skylake-avx512" => skylake_avx512(),
+        "rvv" | "rvv-4096" => rvv_longvector(),
+        "a64fx" | "a64fx-sve" => a64fx_sve(),
+        other => {
+            if let Some(bits) = other.strip_prefix("aurora-vl") {
+                return lsv_arch::presets::aurora_with_vlen_bits(
+                    bits.parse().unwrap_or_else(|_| usage(&format!("bad vlen in {other}"))),
+                );
+            }
+            usage(&format!("unknown architecture '{other}'"))
+        }
+    }
+}
+
+fn direction_by_name(name: &str) -> Direction {
+    match name {
+        "fwdd" | "fwd" | "" => Direction::Fwd,
+        "bwdd" => Direction::BwdData,
+        "bwdw" => Direction::BwdWeights,
+        other => usage(&format!("unknown direction '{other}'")),
+    }
+}
+
+fn engine_by_name(name: &str) -> Engine {
+    match name.to_ascii_uppercase().as_str() {
+        "DC" => Engine::Direct(Algorithm::Dc),
+        "BDC" | "" => Engine::Direct(Algorithm::Bdc),
+        "MBDC" => Engine::Direct(Algorithm::Mbdc),
+        "VEDNN" => Engine::Vednn,
+        other => usage(&format!("unknown algorithm '{other}'")),
+    }
+}
+
+fn problem_from_flags(flags: &HashMap<String, String>, default_mb: usize) -> ConvProblem {
+    let mb = flags
+        .get("minibatch")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_mb);
+    if let Some(layer) = flags.get("layer") {
+        let id: usize = layer.parse().unwrap_or_else(|_| usage("bad --layer"));
+        if id >= lsv_models::NUM_LAYERS {
+            usage(&format!("--layer must be 0..{}", lsv_models::NUM_LAYERS - 1));
+        }
+        return resnet_layer(id, mb);
+    }
+    let get = |k: &str, d: usize| flags.get(k).and_then(|v| v.parse().ok()).unwrap_or(d);
+    let hw = get("hw", 28);
+    let k = get("k", 3);
+    let pad = get("pad", if k > 1 { 1 } else { 0 });
+    ConvProblem::new(
+        mb,
+        get("ic", 64),
+        get("oc", 64),
+        hw,
+        hw,
+        k,
+        k,
+        get("stride", 1),
+        pad,
+    )
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!();
+    eprintln!("usage: lsvconv <info|bench|verify|tune> [flags]");
+    eprintln!("  common flags: --arch <sx-aurora|skylake|rvv|a64fx|aurora-vl<bits>>");
+    eprintln!("                --layer <0..18> | --ic N --oc N --hw N --k N --stride N --pad N");
+    eprintln!("                --dir <fwdd|bwdd|bwdw>  --alg <DC|BDC|MBDC|vednn>  --minibatch N");
+    exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = argv.first().cloned().unwrap_or_default();
+    let flags = parse_flags(&argv[1.min(argv.len())..]);
+    let arch = arch_by_name(flags.get("arch").map(String::as_str).unwrap_or(""));
+
+    match cmd.as_str() {
+        "info" => {
+            println!("architecture: {}", arch.name);
+            println!("  SIMD: {} bits = {} x f32, {} vregs", arch.vlen_bits, arch.n_vlen(), arch.n_vregs);
+            println!("  FMA:  {} ports x {} lanes, {}-cycle pipelines", arch.n_fma, arch.lanes_per_port, arch.l_fma);
+            println!("  peak: {:.1} GFLOP/s/core, {:.1} GFLOP/s chip ({} cores)",
+                arch.peak_flops_per_core() / 1e9, arch.peak_flops() / 1e9, arch.cores);
+            println!("  L1D {} KB {}-way | L2 {} KB | LLC {} MB, {} banks",
+                arch.l1d.size / 1024, arch.l1d.ways, arch.l2.size / 1024,
+                arch.llc.size / (1024 * 1024), arch.llc_banking.banks);
+            println!("  E (Formula 1) = {}", lsv_arch::formula1_required_independent_elems(&arch));
+            println!();
+            println!("ResNet models: {} layer shapes (Table 3); see `lsvconv bench --layer N`",
+                lsv_models::NUM_LAYERS);
+        }
+        "bench" => {
+            let p = problem_from_flags(&flags, 64);
+            let dir = direction_by_name(flags.get("dir").map(String::as_str).unwrap_or(""));
+            let engine = engine_by_name(flags.get("alg").map(String::as_str).unwrap_or(""));
+            let perf = bench_engine(&arch, &p, dir, engine, ExecutionMode::TimingOnly);
+            println!("problem:   {p} ({dir}, {})", engine.name());
+            println!("time:      {:.3} ms for the whole minibatch on {} cores", perf.time_ms, arch.cores);
+            println!("rate:      {:.1} GFLOP/s ({:.1}% of chip peak)", perf.gflops, perf.efficiency * 100.0);
+            println!("L1 MPKI:   {:.2} (conflict fraction {:.2})", perf.mpki_l1, perf.conflict_fraction);
+            println!("predicted: conflicts {}", if perf.conflicts_predicted { "YES (Formula 3)" } else { "no" });
+        }
+        "verify" => {
+            let p = problem_from_flags(&flags, 2);
+            let dir = direction_by_name(flags.get("dir").map(String::as_str).unwrap_or(""));
+            match engine_by_name(flags.get("alg").map(String::as_str).unwrap_or("")) {
+                Engine::Direct(alg) => {
+                    let r = validate(&arch, &p, dir, alg);
+                    println!(
+                        "{p} {dir} {alg}: {} (rel err {:.3e})",
+                        if r.passed { "PASSED" } else { "FAILED" },
+                        r.rel_err
+                    );
+                    if !r.passed {
+                        exit(1);
+                    }
+                }
+                Engine::Vednn => usage("use the `validate` binary for vednn checks"),
+            }
+        }
+        "tune" => {
+            let p = problem_from_flags(&flags, 64);
+            let dir = direction_by_name(flags.get("dir").map(String::as_str).unwrap_or(""));
+            let alg = match engine_by_name(flags.get("alg").map(String::as_str).unwrap_or("")) {
+                Engine::Direct(a) => a,
+                Engine::Vednn => usage("tune applies to the direct algorithms"),
+            };
+            match ConvDesc::new(p, dir, alg).create(&arch, arch.cores) {
+                Ok(prim) => {
+                    let cfg = prim.cfg();
+                    println!("{p} {dir} {alg} on {}:", arch.name);
+                    println!("  vl            = {}", cfg.vl);
+                    println!("  register blk  = {} x {} (combined {}), rb_c = {}", cfg.rb.rb_w, cfg.rb.rb_h, cfg.rb.combined(), cfg.rb_c);
+                    println!("  micro tile    = kh {} x kw {} x c {}", cfg.tile.kh_i, cfg.tile.kw_i, cfg.tile.c_i);
+                    println!("  src layout    = C_b {}", cfg.src_layout.cb);
+                    println!("  dst layout    = C_b {}", cfg.dst_layout.cb);
+                    println!("  wei layout    = (icb {}, ocb {}){}", cfg.wei_layout.icb, cfg.wei_layout.ocb, if cfg.wei_swapped { " [role-swapped]" } else { "" });
+                    println!("  weight bufs   = {}", cfg.wbuf);
+                    println!("  conflicts     = {}", if cfg.conflicts_predicted { "PREDICTED (Formula 3)" } else { "not predicted" });
+                }
+                Err(e) => {
+                    eprintln!("cannot create primitive: {e}");
+                    exit(1);
+                }
+            }
+        }
+        _ => usage("missing or unknown command"),
+    }
+}

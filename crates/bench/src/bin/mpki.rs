@@ -1,0 +1,55 @@
+//! The MPKI study of Section 8: L1 misses per kilo-instruction measured
+//! with the (simulated) hardware counters, comparing BDC and MBDC to DC per
+//! direction.
+//!
+//! Paper: BDC reduces MPKI by 27% (fwdd) / 18% (bwdd) / ~0% (bwdw); MBDC by
+//! 22% / 20% / 8%.
+//!
+//! Usage: `mpki [minibatch]` (default 64 — MPKI is per-instruction, so the
+//! smaller default keeps the run quick without changing the ratios).
+
+use lsv_arch::presets::sx_aurora;
+use lsv_bench::{run_suite, Engine};
+use lsv_conv::{Algorithm, Direction, ExecutionMode};
+
+fn main() {
+    let minibatch: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64);
+    let arch = sx_aurora();
+    let engines = [
+        Engine::Direct(Algorithm::Dc),
+        Engine::Direct(Algorithm::Bdc),
+        Engine::Direct(Algorithm::Mbdc),
+    ];
+    let rows = run_suite(&arch, minibatch, &engines, &Direction::ALL, ExecutionMode::TimingOnly);
+    println!("layer_id,direction,algorithm,mpki_l1,conflict_fraction");
+    for r in &rows {
+        println!(
+            "{},{},{},{:.3},{:.3}",
+            r.layer_id,
+            r.direction.short_name(),
+            r.engine.name(),
+            r.perf.mpki_l1,
+            r.perf.conflict_fraction
+        );
+    }
+    println!();
+    println!("# average MPKI reduction vs DC (paper: BDC 27/18/~0 %, MBDC 22/20/8 %)");
+    for dir in Direction::ALL {
+        let avg = |name: &str| -> f64 {
+            let v: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.direction == dir && r.engine.name() == name)
+                .map(|r| r.perf.mpki_l1)
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        let dc = avg("DC");
+        for name in ["BDC", "MBDC"] {
+            let red = if dc > 0.0 { (1.0 - avg(name) / dc) * 100.0 } else { 0.0 };
+            println!("# {dir} {name}: {red:+.1}% vs DC (avg MPKI {:.2} -> {:.2})", dc, avg(name));
+        }
+    }
+}

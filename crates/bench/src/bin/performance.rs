@@ -1,0 +1,22 @@
+//! The artifact's `performance.sh` equivalent: one CSV line per experiment,
+//! indexed by (problem id, direction, algorithm, minibatch), reporting
+//! GFLOP/s and milliseconds.
+//!
+//! Usage: `performance [minibatches...]` (default 256).
+
+use lsv_arch::presets::sx_aurora;
+use lsv_bench::{run_suite, Engine, Row};
+use lsv_conv::{Direction, ExecutionMode};
+
+fn main() {
+    let args: Vec<usize> = std::env::args().filter_map(|a| a.parse().ok()).collect();
+    let minibatches: Vec<usize> = if args.is_empty() { vec![256] } else { args };
+    let arch = sx_aurora();
+    println!("{}", Row::csv_header());
+    for &mb in &minibatches {
+        let rows = run_suite(&arch, mb, &Engine::ALL, &Direction::ALL, ExecutionMode::TimingOnly);
+        for r in &rows {
+            println!("{}", r.to_csv());
+        }
+    }
+}

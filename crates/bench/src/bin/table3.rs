@@ -1,0 +1,35 @@
+//! Table 3: the ResNet convolution layer suite, with derived per-layer
+//! properties (flop counts and the Formula 3 conflict predictions that
+//! Section 8 references).
+
+use lsv_arch::presets::sx_aurora;
+use lsv_conv::tuning::kernel_config;
+use lsv_conv::{Algorithm, Direction};
+use lsv_models::{resnet_layers, TABLE3};
+
+fn main() {
+    let arch = sx_aurora();
+    let layers = resnet_layers(256);
+    println!("id,IC,OC,IH/IW,OH/OW,KH/KW,stride,pad,gflops_n256,dc_conflict_fwdd,dc_conflict_bwdd");
+    for (id, p) in layers.iter().enumerate() {
+        let (_, _, _, ohw, ..) = TABLE3[id];
+        let f = kernel_config(&arch, p, Direction::Fwd, Algorithm::Dc, 8);
+        let b = kernel_config(&arch, p, Direction::BwdData, Algorithm::Dc, 8);
+        println!(
+            "{},{},{},{},{},{},{},{},{:.2},{},{}",
+            id,
+            p.ic,
+            p.oc,
+            p.ih,
+            ohw,
+            p.kh,
+            p.stride,
+            p.pad,
+            p.flops() as f64 / 1e9,
+            f.conflicts_predicted,
+            b.conflicts_predicted,
+        );
+    }
+    println!();
+    println!("# Paper Section 8: conflicts predicted fwdd on 4,5,8-10,13-18; bwdd on 4,7,9,12,14-18.");
+}

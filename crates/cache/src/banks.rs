@@ -1,0 +1,107 @@
+//! The LLC banking model (paper Section 7/8).
+//!
+//! The SX-Aurora LLC interleaves 128-byte cache lines over 16 memory banks so
+//! that unit-stride vector loads touch consecutive lines in parallel.
+//! Gather/scatter instructions enjoy the same parallelism *only* when the
+//! gathered blocks map to distinct banks; when the block stride is a multiple
+//! of `banks * line` every block lands in the same bank and the transfer
+//! serializes — the effect that makes MBDC slow on early-layer `bwdw`
+//! (Section 8) and fast on the 14x14/7x7 layers where the mapping is
+//! (close to) bijective.
+
+use lsv_arch::LlcBanking;
+
+/// Bank that services a given byte address under line interleaving.
+#[inline]
+pub fn bank_of_line(addr: u64, line_bytes: usize, banks: usize) -> usize {
+    ((addr / line_bytes as u64) % banks as u64) as usize
+}
+
+/// Serialization factor of a gather touching `line_addrs`: the maximum number
+/// of lines that any single bank must serve. 1 means fully parallel
+/// (bijective mapping); `line_addrs.len()` means fully serialized.
+///
+/// ```
+/// use lsv_arch::LlcBanking;
+/// use lsv_cache::banks::gather_serialization;
+/// let b = LlcBanking { banks: 16, service_cycles: 4 };
+/// // 16-line stride: every block lands in the same bank (the 56x56 bwdw case).
+/// let same_bank = (0..16u64).map(|i| i * 16 * 128);
+/// assert_eq!(gather_serialization(same_bank, 128, &b), 16);
+/// // 49-line stride is coprime with 16 banks: fully parallel.
+/// let bijective = (0..16u64).map(|i| i * 49 * 128);
+/// assert_eq!(gather_serialization(bijective, 128, &b), 1);
+/// ```
+pub fn gather_serialization(
+    line_addrs: impl IntoIterator<Item = u64>,
+    line_bytes: usize,
+    banking: &LlcBanking,
+) -> u64 {
+    let mut counts = vec![0u64; banking.banks];
+    for a in line_addrs {
+        counts[bank_of_line(a, line_bytes, banking.banks)] += 1;
+    }
+    counts.into_iter().max().unwrap_or(0)
+}
+
+/// Cycles the LLC needs to deliver a gather of `line_addrs` once the request
+/// arrives: the serialization factor times the per-line service time.
+pub fn gather_service_cycles(
+    line_addrs: impl IntoIterator<Item = u64>,
+    line_bytes: usize,
+    banking: &LlcBanking,
+) -> u64 {
+    gather_serialization(line_addrs, line_bytes, banking) * banking.service_cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: usize = 128;
+
+    fn banking() -> LlcBanking {
+        LlcBanking {
+            banks: 16,
+            service_cycles: 4,
+        }
+    }
+
+    #[test]
+    fn consecutive_lines_hit_distinct_banks() {
+        let addrs: Vec<u64> = (0..16).map(|i| i * LINE as u64).collect();
+        assert_eq!(gather_serialization(addrs, LINE, &banking()), 1);
+    }
+
+    #[test]
+    fn stride_multiple_of_banks_serializes() {
+        // Block stride = 16 lines * 128B: all 16 blocks land in bank 0.
+        // This is the 56x56 MBDC bwdw case: OH*OW*N_cline bytes is a
+        // multiple of banks*line.
+        let stride = (16 * LINE) as u64;
+        let addrs: Vec<u64> = (0..16).map(|i| i * stride).collect();
+        assert_eq!(gather_serialization(addrs, LINE, &banking()), 16);
+        assert_eq!(gather_service_cycles((0..16).map(|i| i * stride), LINE, &banking()), 64);
+    }
+
+    #[test]
+    fn odd_stride_is_bijective() {
+        // 49-line stride (the 7x7 layers): gcd(49, 16) = 1 -> bijective.
+        let stride = (49 * LINE) as u64;
+        let addrs: Vec<u64> = (0..16).map(|i| i * stride).collect();
+        assert_eq!(gather_serialization(addrs, LINE, &banking()), 1);
+    }
+
+    #[test]
+    fn partial_conflict_stride() {
+        // 196-line stride (14x14 layers): 196 mod 16 = 4 -> 4 banks, 4 each.
+        let stride = (196 * LINE) as u64;
+        let addrs: Vec<u64> = (0..16).map(|i| i * stride).collect();
+        assert_eq!(gather_serialization(addrs, LINE, &banking()), 4);
+    }
+
+    #[test]
+    fn empty_gather_is_free() {
+        assert_eq!(gather_serialization(std::iter::empty(), LINE, &banking()), 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! A three-level cache hierarchy (L1D -> L2 -> LLC -> memory).
+//!
+//! The hierarchy is mostly-inclusive and write-allocate at every level. Each
+//! access walks down until it finds the line, allocating it in every level on
+//! the way back up, and reports the level that serviced the request together
+//! with its load-to-use latency.
+
+use crate::set_assoc::SetAssocCache;
+use crate::stats::HierarchyStats;
+use lsv_arch::ArchParams;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A last-level cache that can be private to one core or shared between
+/// the simulated cores of a chip (the SX-Aurora LLC is physically shared;
+/// `lsv_conv::multicore` exploits this for the detailed multi-core model).
+pub type SharedLlc = Rc<RefCell<SetAssocCache>>;
+
+/// Create a shareable LLC for `arch` (full capacity).
+pub fn shared_llc(arch: &ArchParams) -> SharedLlc {
+    Rc::new(RefCell::new(SetAssocCache::new(arch.llc, false)))
+}
+
+/// The memory level that serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// L1 data cache hit.
+    L1,
+    /// L2 hit.
+    L2,
+    /// Last-level cache hit.
+    Llc,
+    /// Serviced by main memory.
+    Mem,
+}
+
+/// Outcome of a hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The level that serviced the request.
+    pub level: Level,
+    /// Load-to-use latency in cycles for that level.
+    pub latency: u64,
+    /// The L1 miss (if any) was a conflict miss.
+    pub l1_conflict: bool,
+}
+
+/// Per-core cache hierarchy.
+///
+/// The LLC is physically shared between cores on the modelled machine; the
+/// multi-core scheduler in `lsv-conv` simulates one representative core and
+/// treats its LLC occupancy as that core's fair share (see DESIGN.md for the
+/// approximation note). `llc_shared_fraction` shrinks the private LLC model
+/// accordingly when more than one core is active.
+#[derive(Debug)]
+pub struct Hierarchy {
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    llc: SharedLlc,
+    lat: lsv_arch::MemLatencies,
+    line: u64,
+    /// Next-line prefetch degree of the scalar L1 (0 disables).
+    prefetch_degree: u64,
+}
+
+impl Hierarchy {
+    /// Build a hierarchy for one core of `arch`, with the LLC capacity
+    /// divided by `llc_share` (1 = whole LLC; `arch.cores` = fair share when
+    /// all cores are active).
+    pub fn for_core(arch: &ArchParams, llc_share: usize) -> Self {
+        assert!(llc_share >= 1, "llc_share must be at least 1");
+        let mut llc_geom = arch.llc;
+        if llc_share > 1 {
+            // Shrink capacity by reducing the number of sets, keeping
+            // associativity and line size (a reasonable model of competitive
+            // sharing among symmetric cores).
+            let shrunk = (arch.llc.size / llc_share).max(arch.llc.line * arch.llc.ways);
+            // Round down to a multiple of line*ways so the geometry stays valid.
+            let quantum = arch.llc.line * arch.llc.ways;
+            llc_geom = lsv_arch::CacheGeometry::new(shrunk / quantum * quantum, arch.llc.line, arch.llc.ways);
+        }
+        Self {
+            l1: SetAssocCache::new(arch.l1d, true),
+            l2: SetAssocCache::new(arch.l2, false),
+            llc: Rc::new(RefCell::new(SetAssocCache::new(llc_geom, false))),
+            lat: arch.lat,
+            line: arch.l1d.line as u64,
+            prefetch_degree: 2,
+        }
+    }
+
+    /// Build a per-core hierarchy whose LLC is the given shared instance
+    /// (full-capacity, physically shared between cores).
+    pub fn for_core_with_llc(arch: &ArchParams, llc: SharedLlc) -> Self {
+        Self {
+            l1: SetAssocCache::new(arch.l1d, true),
+            l2: SetAssocCache::new(arch.l2, false),
+            llc,
+            lat: arch.lat,
+            line: arch.l1d.line as u64,
+            prefetch_degree: 2,
+        }
+    }
+
+    /// Disable or change the scalar L1 next-line prefetch degree (used by
+    /// the prefetcher ablation bench).
+    pub fn set_prefetch_degree(&mut self, degree: u64) {
+        self.prefetch_degree = degree;
+    }
+
+    /// Access one line. `write` marks it dirty in L1 (write-back propagation
+    /// of dirty evictions between levels is tracked as writeback counts, not
+    /// as extra latency — see DESIGN.md).
+    pub fn access_line(&mut self, addr: u64, write: bool) -> AccessOutcome {
+        let r1 = self.l1.access_line(addr, write);
+        if r1.hit {
+            if r1.first_hit_on_prefetch {
+                // Stream continuation: keep the prefetcher ahead of a
+                // sequential/short-stride stream.
+                self.issue_prefetches(addr);
+            }
+            return AccessOutcome {
+                level: Level::L1,
+                latency: self.lat.l1,
+                l1_conflict: false,
+            };
+        }
+        let l1_conflict = r1.conflict;
+        // Hardware next-line prefetch: a demand miss trains a fill of the
+        // following line(s) into every level, silently (no demand stats).
+        self.issue_prefetches(addr);
+        let r2 = self.l2.access_line(addr, false);
+        if r2.hit {
+            return AccessOutcome {
+                level: Level::L2,
+                latency: self.lat.l2,
+                l1_conflict,
+            };
+        }
+        let r3 = self.llc.borrow_mut().access_line(addr, false);
+        if r3.hit {
+            return AccessOutcome {
+                level: Level::Llc,
+                latency: self.lat.llc,
+                l1_conflict,
+            };
+        }
+        AccessOutcome {
+            level: Level::Mem,
+            latency: self.lat.mem,
+            l1_conflict,
+        }
+    }
+
+    /// Insert a line into the LLC only, silently (benchmark warm-up).
+    pub fn warm_llc_line(&mut self, addr: u64) {
+        self.llc.borrow_mut().insert_silent(addr);
+    }
+
+    /// Fill the next `prefetch_degree` lines into every level, silently.
+    fn issue_prefetches(&mut self, addr: u64) {
+        for d in 1..=self.prefetch_degree {
+            let pf = addr + d * self.line;
+            self.l1.insert_silent(pf);
+            self.l2.insert_silent(pf);
+            self.llc.borrow_mut().insert_silent(pf);
+        }
+    }
+
+    /// Probe the LLC only (used by the banked-gather model: gathers bypass
+    /// the scalar L1/L2 on the modelled machine and are serviced by the LLC,
+    /// as on SX-Aurora where vector memory instructions talk to the LLC
+    /// directly).
+    pub fn access_line_llc(&mut self, addr: u64, write: bool) -> AccessOutcome {
+        let r = self.llc.borrow_mut().access_line(addr, write);
+        if r.hit {
+            AccessOutcome {
+                level: Level::Llc,
+                latency: self.lat.llc,
+                l1_conflict: false,
+            }
+        } else {
+            AccessOutcome {
+                level: Level::Mem,
+                latency: self.lat.mem,
+                l1_conflict: false,
+            }
+        }
+    }
+
+    /// Snapshot of per-level statistics.
+    pub fn stats(&self) -> HierarchyStats {
+        let llc = self.llc.borrow().stats();
+        HierarchyStats {
+            l1: self.l1.stats(),
+            l2: self.l2.stats(),
+            llc,
+            mem_fetches: llc.misses,
+        }
+    }
+
+    /// Reset statistics, keeping contents (steady-state measurement).
+    pub fn reset_stats(&mut self) {
+        self.l1.reset_stats();
+        self.l2.reset_stats();
+        self.llc.borrow_mut().reset_stats();
+    }
+
+    /// Drop contents and statistics (cold start).
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+        self.llc.borrow_mut().flush();
+    }
+
+    /// The L1 line size in bytes (used by callers to split ranges).
+    pub fn line_bytes(&self) -> usize {
+        self.l1.geometry().line
+    }
+
+    /// Latency of a given level under this hierarchy's timing parameters.
+    pub fn latency_of(&self, level: Level) -> u64 {
+        match level {
+            Level::L1 => self.lat.l1,
+            Level::L2 => self.lat.l2,
+            Level::Llc => self.lat.llc,
+            Level::Mem => self.lat.mem,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsv_arch::presets::sx_aurora;
+
+    #[test]
+    fn miss_walks_down_then_hits_up() {
+        let arch = sx_aurora();
+        let mut h = Hierarchy::for_core(&arch, 1);
+        let first = h.access_line(0x1000, false);
+        assert_eq!(first.level, Level::Mem);
+        assert_eq!(first.latency, arch.lat.mem);
+        let second = h.access_line(0x1000, false);
+        assert_eq!(second.level, Level::L1);
+        assert_eq!(second.latency, arch.lat.l1);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let arch = sx_aurora();
+        let mut h = Hierarchy::for_core(&arch, 1);
+        // Fill one L1 set (2 ways, 32KB stride) with 3 lines, then revisit.
+        h.access_line(0, false);
+        h.access_line(32 * 1024, false);
+        h.access_line(64 * 1024, false);
+        let r = h.access_line(0, false);
+        assert_eq!(r.level, Level::L2, "L1 conflict victim still in L2");
+        assert!(r.l1_conflict);
+    }
+
+    #[test]
+    fn llc_share_shrinks_capacity() {
+        let arch = sx_aurora();
+        let h8 = Hierarchy::for_core(&arch, 8);
+        let h1 = Hierarchy::for_core(&arch, 1);
+        assert!(
+            h8.llc.borrow().geometry().size
+                <= h1.llc.borrow().geometry().size / 8 + arch.llc.line * arch.llc.ways
+        );
+        assert_eq!(h8.llc.borrow().geometry().ways, arch.llc.ways);
+    }
+
+    #[test]
+    fn stats_mem_fetches_match_llc_misses() {
+        let arch = sx_aurora();
+        let mut h = Hierarchy::for_core(&arch, 1);
+        h.set_prefetch_degree(0);
+        for i in 0..100u64 {
+            h.access_line(i * 128, false);
+        }
+        let s = h.stats();
+        assert_eq!(s.mem_fetches, 100);
+        assert_eq!(s.l1.misses, 100);
+    }
+
+    #[test]
+    fn next_line_prefetch_hides_sequential_stream() {
+        let arch = sx_aurora();
+        let mut h = Hierarchy::for_core(&arch, 1);
+        for i in 0..99u64 {
+            h.access_line(i * 128, false);
+        }
+        let s = h.stats();
+        // Degree-2 next-line prefetch with stream continuation: a sequential
+        // stream misses only on its very first line.
+        assert_eq!(s.l1.misses, 1, "prefetched stream misses once");
+        // A 3-line-stride stream defeats the degree-2 prefetcher entirely.
+        let mut h2 = Hierarchy::for_core(&arch, 1);
+        for i in 0..50u64 {
+            h2.access_line(0x100_0000 + i * 3 * 128, false);
+        }
+        assert_eq!(h2.stats().l1.misses, 50);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let arch = sx_aurora();
+        let mut h = Hierarchy::for_core(&arch, 1);
+        h.access_line(0, false);
+        h.reset_stats();
+        assert_eq!(h.stats().l1.accesses(), 0);
+        assert_eq!(h.access_line(0, false).level, Level::L1);
+    }
+}

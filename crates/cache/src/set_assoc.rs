@@ -1,0 +1,318 @@
+//! A single set-associative, write-back/write-allocate, LRU cache level with
+//! optional fully-associative shadow for conflict-miss classification.
+
+use crate::stats::LevelStats;
+use lsv_arch::CacheGeometry;
+use std::collections::HashMap;
+
+/// One way of a set: the line tag plus dirty/prefetch flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Way {
+    line_addr: u64,
+    dirty: bool,
+    /// Filled by a prefetch and not yet demand-hit (stream-training state).
+    prefetched: bool,
+}
+
+/// Fully-associative LRU model of the same capacity as the main array.
+///
+/// Used only for miss classification: a line that the shadow retains but the
+/// set-associative array evicted was lost to a *conflict*, not capacity.
+/// Implemented as a timestamp map plus an ordered recency index; both
+/// operations are `O(log n)` which is irrelevant next to the simulated
+/// kernels' cost.
+#[derive(Debug, Default)]
+struct ShadowLru {
+    capacity: usize,
+    clock: u64,
+    /// line address -> last-use timestamp
+    stamp: HashMap<u64, u64>,
+    /// last-use timestamp -> line address (timestamps are unique)
+    order: std::collections::BTreeMap<u64, u64>,
+}
+
+impl ShadowLru {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            clock: 0,
+            stamp: HashMap::with_capacity(capacity),
+            order: Default::default(),
+        }
+    }
+
+    /// Touch a line; returns whether it was resident.
+    fn access(&mut self, line_addr: u64) -> bool {
+        self.clock += 1;
+        let hit = if let Some(old) = self.stamp.insert(line_addr, self.clock) {
+            self.order.remove(&old);
+            true
+        } else {
+            false
+        };
+        self.order.insert(self.clock, line_addr);
+        if self.stamp.len() > self.capacity {
+            // Evict the least-recently used entry.
+            let (&oldest, &victim) = self.order.iter().next().expect("shadow non-empty");
+            self.order.remove(&oldest);
+            self.stamp.remove(&victim);
+        }
+        hit
+    }
+}
+
+/// The result of one line access against a [`SetAssocCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineAccess {
+    /// The line was resident.
+    pub hit: bool,
+    /// The miss is classified as a conflict miss (only meaningful when
+    /// `hit == false` and the cache has a shadow).
+    pub conflict: bool,
+    /// A dirty line was evicted to make room (write-back traffic).
+    pub writeback: bool,
+    /// The access hit a line that a prefetch filled and had not been
+    /// demand-referenced yet — the stream prefetcher should continue.
+    pub first_hit_on_prefetch: bool,
+}
+
+/// An LRU set-associative cache over line-aligned addresses.
+///
+/// The cache stores no data — the simulated memory lives in
+/// `lsv_vengine::Arena` — only residency metadata. Ways within a set are
+/// kept in LRU order (index 0 = most recently used); associativities in this
+/// workload are small (2-16), so a `Vec` scan beats pointer chasing.
+#[derive(Debug)]
+pub struct SetAssocCache {
+    geom: CacheGeometry,
+    sets: Vec<Vec<Way>>,
+    shadow: Option<ShadowLru>,
+    stats: LevelStats,
+}
+
+impl SetAssocCache {
+    /// Create an empty cache. `classify_conflicts` enables the
+    /// fully-associative shadow (adds memory/time overhead, typically enabled
+    /// for L1 where the paper's conflict phenomenon lives, and for the MPKI
+    /// study).
+    pub fn new(geom: CacheGeometry, classify_conflicts: bool) -> Self {
+        let sets = vec![Vec::with_capacity(geom.ways); geom.sets()];
+        let shadow = classify_conflicts.then(|| ShadowLru::new(geom.lines()));
+        Self {
+            geom,
+            sets,
+            shadow,
+            stats: LevelStats::default(),
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> LevelStats {
+        self.stats
+    }
+
+    /// Reset counters without flushing contents (used to discard cold-start
+    /// effects before measuring a steady-state iteration).
+    pub fn reset_stats(&mut self) {
+        self.stats = LevelStats::default();
+    }
+
+    /// Drop all contents and counters.
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        if let Some(sh) = &mut self.shadow {
+            *sh = ShadowLru::new(self.geom.lines());
+        }
+        self.stats = LevelStats::default();
+    }
+
+    /// Access one cache line (the address may be anywhere inside the line).
+    /// `write` marks the line dirty. Missing lines are allocated
+    /// (write-allocate), evicting the set's LRU way.
+    pub fn access_line(&mut self, addr: u64, write: bool) -> LineAccess {
+        let line_addr = self.geom.line_addr(addr);
+        let set_idx = self.geom.set_of(addr);
+        let shadow_hit = self
+            .shadow
+            .as_mut()
+            .map(|s| s.access(line_addr))
+            .unwrap_or(false);
+
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|w| w.line_addr == line_addr) {
+            let mut way = set.remove(pos);
+            way.dirty |= write;
+            let first_hit_on_prefetch = way.prefetched;
+            way.prefetched = false;
+            set.insert(0, way);
+            self.stats.hits += 1;
+            return LineAccess {
+                hit: true,
+                conflict: false,
+                writeback: false,
+                first_hit_on_prefetch,
+            };
+        }
+
+        // Miss: allocate, possibly evicting the LRU way.
+        self.stats.misses += 1;
+        let conflict = shadow_hit;
+        if conflict {
+            self.stats.conflict_misses += 1;
+        }
+        let mut writeback = false;
+        if set.len() == self.geom.ways {
+            let victim = set.pop().expect("full set has a victim");
+            if victim.dirty {
+                writeback = true;
+                self.stats.writebacks += 1;
+            }
+        }
+        set.insert(
+            0,
+            Way {
+                line_addr,
+                dirty: write,
+                prefetched: false,
+            },
+        );
+        LineAccess {
+            hit: false,
+            conflict,
+            writeback,
+            first_hit_on_prefetch: false,
+        }
+    }
+
+    /// Insert a line without touching statistics (hardware prefetch fill).
+    /// The shadow is updated too: the fully-associative reference sees the
+    /// same (demand + prefetch) stream.
+    pub fn insert_silent(&mut self, addr: u64) {
+        let line_addr = self.geom.line_addr(addr);
+        let set_idx = self.geom.set_of(addr);
+        if let Some(sh) = self.shadow.as_mut() {
+            sh.access(line_addr);
+        }
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|w| w.line_addr == line_addr) {
+            let way = set.remove(pos);
+            set.insert(0, way);
+            return;
+        }
+        if set.len() == self.geom.ways {
+            set.pop();
+        }
+        set.insert(
+            0,
+            Way {
+                line_addr,
+                dirty: false,
+                prefetched: true,
+            },
+        );
+    }
+
+    /// Whether a line is currently resident (no LRU update, no stats).
+    pub fn probe(&self, addr: u64) -> bool {
+        let line_addr = self.geom.line_addr(addr);
+        self.sets[self.geom.set_of(addr)]
+            .iter()
+            .any(|w| w.line_addr == line_addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways x 64B lines = 512B.
+        SetAssocCache::new(CacheGeometry::new(512, 64, 2), true)
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert!(!c.access_line(0, false).hit);
+        assert!(c.access_line(0, false).hit);
+        assert!(c.access_line(63, false).hit, "same line, different offset");
+        assert!(!c.access_line(64, false).hit, "next line");
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny();
+        // Lines 0, 256, 512 all map to set 0 (stride = 4 sets * 64B).
+        c.access_line(0, false);
+        c.access_line(256, false);
+        c.access_line(0, false); // 0 is now MRU, 256 LRU
+        c.access_line(512, false); // evicts 256
+        assert!(c.probe(0));
+        assert!(!c.probe(256));
+        assert!(c.probe(512));
+    }
+
+    #[test]
+    fn conflict_classification() {
+        let mut c = tiny();
+        // Three lines in the same set: set-associative (2-way) thrashes while
+        // the 8-line fully-associative shadow retains all three.
+        for &a in &[0u64, 256, 512] {
+            c.access_line(a, false);
+        }
+        let r = c.access_line(0, false); // evicted by 512, shadow still holds it
+        assert!(!r.hit);
+        assert!(r.conflict, "classified as conflict miss");
+        assert_eq!(c.stats().conflict_misses, 1);
+    }
+
+    #[test]
+    fn capacity_miss_not_conflict() {
+        let mut c = tiny();
+        // Touch 16 distinct lines (2x capacity): revisiting line 0 is a
+        // capacity miss — the shadow evicted it too.
+        for i in 0..16u64 {
+            c.access_line(i * 64, false);
+        }
+        let r = c.access_line(0, false);
+        assert!(!r.hit);
+        assert!(!r.conflict, "shadow also evicted it: capacity miss");
+    }
+
+    #[test]
+    fn writeback_on_dirty_eviction() {
+        let mut c = tiny();
+        c.access_line(0, true); // dirty
+        c.access_line(256, false);
+        let r = c.access_line(512, false); // evicts LRU = line 0 (dirty)
+        assert!(r.writeback);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn stats_accesses_conserved() {
+        let mut c = tiny();
+        for i in 0..1000u64 {
+            c.access_line((i * 37) % 4096, i % 3 == 0);
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 1000);
+        assert!(s.conflict_misses <= s.misses);
+    }
+
+    #[test]
+    fn flush_clears_contents() {
+        let mut c = tiny();
+        c.access_line(0, false);
+        c.flush();
+        assert!(!c.probe(0));
+        assert_eq!(c.stats().accesses(), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Hit/miss statistics for cache levels and the full hierarchy.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for one cache level.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelStats {
+    /// Accesses that hit this level.
+    pub hits: u64,
+    /// Accesses that missed this level.
+    pub misses: u64,
+    /// Subset of `misses` classified as conflict misses (the fully
+    /// associative shadow of the same capacity would have hit).
+    pub conflict_misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl LevelStats {
+    /// Total accesses observed by this level.
+    #[inline]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; zero when the level saw no traffic.
+    pub fn miss_ratio(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses as f64 / a as f64
+        }
+    }
+
+    /// Misses per kilo-*instruction* given an instruction count — the MPKI
+    /// metric of the paper's hardware-counter study (Section 8).
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+
+    /// Accumulate another level's counters into this one (used to aggregate
+    /// per-core statistics).
+    pub fn merge(&mut self, other: &LevelStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.conflict_misses += other.conflict_misses;
+        self.writebacks += other.writebacks;
+    }
+}
+
+/// Statistics for a whole [`crate::Hierarchy`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// L1 data cache counters.
+    pub l1: LevelStats,
+    /// L2 counters.
+    pub l2: LevelStats,
+    /// LLC counters.
+    pub llc: LevelStats,
+    /// Lines fetched from main memory.
+    pub mem_fetches: u64,
+}
+
+impl HierarchyStats {
+    /// Merge another hierarchy's statistics (per-core aggregation).
+    pub fn merge(&mut self, other: &HierarchyStats) {
+        self.l1.merge(&other.l1);
+        self.l2.merge(&other.l2);
+        self.llc.merge(&other.llc);
+        self.mem_fetches += other.mem_fetches;
+    }
+
+    /// Scale all counters by an integer factor. Used when a simulated
+    /// steady-state slice stands in for `k` identical slices (e.g. the
+    /// remaining images of a minibatch share the warmed weight working set).
+    pub fn scaled(&self, k: u64) -> HierarchyStats {
+        let s = |l: &LevelStats| LevelStats {
+            hits: l.hits * k,
+            misses: l.misses * k,
+            conflict_misses: l.conflict_misses * k,
+            writebacks: l.writebacks * k,
+        };
+        HierarchyStats {
+            l1: s(&self.l1),
+            l2: s(&self.l2),
+            llc: s(&self.llc),
+            mem_fetches: self.mem_fetches * k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_ratio_and_mpki() {
+        let l = LevelStats {
+            hits: 900,
+            misses: 100,
+            conflict_misses: 40,
+            writebacks: 0,
+        };
+        assert!((l.miss_ratio() - 0.1).abs() < 1e-12);
+        assert!((l.mpki(50_000) - 2.0).abs() < 1e-12);
+        assert_eq!(l.accesses(), 1000);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let l = LevelStats::default();
+        assert_eq!(l.miss_ratio(), 0.0);
+        assert_eq!(l.mpki(0), 0.0);
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut a = HierarchyStats::default();
+        a.l1.hits = 10;
+        a.l1.misses = 2;
+        let mut b = HierarchyStats::default();
+        b.l1.hits = 5;
+        b.l1.conflict_misses = 1;
+        b.mem_fetches = 7;
+        a.merge(&b);
+        assert_eq!(a.l1.hits, 15);
+        assert_eq!(a.l1.conflict_misses, 1);
+        assert_eq!(a.mem_fetches, 7);
+        let c = a.scaled(3);
+        assert_eq!(c.l1.hits, 45);
+        assert_eq!(c.mem_fetches, 21);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the cache simulator: accounting invariants, LRU
+//! behaviour, and the conflict-miss classifier's defining property.
+
+use lsv_arch::{ArchParams, CacheGeometry};
+use lsv_cache::{Hierarchy, SetAssocCache};
+use proptest::prelude::*;
+
+fn small_geom() -> CacheGeometry {
+    CacheGeometry::new(1024, 64, 2) // 8 sets x 2 ways
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn accounting_conserved(addrs in proptest::collection::vec(0u64..65536, 1..400)) {
+        let mut c = SetAssocCache::new(small_geom(), true);
+        for &a in &addrs {
+            c.access_line(a, a % 3 == 0);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, addrs.len() as u64);
+        prop_assert!(s.conflict_misses <= s.misses);
+        prop_assert!(s.writebacks <= s.misses);
+    }
+
+    #[test]
+    fn repeat_access_always_hits(addr in 0u64..65536) {
+        let mut c = SetAssocCache::new(small_geom(), false);
+        c.access_line(addr, false);
+        let r = c.access_line(addr, false);
+        prop_assert!(r.hit);
+    }
+
+    #[test]
+    fn working_set_within_one_set_capacity_never_misses_twice(
+        base in 0u64..1024,
+        reps in 2usize..6,
+    ) {
+        // Two lines mapping to the same set fit a 2-way set: after the
+        // first touch they hit forever regardless of interleaving.
+        let stride = 512u64; // 8 sets x 64B
+        let mut c = SetAssocCache::new(small_geom(), false);
+        let a = base * 4;
+        let b = a + stride;
+        c.access_line(a, false);
+        c.access_line(b, false);
+        for _ in 0..reps {
+            prop_assert!(c.access_line(a, false).hit);
+            prop_assert!(c.access_line(b, false).hit);
+        }
+    }
+
+    #[test]
+    fn conflict_classification_requires_shadow_hit(
+        addrs in proptest::collection::vec(0u64..32768, 1..300),
+    ) {
+        // A conflict miss can only happen to a line that was touched before
+        // (the fully-associative shadow can only retain previously seen
+        // lines). First-touch misses are never conflict-classified.
+        let mut c = SetAssocCache::new(small_geom(), true);
+        let mut seen = std::collections::HashSet::new();
+        for &a in &addrs {
+            let line = a & !63;
+            let r = c.access_line(a, false);
+            if r.conflict {
+                prop_assert!(seen.contains(&line), "conflict on first touch of {line:#x}");
+            }
+            seen.insert(line);
+        }
+    }
+}
+
+fn tiny_arch() -> ArchParams {
+    let mut a = lsv_arch::presets::sx_aurora();
+    a.l1d = CacheGeometry::new(1024, 64, 2);
+    a.l2 = CacheGeometry::new(4096, 64, 4);
+    a.llc = CacheGeometry::new(16384, 64, 4);
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn hierarchy_latency_matches_level(addrs in proptest::collection::vec(0u64..8192, 1..200)) {
+        let arch = tiny_arch();
+        let mut h = Hierarchy::for_core(&arch, 1);
+        for &a in &addrs {
+            let out = h.access_line(a, false);
+            let expected = h.latency_of(out.level);
+            prop_assert_eq!(out.latency, expected);
+        }
+    }
+
+    #[test]
+    fn hierarchy_l1_stats_count_all_accesses(addrs in proptest::collection::vec(0u64..8192, 1..200)) {
+        let arch = tiny_arch();
+        let mut h = Hierarchy::for_core(&arch, 1);
+        for &a in &addrs {
+            h.access_line(a, false);
+        }
+        let s = h.stats();
+        prop_assert_eq!(s.l1.accesses(), addrs.len() as u64);
+        // Inclusive-ish hierarchy: deeper levels see at most the misses of
+        // the level above (prefetch fills are silent).
+        prop_assert!(s.l2.accesses() <= s.l1.misses);
+        prop_assert!(s.llc.accesses() <= s.l2.misses + s.l2.hits);
+    }
+}

@@ -1,0 +1,115 @@
+//! Micro-kernel memory footprint analysis (Section 5.1, Figure 2).
+//!
+//! The micro-kernel region of Algorithm 2 touches:
+//!
+//! * `OC_b * IC_b * KH * KW` weight elements,
+//! * `IC_b * min(RB_h + KH, IH) * min(RB_w + KW, IW)` source elements,
+//! * `OC_b * RB_h * RB_w` destination elements,
+//!
+//! and because `IC_b` and `OC_b` are both tied to `N_vlen` in the
+//! state-of-the-art formulation, the weights sub-tensor grows quadratically
+//! with the vector length — the Figure 2 curve.
+
+use crate::problem::ConvProblem;
+use crate::tuning::RegisterBlocking;
+use lsv_arch::ArchParams;
+
+/// Byte footprints of the three micro-kernel sub-tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroKernelFootprint {
+    /// Weights sub-tensor bytes.
+    pub weights: usize,
+    /// Source activation sub-tensor bytes.
+    pub source: usize,
+    /// Destination sub-tensor bytes.
+    pub destination: usize,
+}
+
+impl MicroKernelFootprint {
+    /// Combined footprint in bytes.
+    pub fn total(&self) -> usize {
+        self.weights + self.source + self.destination
+    }
+
+    /// Combined footprint in mebibytes (the Figure 2 y-axis).
+    pub fn total_mib(&self) -> f64 {
+        self.total() as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// Footprint of the state-of-the-art micro-kernel (Section 5.1's formulas)
+/// for a problem on an architecture, given its register blocking.
+pub fn microkernel_footprint(
+    arch: &ArchParams,
+    p: &ConvProblem,
+    rb: RegisterBlocking,
+) -> MicroKernelFootprint {
+    let icb = p.ic.min(arch.n_vlen());
+    let ocb = p.oc.min(arch.n_vlen());
+    let nih = p.ih.min(rb.rb_h + p.kh - 1);
+    let niw = p.iw.min(rb.rb_w + p.kw - 1);
+    let e = arch.elem_bytes();
+    MicroKernelFootprint {
+        weights: ocb * icb * p.kh * p.kw * e,
+        source: icb * nih * niw * e,
+        destination: ocb * rb.rb_h * rb.rb_w * e,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuning::split_register_block;
+    use lsv_arch::presets::{aurora_with_vlen_bits, sx_aurora};
+    use lsv_arch::formula2_rb_min;
+
+    #[test]
+    fn figure2_peak_footprint_is_about_9mib() {
+        // Figure 2: "memory footprints can reach up to 9 megabytes on
+        // architectures with 16384-bit vectors" — the 512-channel 3x3 layer.
+        let arch = sx_aurora();
+        let p = ConvProblem::new(256, 512, 512, 7, 7, 3, 3, 1, 1);
+        let rb = split_register_block(formula2_rb_min(&arch), p.ow(), p.oh());
+        let fp = microkernel_footprint(&arch, &p, rb);
+        assert!(fp.weights == 512 * 512 * 9 * 4);
+        let mib = fp.total_mib();
+        assert!((8.9..10.0).contains(&mib), "total footprint {mib:.2} MiB");
+    }
+
+    #[test]
+    fn footprint_grows_quadratically_with_vlen() {
+        // Quadrupling the vector length quadruples the weights footprint
+        // (both IC_b and OC_b scale) as long as the channels do not clamp.
+        let p = ConvProblem::new(256, 2048, 2048, 14, 14, 3, 3, 1, 1);
+        let f1 = microkernel_footprint(
+            &aurora_with_vlen_bits(4096),
+            &p,
+            RegisterBlocking { rb_w: 14, rb_h: 2 },
+        );
+        let f2 = microkernel_footprint(
+            &aurora_with_vlen_bits(8192),
+            &p,
+            RegisterBlocking { rb_w: 14, rb_h: 2 },
+        );
+        assert_eq!(f2.weights, 4 * f1.weights);
+    }
+
+    #[test]
+    fn channel_clamp_limits_growth() {
+        // 64-channel layers stop growing once N_vlen exceeds 64.
+        let p = ConvProblem::new(256, 64, 64, 56, 56, 3, 3, 1, 1);
+        let rb = RegisterBlocking { rb_w: 24, rb_h: 1 };
+        let f512 = microkernel_footprint(&aurora_with_vlen_bits(2048), &p, rb);
+        let f16384 = microkernel_footprint(&aurora_with_vlen_bits(16384), &p, rb);
+        assert_eq!(f512.weights, f16384.weights);
+    }
+
+    #[test]
+    fn source_window_clamps_to_input() {
+        let arch = sx_aurora();
+        let p = ConvProblem::new(256, 512, 512, 7, 7, 3, 3, 1, 1);
+        // rb_h + kh - 1 = 4 + 3 - 1 = 6 < 7 -> no clamp on h; rb_w 7 clamps.
+        let fp = microkernel_footprint(&arch, &p, RegisterBlocking { rb_w: 7, rb_h: 4 });
+        assert_eq!(fp.source, 512 * 6 * 7 * 4);
+    }
+}

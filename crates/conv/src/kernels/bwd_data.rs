@@ -1,0 +1,216 @@
+//! The backward-data micro-kernel (Section 4.1/4.3): the output tensor is
+//! `S_diff`, the computation vectorizes the `IC` dimension, register
+//! blocking covers the input spatial dimensions `(IW, IH)`, and the scalar
+//! stream walks the output gradients `D_diff`.
+//!
+//! The weights tensor is stored role-swapped —
+//! `(IC/IC_b, OC/grain, KH, KW, grain, IC_b)` — so the vectorized `IC`
+//! dimension stays innermost and weight vectors remain unit-stride.
+
+use super::{act_vec_lanes, load_act_vec, store_act_vec};
+use crate::problem::ConvProblem;
+use crate::tuning::KernelConfig;
+use lsv_tensor::{ActTensor, WeiTensor};
+use lsv_vengine::{Arena, VCore};
+use std::ops::Range;
+
+/// Run the backward-data pass for images `n_range` on one simulated core.
+///
+/// `wei` must be the role-swapped tensor: allocated as
+/// `WeiTensor::alloc(arena, /*oc slot*/ p.ic, /*ic slot*/ p.oc, kh, kw, cfg.wei_layout)`
+/// and filled through [`crate::primitive::ConvPrimitive::store_weights`].
+#[allow(clippy::too_many_arguments)]
+pub fn run(
+    cfg: &KernelConfig,
+    p: &ConvProblem,
+    core: &mut VCore,
+    arena: &mut Arena,
+    src_diff: &ActTensor,
+    wei: &WeiTensor,
+    dst_diff: &ActTensor,
+    n_range: Range<usize>,
+) {
+    debug_assert!(cfg.wei_swapped);
+    let (oh, ow) = (p.oh(), p.ow());
+    let vl_max = cfg.vl;
+    let ic_vblocks = p.ic.div_ceil(vl_max);
+    let (rb_w, rb_h) = (cfg.rb.rb_w, cfg.rb.rb_h);
+    let wslot0 = rb_w * rb_h;
+    let wbuf = cfg.wbuf;
+    let tile = cfg.tile;
+    let kh_blocks = p.kh.div_ceil(tile.kh_i);
+    let kw_blocks = p.kw.div_ceil(tile.kw_i);
+    let oc_chunks = p.oc.div_ceil(tile.c_i);
+
+    for n in n_range {
+        core.scalar_ops(2);
+        for icv in 0..ic_vblocks {
+            core.scalar_ops(2);
+            let vl = vl_max.min(p.ic - icv * vl_max);
+            let lanes = act_vec_lanes(src_diff, vl);
+            for occ in 0..oc_chunks {
+                core.scalar_ops(2);
+                let oc0 = occ * tile.c_i;
+                let oc_cnt = tile.c_i.min(p.oc - oc0);
+                for khb in 0..kh_blocks {
+                    let kh0 = khb * tile.kh_i;
+                    let kh_cnt = tile.kh_i.min(p.kh - kh0);
+                    for kwb in 0..kw_blocks {
+                        let kw0 = kwb * tile.kw_i;
+                        let kw_cnt = tile.kw_i.min(p.kw - kw0);
+                        let first_pass = occ == 0 && khb == 0 && kwb == 0;
+                        core.scalar_ops(2);
+                        let mut ih0 = 0;
+                        while ih0 < p.ih {
+                            let rbh_cur = rb_h.min(p.ih - ih0);
+                            let mut iw0 = 0;
+                            core.scalar_ops(1);
+                            while iw0 < p.iw {
+                                let rbw_cur = rb_w.min(p.iw - iw0);
+                                micro_kernel(
+                                    cfg, p, core, arena, src_diff, wei, dst_diff, n, icv,
+                                    icv * vl_max, vl, lanes, oc0, oc_cnt, kh0, kh_cnt, kw0, kw_cnt, ih0, rbh_cur,
+                                    iw0, rbw_cur, first_pass, wslot0, wbuf, oh, ow,
+                                );
+                                iw0 += rb_w;
+                            }
+                            ih0 += rb_h;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Map an input coordinate and kernel tap to the producing output
+/// coordinate: `o = (i + pad - k) / stride` when the division is exact and
+/// the result is in `[0, olen)`.
+#[inline]
+fn producer(i: usize, k: usize, pad: usize, stride: usize, olen: usize) -> Option<usize> {
+    let t = i as isize + pad as isize - k as isize;
+    if t < 0 {
+        return None;
+    }
+    let t = t as usize;
+    if !t.is_multiple_of(stride) {
+        return None;
+    }
+    let o = t / stride;
+    (o < olen).then_some(o)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel(
+    _cfg: &KernelConfig,
+    p: &ConvProblem,
+    core: &mut VCore,
+    arena: &mut Arena,
+    src_diff: &ActTensor,
+    wei: &WeiTensor,
+    dst_diff: &ActTensor,
+    n: usize,
+    icv: usize,
+    c0: usize,
+    vl: usize,
+    lanes: usize,
+    oc0: usize,
+    oc_cnt: usize,
+    kh0: usize,
+    kh_cnt: usize,
+    kw0: usize,
+    kw_cnt: usize,
+    ih0: usize,
+    rbh_cur: usize,
+    iw0: usize,
+    rbw_cur: usize,
+    first_pass: bool,
+    wslot0: usize,
+    wbuf: usize,
+    oh: usize,
+    ow: usize,
+) {
+    // --- accumulators over the S_diff register block.
+    for h in 0..rbh_cur {
+        for w in 0..rbw_cur {
+            let reg = h * rbw_cur + w;
+            if first_pass {
+                core.vbroadcast_zero(reg, lanes);
+            } else {
+                load_act_vec(core, arena, src_diff, n, c0, ih0 + h, iw0 + w, vl, reg);
+            }
+        }
+    }
+
+    // --- inner loop over (kh, kw, oc_i) with software-pipelined weight loads.
+    let total = kh_cnt * kw_cnt * oc_cnt;
+    let lookahead = (wbuf - 1).min(total);
+    // wei is role-swapped: "oc" slot indexes IC blocks, "ic" slot indexes OC.
+    let w_addr = |j: usize| -> u64 {
+        let o = j % oc_cnt;
+        let r = j / oc_cnt;
+        let kwi = r % kw_cnt;
+        let khi = r / kw_cnt;
+        wei.oc_vector_at(icv, oc0 + o, kh0 + khi, kw0 + kwi)
+    };
+    for j in 0..lookahead {
+        core.scalar_op();
+        core.vload(arena, wslot0 + j % wbuf, w_addr(j), vl);
+    }
+    for j in 0..total {
+        if j + lookahead < total {
+            core.scalar_op();
+            core.vload(arena, wslot0 + (j + lookahead) % wbuf, w_addr(j + lookahead), vl);
+        }
+        let wreg = wslot0 + j % wbuf;
+        let o = j % oc_cnt;
+        let r = j / oc_cnt;
+        let kw = kw0 + r % kw_cnt;
+        let kh = kh0 + r / kw_cnt;
+        let oc = oc0 + o;
+        for h in 0..rbh_cur {
+            let Some(oy) = producer(ih0 + h, kh, p.pad, p.stride, oh) else {
+                continue;
+            };
+            for w in 0..rbw_cur {
+                let Some(ox) = producer(iw0 + w, kw, p.pad, p.stride, ow) else {
+                    continue;
+                };
+                let reg = h * rbw_cur + w;
+                core.scalar_op(); // D_diff pointer update
+                let d_addr = dst_diff.at(n, oc, oy, ox);
+                let dv = core.scalar_load(arena, d_addr);
+                core.vfma_bcast(reg, wreg, dv, vl);
+            }
+        }
+    }
+
+    // --- write partial S_diff sums back.
+    for h in 0..rbh_cur {
+        for w in 0..rbw_cur {
+            let reg = h * rbw_cur + w;
+            store_act_vec(core, arena, src_diff, n, c0, ih0 + h, iw0 + w, vl, reg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::producer;
+
+    #[test]
+    fn producer_unit_stride() {
+        // i = o + k - pad  <=>  o = i + pad - k.
+        assert_eq!(producer(0, 0, 0, 1, 8), Some(0));
+        assert_eq!(producer(5, 2, 1, 1, 8), Some(4));
+        assert_eq!(producer(0, 2, 1, 1, 8), None, "would be negative");
+        assert_eq!(producer(9, 0, 0, 1, 8), None, "past the output");
+    }
+
+    #[test]
+    fn producer_stride_two_parity() {
+        assert_eq!(producer(4, 0, 0, 2, 8), Some(2));
+        assert_eq!(producer(5, 0, 0, 2, 8), None, "odd offset unreachable");
+        assert_eq!(producer(5, 1, 0, 2, 8), Some(2));
+    }
+}

@@ -1,0 +1,175 @@
+//! The backward-weights micro-kernel (Section 4.1/4.3): the output tensor is
+//! `W_diff`; the computation vectorizes the larger feature-map dimension and
+//! register-blocks the smaller one (`RB_c` accumulator chains). The
+//! accumulators live across the whole `(n, oh, ow)` reduction sweep, so each
+//! `W_diff` vector is stored exactly once.
+//!
+//! Per spatial step the kernel issues one feature-map vector load of the
+//! vectorized activation tensor (a coarse-grain gather under the MBDC
+//! layout — this is why Section 8 observes that "the vector gather/scatter
+//! operations are more frequent" in this pass) followed by `RB_c` scalar
+//! loads + FMAs on the other tensor.
+
+use super::{act_vec_lanes, load_act_vec};
+use crate::problem::ConvProblem;
+use crate::tuning::KernelConfig;
+use lsv_tensor::{ActTensor, WeiTensor};
+use lsv_vengine::{Arena, VCore};
+use std::ops::Range;
+
+/// Run the backward-weights pass on one simulated core.
+///
+/// * `wei_diff` — output gradients; role-swapped when `cfg.vec_over_ic`.
+/// * `small_blocks` — the range of `RB_c`-sized blocks of the *smaller*
+///   feature-map dimension this core owns (the paper parallelizes this loop
+///   across cores, Section 4.3).
+/// * `n_range` — minibatch slice to reduce over (each core reduces over the
+///   full minibatch in the real scheme; the scheduler passes a slice and
+///   scales, see `perf`).
+#[allow(clippy::too_many_arguments)]
+pub fn run(
+    cfg: &KernelConfig,
+    p: &ConvProblem,
+    core: &mut VCore,
+    arena: &mut Arena,
+    src: &ActTensor,
+    wei_diff: &WeiTensor,
+    dst_diff: &ActTensor,
+    small_blocks: Range<usize>,
+    n_range: Range<usize>,
+) {
+    let (oh, ow) = (p.oh(), p.ow());
+    let vl_max = cfg.vl;
+    let (c_vec, c_small) = if cfg.vec_over_ic {
+        (p.ic, p.oc)
+    } else {
+        (p.oc, p.ic)
+    };
+    let vec_blocks = c_vec.div_ceil(vl_max);
+    let rb_c = cfg.rb_c;
+    let vbuf0 = rb_c; // rotating activation-vector registers
+    let vbuf = cfg.wbuf.max(2);
+    // The vectorized activation tensor (vector loads) and the scalar one.
+    let (vec_t, sca_t) = if cfg.vec_over_ic {
+        (src, dst_diff)
+    } else {
+        (dst_diff, src)
+    };
+
+    for cvb in 0..vec_blocks {
+        core.scalar_ops(2);
+        let vl = vl_max.min(c_vec - cvb * vl_max);
+        let lanes = act_vec_lanes(vec_t, vl);
+        for csb in small_blocks.clone() {
+            let cs0 = csb * rb_c;
+            if cs0 >= c_small {
+                break;
+            }
+            let rb_cur = rb_c.min(c_small - cs0);
+            for kh in 0..p.kh {
+                for kw in 0..p.kw {
+                    core.scalar_ops(2);
+                    // Accumulators for this (kh, kw) tap, zeroed once and
+                    // reduced over the whole (n, oh, ow) domain.
+                    for j in 0..rb_cur {
+                        core.vbroadcast_zero(j, lanes);
+                    }
+                    for n in n_range.clone() {
+                        core.scalar_ops(2);
+                        sweep_spatial(
+                            cfg, p, core, arena, vec_t, sca_t, n, cvb * vl_max, vl, cs0, rb_cur,
+                            kh, kw, oh, ow, vbuf0, vbuf,
+                        );
+                    }
+                    // Store the finished W_diff vectors (one store per
+                    // accumulator for the whole reduction).
+                    for j in 0..rb_cur {
+                        let addr = wei_diff.oc_vector_at(cvb, cs0 + j, kh, kw);
+                        core.vstore(arena, j, addr, vl);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The spatial reduction sweep for one (kh, kw) tap of one image: per valid
+/// output point, one vector load of the vectorized activations and `rb_cur`
+/// scalar-load + FMA pairs.
+#[allow(clippy::too_many_arguments)]
+fn sweep_spatial(
+    cfg: &KernelConfig,
+    p: &ConvProblem,
+    core: &mut VCore,
+    arena: &mut Arena,
+    vec_t: &ActTensor,
+    sca_t: &ActTensor,
+    n: usize,
+    c0: usize,
+    vl: usize,
+    cs0: usize,
+    rb_cur: usize,
+    kh: usize,
+    kw: usize,
+    oh: usize,
+    ow: usize,
+    vbuf0: usize,
+    vbuf: usize,
+) {
+    // Enumerate the valid (oy, ox) points once so the vector loads can be
+    // software-pipelined one step ahead (the JIT peels padding rows).
+    let mut points: Vec<(usize, usize, usize, usize)> = Vec::with_capacity(oh * ow);
+    for oy in 0..oh {
+        let ih = (oy * p.stride + kh) as isize - p.pad as isize;
+        if ih < 0 || ih >= p.ih as isize {
+            continue;
+        }
+        for ox in 0..ow {
+            let iw = (ox * p.stride + kw) as isize - p.pad as isize;
+            if iw < 0 || iw >= p.iw as isize {
+                continue;
+            }
+            points.push((oy, ox, ih as usize, iw as usize));
+        }
+    }
+    let vec_coord = |pt: (usize, usize, usize, usize)| -> (usize, usize) {
+        if cfg.vec_over_ic {
+            (pt.2, pt.3) // S is vectorized: index by (ih, iw)
+        } else {
+            (pt.0, pt.1) // D_diff is vectorized: index by (oy, ox)
+        }
+    };
+    let lookahead = (vbuf - 1).min(points.len());
+    for (j, &pt) in points.iter().take(lookahead).enumerate() {
+        let (y, x) = vec_coord(pt);
+        core.scalar_op();
+        load_act_vec(core, arena, vec_t, n, c0, y, x, vl, vbuf0 + j % vbuf);
+    }
+    for (j, &pt) in points.iter().enumerate() {
+        if j + lookahead < points.len() {
+            let (y, x) = vec_coord(points[j + lookahead]);
+            core.scalar_op();
+            load_act_vec(
+                core,
+                arena,
+                vec_t,
+                n,
+                c0,
+                y,
+                x,
+                vl,
+                vbuf0 + (j + lookahead) % vbuf,
+            );
+        }
+        let vreg = vbuf0 + j % vbuf;
+        let (oy, ox, ih, iw) = pt;
+        // Scalar coordinates on the non-vectorized tensor.
+        let (sy, sx) = if cfg.vec_over_ic { (oy, ox) } else { (ih, iw) };
+        for c in 0..rb_cur {
+            core.scalar_op(); // scalar pointer bump
+            let addr = sca_t.at(n, cs0 + c, sy, sx);
+            let sv = core.scalar_load(arena, addr);
+            core.vfma_bcast(c, vreg, sv, vl);
+        }
+    }
+}

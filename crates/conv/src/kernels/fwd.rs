@@ -1,0 +1,224 @@
+//! The forward-data micro-kernel (Algorithm 2 for DC/BDC; Algorithm 4 for
+//! MBDC — the two differ only in blocking parameters and in whether the `D`
+//! tensor moves via unit-stride vector ops or coarse-grain gather/scatter,
+//! which the shared activation-vector access helpers dispatch on).
+
+use super::{act_vec_lanes, load_act_vec, store_act_vec};
+use crate::problem::ConvProblem;
+use crate::tuning::KernelConfig;
+use lsv_tensor::{ActTensor, WeiTensor};
+use lsv_vengine::{Arena, VCore};
+use std::ops::Range;
+
+/// Run the forward pass for images `n_range` on one simulated core.
+///
+/// `src` and `dst` must use `cfg.src_layout` / `cfg.dst_layout`; `wei` must
+/// use `cfg.wei_layout` (not swapped).
+#[allow(clippy::too_many_arguments)]
+pub fn run(
+    cfg: &KernelConfig,
+    p: &ConvProblem,
+    core: &mut VCore,
+    arena: &mut Arena,
+    src: &ActTensor,
+    wei: &WeiTensor,
+    dst: &ActTensor,
+    n_range: Range<usize>,
+) {
+    debug_assert!(!cfg.wei_swapped);
+    let (oh, ow) = (p.oh(), p.ow());
+    let vl_max = cfg.vl;
+    let oc_vblocks = p.oc.div_ceil(vl_max);
+    let (rb_w, rb_h) = (cfg.rb.rb_w, cfg.rb.rb_h);
+    let n_acc = rb_w * rb_h;
+    let wslot0 = n_acc; // weight double-buffer registers follow the accumulators
+    let wbuf = cfg.wbuf;
+    let tile = cfg.tile;
+    let kh_blocks = p.kh.div_ceil(tile.kh_i);
+    let kw_blocks = p.kw.div_ceil(tile.kw_i);
+    let ic_chunks = p.ic.div_ceil(tile.c_i);
+
+    for n in n_range {
+        core.scalar_ops(2);
+        for ocv in 0..oc_vblocks {
+            core.scalar_ops(2);
+            let vl = vl_max.min(p.oc - ocv * vl_max);
+            let lanes = act_vec_lanes(dst, vl);
+            for icc in 0..ic_chunks {
+                core.scalar_ops(2);
+                let ic0 = icc * tile.c_i;
+                let ic_cnt = tile.c_i.min(p.ic - ic0);
+                for khb in 0..kh_blocks {
+                    let kh0 = khb * tile.kh_i;
+                    let kh_cnt = tile.kh_i.min(p.kh - kh0);
+                    for kwb in 0..kw_blocks {
+                        let kw0 = kwb * tile.kw_i;
+                        let kw_cnt = tile.kw_i.min(p.kw - kw0);
+                        let first_pass = icc == 0 && khb == 0 && kwb == 0;
+                        core.scalar_ops(2);
+                        let mut oh0 = 0;
+                        while oh0 < oh {
+                            let rbh_cur = rb_h.min(oh - oh0);
+                            let mut ow0 = 0;
+                            core.scalar_ops(1);
+                            while ow0 < ow {
+                                let rbw_cur = rb_w.min(ow - ow0);
+                                micro_kernel(MicroArgs {
+                                    p,
+                                    core,
+                                    arena,
+                                    src,
+                                    wei,
+                                    dst,
+                                    n,
+                                    ocv,
+                                    c0: ocv * vl_max,
+                                    vl,
+                                    lanes,
+                                    ic0,
+                                    ic_cnt,
+                                    kh0,
+                                    kh_cnt,
+                                    kw0,
+                                    kw_cnt,
+                                    oh0,
+                                    rbh_cur,
+                                    ow0,
+                                    rbw_cur,
+                                    first_pass,
+                                    wslot0,
+                                    wbuf,
+                                });
+                                ow0 += rb_w;
+                            }
+                            oh0 += rb_h;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct MicroArgs<'a, 'b> {
+    p: &'a ConvProblem,
+    core: &'b mut VCore,
+    arena: &'b mut Arena,
+    src: &'a ActTensor,
+    wei: &'a WeiTensor,
+    dst: &'a ActTensor,
+    n: usize,
+    ocv: usize,
+    c0: usize,
+    vl: usize,
+    lanes: usize,
+    ic0: usize,
+    ic_cnt: usize,
+    kh0: usize,
+    kh_cnt: usize,
+    kw0: usize,
+    kw_cnt: usize,
+    oh0: usize,
+    rbh_cur: usize,
+    ow0: usize,
+    rbw_cur: usize,
+    first_pass: bool,
+    wslot0: usize,
+    wbuf: usize,
+}
+
+/// One micro-kernel invocation: `rbh_cur * rbw_cur` accumulator registers,
+/// the `(kh, kw, ic_i)` inner loop with software-pipelined weight loads, and
+/// the closing accumulator stores (Algorithm 2 lines 11-19).
+fn micro_kernel(a: MicroArgs<'_, '_>) {
+    let MicroArgs {
+        p,
+        core,
+        arena,
+        src,
+        wei,
+        dst,
+        n,
+        ocv,
+        c0,
+        vl,
+        lanes,
+        ic0,
+        ic_cnt,
+        kh0,
+        kh_cnt,
+        kw0,
+        kw_cnt,
+        oh0,
+        rbh_cur,
+        ow0,
+        rbw_cur,
+        first_pass,
+        wslot0,
+        wbuf,
+    } = a;
+    let n_acc = rbh_cur * rbw_cur;
+
+    // --- accumulator init: zero on the first accumulation pass, otherwise
+    //     reload the partial sums from D.
+    for h in 0..rbh_cur {
+        for w in 0..rbw_cur {
+            let reg = h * rbw_cur + w;
+            if first_pass {
+                core.vbroadcast_zero(reg, lanes);
+            } else {
+                load_act_vec(core, arena, dst, n, c0, oh0 + h, ow0 + w, vl, reg);
+            }
+        }
+    }
+
+    // --- inner loop over (kh, kw, ic_i), flattened for weight prefetch.
+    let total = kh_cnt * kw_cnt * ic_cnt;
+    let lookahead = (wbuf - 1).min(total);
+    let w_addr = |j: usize| -> u64 {
+        let i = j % ic_cnt;
+        let r = j / ic_cnt;
+        let kwi = r % kw_cnt;
+        let khi = r / kw_cnt;
+        wei.oc_vector_at(ocv, ic0 + i, kh0 + khi, kw0 + kwi)
+    };
+    for j in 0..lookahead {
+        core.scalar_op();
+        core.vload(arena, wslot0 + j % wbuf, w_addr(j), vl);
+    }
+    for j in 0..total {
+        if j + lookahead < total {
+            core.scalar_op(); // weight pointer bump
+            core.vload(arena, wslot0 + (j + lookahead) % wbuf, w_addr(j + lookahead), vl);
+        }
+        let wreg = wslot0 + j % wbuf;
+        let i = j % ic_cnt;
+        let r = j / ic_cnt;
+        let kw = kw0 + r % kw_cnt;
+        let kh = kh0 + r / kw_cnt;
+        let ic = ic0 + i;
+        for h in 0..rbh_cur {
+            let ih = ((oh0 + h) * p.stride + kh) as isize - p.pad as isize;
+            for w in 0..rbw_cur {
+                let iw = ((ow0 + w) * p.stride + kw) as isize - p.pad as isize;
+                if ih < 0 || ih >= p.ih as isize || iw < 0 || iw >= p.iw as isize {
+                    continue; // zero-padding tap: the JIT emits no code here
+                }
+                let reg = h * rbw_cur + w;
+                core.scalar_op(); // source pointer update (B_seq filler #1)
+                let s_addr = src.at(n, ic, ih as usize, iw as usize);
+                let sv = core.scalar_load(arena, s_addr); // B_seq filler #2
+                core.vfma_bcast(reg, wreg, sv, vl);
+            }
+        }
+    }
+    let _ = n_acc;
+
+    // --- write the partial sums back (Algorithm 2 line 19).
+    for h in 0..rbh_cur {
+        for w in 0..rbw_cur {
+            let reg = h * rbw_cur + w;
+            store_act_vec(core, arena, dst, n, c0, oh0 + h, ow0 + w, vl, reg);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The naive reference convolution (Algorithm 1) for all three training
+//! directions, operating on host NCHW / OIHW buffers.
+//!
+//! Used as the correctness oracle for every simulated kernel (the artifact's
+//! `validate.sh` role).
+
+use crate::problem::ConvProblem;
+
+/// Forward data: `D[n,oc,oh,ow] = sum_{ic,kh,kw} S[n,ic,ih,iw] * W[oc,ic,kh,kw]`
+/// with `ih = oh*stride + kh - pad` (Algorithm 1).
+///
+/// `src` is NCHW `(N, IC, IH, IW)`, `wei` is OIHW `(OC, IC, KH, KW)`;
+/// returns NCHW `(N, OC, OH, OW)`.
+///
+/// ```
+/// use lsv_conv::{naive, ConvProblem};
+/// // 2x2 box filter over a 3x3 ramp, no padding.
+/// let p = ConvProblem::new(1, 1, 1, 3, 3, 2, 2, 1, 0);
+/// let src: Vec<f32> = (0..9).map(|i| i as f32).collect();
+/// let dst = naive::forward(&p, &src, &[1.0; 4]);
+/// assert_eq!(dst, vec![8.0, 12.0, 20.0, 24.0]);
+/// ```
+pub fn forward(p: &ConvProblem, src: &[f32], wei: &[f32]) -> Vec<f32> {
+    assert_eq!(src.len(), p.n * p.ic * p.ih * p.iw, "src shape");
+    assert_eq!(wei.len(), p.oc * p.ic * p.kh * p.kw, "wei shape");
+    let (oh, ow) = (p.oh(), p.ow());
+    let mut dst = vec![0.0f32; p.n * p.oc * oh * ow];
+    for n in 0..p.n {
+        for oc in 0..p.oc {
+            for ic in 0..p.ic {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let mut acc = dst[((n * p.oc + oc) * oh + y) * ow + x];
+                        for kh in 0..p.kh {
+                            let ih = (y * p.stride + kh) as isize - p.pad as isize;
+                            if ih < 0 || ih >= p.ih as isize {
+                                continue;
+                            }
+                            for kw in 0..p.kw {
+                                let iw = (x * p.stride + kw) as isize - p.pad as isize;
+                                if iw < 0 || iw >= p.iw as isize {
+                                    continue;
+                                }
+                                let s = src[((n * p.ic + ic) * p.ih + ih as usize) * p.iw
+                                    + iw as usize];
+                                let w = wei[((oc * p.ic + ic) * p.kh + kh) * p.kw + kw];
+                                acc += s * w;
+                            }
+                        }
+                        dst[((n * p.oc + oc) * oh + y) * ow + x] = acc;
+                    }
+                }
+            }
+        }
+    }
+    dst
+}
+
+/// Backward data: `S_diff[n,ic,ih,iw] = sum_{oc,kh,kw} D_diff[n,oc,oh,ow] * W[oc,ic,kh,kw]`
+/// where `(oh, ow)` are the output points whose receptive field covers
+/// `(ih, iw)` at offset `(kh, kw)`.
+///
+/// `dst_diff` is NCHW `(N, OC, OH, OW)`, `wei` is OIHW; returns NCHW
+/// `(N, IC, IH, IW)`.
+pub fn backward_data(p: &ConvProblem, dst_diff: &[f32], wei: &[f32]) -> Vec<f32> {
+    let (oh, ow) = (p.oh(), p.ow());
+    assert_eq!(dst_diff.len(), p.n * p.oc * oh * ow, "dst_diff shape");
+    assert_eq!(wei.len(), p.oc * p.ic * p.kh * p.kw, "wei shape");
+    let mut src_diff = vec![0.0f32; p.n * p.ic * p.ih * p.iw];
+    for n in 0..p.n {
+        for oc in 0..p.oc {
+            for ic in 0..p.ic {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let d = dst_diff[((n * p.oc + oc) * oh + y) * ow + x];
+                        for kh in 0..p.kh {
+                            let ih = (y * p.stride + kh) as isize - p.pad as isize;
+                            if ih < 0 || ih >= p.ih as isize {
+                                continue;
+                            }
+                            for kw in 0..p.kw {
+                                let iw = (x * p.stride + kw) as isize - p.pad as isize;
+                                if iw < 0 || iw >= p.iw as isize {
+                                    continue;
+                                }
+                                let w = wei[((oc * p.ic + ic) * p.kh + kh) * p.kw + kw];
+                                src_diff[((n * p.ic + ic) * p.ih + ih as usize) * p.iw
+                                    + iw as usize] += d * w;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    src_diff
+}
+
+/// Backward weights:
+/// `W_diff[oc,ic,kh,kw] = sum_{n,oh,ow} D_diff[n,oc,oh,ow] * S[n,ic,ih,iw]`.
+///
+/// `src` is NCHW `(N, IC, IH, IW)`, `dst_diff` is NCHW `(N, OC, OH, OW)`;
+/// returns OIHW `(OC, IC, KH, KW)`.
+pub fn backward_weights(p: &ConvProblem, src: &[f32], dst_diff: &[f32]) -> Vec<f32> {
+    let (oh, ow) = (p.oh(), p.ow());
+    assert_eq!(src.len(), p.n * p.ic * p.ih * p.iw, "src shape");
+    assert_eq!(dst_diff.len(), p.n * p.oc * oh * ow, "dst_diff shape");
+    let mut wd = vec![0.0f32; p.oc * p.ic * p.kh * p.kw];
+    for n in 0..p.n {
+        for oc in 0..p.oc {
+            for ic in 0..p.ic {
+                for kh in 0..p.kh {
+                    for kw in 0..p.kw {
+                        let mut acc = 0.0f32;
+                        for y in 0..oh {
+                            let ih = (y * p.stride + kh) as isize - p.pad as isize;
+                            if ih < 0 || ih >= p.ih as isize {
+                                continue;
+                            }
+                            for x in 0..ow {
+                                let iw = (x * p.stride + kw) as isize - p.pad as isize;
+                                if iw < 0 || iw >= p.iw as isize {
+                                    continue;
+                                }
+                                acc += dst_diff[((n * p.oc + oc) * oh + y) * ow + x]
+                                    * src[((n * p.ic + ic) * p.ih + ih as usize) * p.iw
+                                        + iw as usize];
+                            }
+                        }
+                        wd[((oc * p.ic + ic) * p.kh + kh) * p.kw + kw] += acc;
+                    }
+                }
+            }
+        }
+    }
+    wd
+}
+
+/// Maximum absolute elementwise difference between two buffers.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "buffer length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn identity_1x1_kernel() {
+        // 1x1 conv with identity weights over IC=OC copies the input.
+        let p = ConvProblem::new(1, 2, 2, 4, 4, 1, 1, 1, 0);
+        let src = rand_vec(p.n * p.ic * p.ih * p.iw, 1);
+        let mut wei = vec![0.0; 4];
+        wei[0] = 1.0; // W[0,0]
+        wei[3] = 1.0; // W[1,1]
+        let dst = forward(&p, &src, &wei);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn forward_3x3_hand_computed() {
+        // 3x3 all-ones kernel, 3x3 all-ones input, pad 1: center output = 9.
+        let p = ConvProblem::new(1, 1, 1, 3, 3, 3, 3, 1, 1);
+        let src = vec![1.0; 9];
+        let wei = vec![1.0; 9];
+        let dst = forward(&p, &src, &wei);
+        assert_eq!(dst[4], 9.0, "center sees all 9 taps");
+        assert_eq!(dst[0], 4.0, "corner sees 4 taps");
+        assert_eq!(dst[1], 6.0, "edge sees 6 taps");
+    }
+
+    #[test]
+    fn strided_forward_shape_and_values() {
+        let p = ConvProblem::new(1, 1, 1, 4, 4, 1, 1, 2, 0);
+        let src: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let dst = forward(&p, &src, &[1.0]);
+        assert_eq!(dst, vec![0.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn backward_data_is_adjoint_of_forward() {
+        // <conv(S, W), D> == <S, conv*(D, W)> — the defining adjoint
+        // property of the data gradient.
+        let p = ConvProblem::new(2, 3, 4, 6, 6, 3, 3, 1, 1);
+        let s = rand_vec(p.n * p.ic * p.ih * p.iw, 2);
+        let w = rand_vec(p.oc * p.ic * p.kh * p.kw, 3);
+        let d = rand_vec(p.n * p.oc * p.oh() * p.ow(), 4);
+        let fwd = forward(&p, &s, &w);
+        let bwd = backward_data(&p, &d, &w);
+        let lhs: f64 = fwd.iter().zip(&d).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let rhs: f64 = s.iter().zip(&bwd).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
+            "adjoint identity violated: {lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn backward_weights_is_adjoint_in_w() {
+        // <conv(S, W), D> == <W, conv_w*(S, D)>.
+        let p = ConvProblem::new(2, 3, 4, 6, 6, 3, 3, 2, 1);
+        let s = rand_vec(p.n * p.ic * p.ih * p.iw, 5);
+        let w = rand_vec(p.oc * p.ic * p.kh * p.kw, 6);
+        let d = rand_vec(p.n * p.oc * p.oh() * p.ow(), 7);
+        let fwd = forward(&p, &s, &w);
+        let wd = backward_weights(&p, &s, &d);
+        let lhs: f64 = fwd.iter().zip(&d).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let rhs: f64 = w.iter().zip(&wd).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
+            "adjoint identity violated: {lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn max_abs_diff_basic() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 2.0]), 0.5);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Convolution problem descriptors (Section 2's tensor-shape conventions).
+
+use std::fmt;
+
+/// Training pass direction (Section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Forward data: `D = conv(S, W)`.
+    Fwd,
+    /// Backward data: `S_diff = conv*(D_diff, W)`.
+    BwdData,
+    /// Backward weights: `W_diff = conv*(S, D_diff)`.
+    BwdWeights,
+}
+
+impl Direction {
+    /// All three directions in the paper's Figure 4 order.
+    pub const ALL: [Direction; 3] = [Direction::Fwd, Direction::BwdData, Direction::BwdWeights];
+
+    /// The short name used in the paper and the artifact CSVs.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Direction::Fwd => "fwdd",
+            Direction::BwdData => "bwdd",
+            Direction::BwdWeights => "bwdw",
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Convolution algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Direct Convolution for long SIMD architectures (Section 4) — the
+    /// state-of-the-art baseline.
+    Dc,
+    /// Bounded Direct Convolution (Section 6.2).
+    Bdc,
+    /// Multi-Block Direct Convolution (Section 6.3).
+    Mbdc,
+}
+
+impl Algorithm {
+    /// The three direct algorithms in the paper's plotting order.
+    pub const ALL: [Algorithm; 3] = [Algorithm::Dc, Algorithm::Bdc, Algorithm::Mbdc];
+
+    /// Display name matching the paper.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Algorithm::Dc => "DC",
+            Algorithm::Bdc => "BDC",
+            Algorithm::Mbdc => "MBDC",
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// A 2-D convolution problem: `S (N, IC, IH, IW)` * `W (OC, IC, KH, KW)`
+/// -> `D (N, OC, OH, OW)` with symmetric stride and padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvProblem {
+    /// Minibatch size `N`.
+    pub n: usize,
+    /// Input feature maps `IC`.
+    pub ic: usize,
+    /// Output feature maps `OC`.
+    pub oc: usize,
+    /// Input height `IH`.
+    pub ih: usize,
+    /// Input width `IW`.
+    pub iw: usize,
+    /// Kernel height `KH`.
+    pub kh: usize,
+    /// Kernel width `KW`.
+    pub kw: usize,
+    /// Stride `C_str` (both dimensions).
+    pub stride: usize,
+    /// Zero padding `C_pad` (both dimensions).
+    pub pad: usize,
+}
+
+impl ConvProblem {
+    /// Construct a problem; validates that the output shape is non-empty.
+    ///
+    /// # Panics
+    /// Panics if the geometry is degenerate (zero dims, stride 0, or the
+    /// padded input is smaller than the kernel).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        n: usize,
+        ic: usize,
+        oc: usize,
+        ih: usize,
+        iw: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        assert!(n > 0 && ic > 0 && oc > 0 && ih > 0 && iw > 0 && kh > 0 && kw > 0);
+        assert!(stride > 0, "stride must be positive");
+        assert!(
+            ih + 2 * pad >= kh && iw + 2 * pad >= kw,
+            "kernel larger than padded input"
+        );
+        Self {
+            n,
+            ic,
+            oc,
+            ih,
+            iw,
+            kh,
+            kw,
+            stride,
+            pad,
+        }
+    }
+
+    /// Same problem with a different minibatch size.
+    pub fn with_minibatch(&self, n: usize) -> Self {
+        let mut p = *self;
+        p.n = n.max(1);
+        p
+    }
+
+    /// Output height `OH`.
+    #[inline]
+    pub fn oh(&self) -> usize {
+        (self.ih + 2 * self.pad - self.kh) / self.stride + 1
+    }
+
+    /// Output width `OW`.
+    #[inline]
+    pub fn ow(&self) -> usize {
+        (self.iw + 2 * self.pad - self.kw) / self.stride + 1
+    }
+
+    /// Multiply-accumulate count of one pass (identical for all three
+    /// directions), i.e. `N*OC*OH*OW*IC*KH*KW`.
+    pub fn macs(&self) -> u64 {
+        self.n as u64
+            * self.oc as u64
+            * self.oh() as u64
+            * self.ow() as u64
+            * self.ic as u64
+            * self.kh as u64
+            * self.kw as u64
+    }
+
+    /// Floating-point operations of one pass (2 per MAC) — the numerator of
+    /// the paper's GFLOP/s metric.
+    pub fn flops(&self) -> u64 {
+        2 * self.macs()
+    }
+
+    /// Number of independent output elements of a direction (Section 2.1).
+    pub fn independent_outputs(&self, dir: Direction) -> u64 {
+        match dir {
+            Direction::Fwd => {
+                self.n as u64 * self.oc as u64 * self.oh() as u64 * self.ow() as u64
+            }
+            Direction::BwdData => {
+                self.n as u64 * self.ic as u64 * self.ih as u64 * self.iw as u64
+            }
+            Direction::BwdWeights => {
+                self.oc as u64 * self.ic as u64 * self.kh as u64 * self.kw as u64
+            }
+        }
+    }
+}
+
+impl fmt::Display for ConvProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n{}ic{}oc{}ih{}iw{}kh{}kw{}s{}p{}",
+            self.n, self.ic, self.oc, self.ih, self.iw, self.kh, self.kw, self.stride, self.pad
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shapes_match_table3() {
+        // Table 3 rows (ID, IC, OC, IH/IW, OH/OW, K, stride, pad).
+        let l0 = ConvProblem::new(256, 64, 256, 56, 56, 1, 1, 1, 0);
+        assert_eq!((l0.oh(), l0.ow()), (56, 56));
+        let l2 = ConvProblem::new(256, 64, 64, 56, 56, 3, 3, 1, 1);
+        assert_eq!((l2.oh(), l2.ow()), (56, 56));
+        let l4 = ConvProblem::new(256, 256, 512, 56, 56, 1, 1, 2, 0);
+        assert_eq!((l4.oh(), l4.ow()), (28, 28));
+        let l16 = ConvProblem::new(256, 512, 512, 7, 7, 3, 3, 1, 1);
+        assert_eq!((l16.oh(), l16.ow()), (7, 7));
+    }
+
+    #[test]
+    fn flops_formula() {
+        let p = ConvProblem::new(2, 3, 4, 8, 8, 3, 3, 1, 1);
+        assert_eq!(p.flops(), 2 * 2 * 4 * 8 * 8 * 3 * 3 * 3);
+    }
+
+    #[test]
+    fn independent_outputs_per_direction() {
+        let p = ConvProblem::new(2, 3, 4, 8, 8, 3, 3, 1, 1);
+        assert_eq!(p.independent_outputs(Direction::Fwd), 2 * 4 * 8 * 8);
+        assert_eq!(p.independent_outputs(Direction::BwdData), 2 * 3 * 8 * 8);
+        assert_eq!(p.independent_outputs(Direction::BwdWeights), 4 * 3 * 3 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger")]
+    fn rejects_kernel_larger_than_input() {
+        ConvProblem::new(1, 1, 1, 2, 2, 5, 5, 1, 0);
+    }
+
+    #[test]
+    fn with_minibatch_only_changes_n() {
+        let p = ConvProblem::new(256, 64, 64, 56, 56, 3, 3, 1, 1);
+        let q = p.with_minibatch(8);
+        assert_eq!(q.n, 8);
+        assert_eq!(q.ic, p.ic);
+        assert_eq!(q.oh(), p.oh());
+    }
+}

@@ -1,0 +1,221 @@
+//! Layout reorder primitives, executed on the simulated vector engine.
+//!
+//! oneDNN-style frameworks surround every convolution with *reorders*: the
+//! framework's plain NCHW/OIHW tensors are converted into the primitive's
+//! blocked layout before execution and back afterwards (Section 6.5's
+//! two-step flow implies them). The conversions in `lsv-tensor`
+//! (`store_nchw` / `load_nchw`) are host-side test helpers; this module
+//! provides the *measured* equivalent: vector-engine kernels that move the
+//! data through the simulated memory system, so reorder cost can be charged
+//! and studied (it is one reason vendor libraries that work on plain NCHW —
+//! like the vednn baseline — win at small problem sizes).
+//!
+//! The activation reorder walks the destination layout block by block: for
+//! each `(n, c-block, h)` it performs `W` strided vector loads from the
+//! NCHW source (channel-major gather of `C_b` channels per spatial point)
+//! and one unit-stride store per point — matching how a tuned pack routine
+//! behaves on a long-vector machine.
+
+use crate::problem::ConvProblem;
+use lsv_tensor::{ActTensor, ActivationLayout, WeiTensor};
+use lsv_vengine::{Arena, VCore};
+
+/// Reorder a plain-NCHW activation tensor into a channel-blocked one, on
+/// the simulated core. Both tensors must already be allocated in `arena`
+/// and describe the same logical shape.
+///
+/// # Panics
+/// Panics if the logical shapes differ or `src` is not NCHW.
+pub fn reorder_activations(
+    core: &mut VCore,
+    arena: &mut Arena,
+    src_nchw: &ActTensor,
+    dst_blocked: &ActTensor,
+) {
+    assert_eq!(src_nchw.layout.cb, 1, "source must be plain NCHW");
+    assert_eq!(
+        (src_nchw.n, src_nchw.c, src_nchw.h, src_nchw.w),
+        (dst_blocked.n, dst_blocked.c, dst_blocked.h, dst_blocked.w),
+        "shape mismatch"
+    );
+    let (n, c, h, w) = (src_nchw.n, src_nchw.c, src_nchw.h, src_nchw.w);
+    let cb = dst_blocked.layout.cb;
+    let plane_bytes = (h * w * 4) as u64; // channel stride in NCHW
+    for ni in 0..n {
+        for cblk in 0..dst_blocked.c_blocks() {
+            let c0 = cblk * cb;
+            let cc = cb.min(c - c0.min(c));
+            if c0 >= c {
+                break;
+            }
+            for y in 0..h {
+                core.scalar_ops(2);
+                for x in 0..w {
+                    // Gather `cc` channels of one spatial point: stride is a
+                    // whole H*W plane in NCHW.
+                    core.scalar_op();
+                    core.vload_strided(arena, 0, src_nchw.at(ni, c0, y, x), plane_bytes, cc);
+                    core.vstore(arena, 0, dst_blocked.block_at(ni, cblk, y, x), cc);
+                }
+            }
+        }
+    }
+}
+
+/// Reorder a blocked activation tensor back to plain NCHW (the output-side
+/// reorder), on the simulated core.
+pub fn reorder_activations_back(
+    core: &mut VCore,
+    arena: &mut Arena,
+    src_blocked: &ActTensor,
+    dst_nchw: &ActTensor,
+) {
+    assert_eq!(dst_nchw.layout.cb, 1, "destination must be plain NCHW");
+    assert_eq!(
+        (src_blocked.n, src_blocked.c, src_blocked.h, src_blocked.w),
+        (dst_nchw.n, dst_nchw.c, dst_nchw.h, dst_nchw.w),
+        "shape mismatch"
+    );
+    let (n, c, h, w) = (dst_nchw.n, dst_nchw.c, dst_nchw.h, dst_nchw.w);
+    let cb = src_blocked.layout.cb;
+    let plane_bytes = (h * w * 4) as u64;
+    for ni in 0..n {
+        for cblk in 0..src_blocked.c_blocks() {
+            let c0 = cblk * cb;
+            if c0 >= c {
+                break;
+            }
+            let cc = cb.min(c - c0);
+            for y in 0..h {
+                core.scalar_ops(2);
+                for x in 0..w {
+                    core.scalar_op();
+                    core.vload(arena, 0, src_blocked.block_at(ni, cblk, y, x), cc);
+                    core.vstore_strided(arena, 0, dst_nchw.at(ni, c0, y, x), plane_bytes, cc);
+                }
+            }
+        }
+    }
+}
+
+/// Reorder plain-OIHW weights into a blocked weights tensor on the
+/// simulated core: for each `(oc-block, ic, kh, kw)` destination vector,
+/// gather `OC_b` output channels (stride `IC*KH*KW` elements in OIHW) and
+/// store unit-stride.
+pub fn reorder_weights(
+    core: &mut VCore,
+    arena: &mut Arena,
+    src_oihw: &WeiTensor,
+    dst_blocked: &WeiTensor,
+) {
+    assert_eq!(
+        (src_oihw.layout.icb, src_oihw.layout.ocb),
+        (1, 1),
+        "source must be plain OIHW"
+    );
+    assert_eq!(
+        (src_oihw.oc, src_oihw.ic, src_oihw.kh, src_oihw.kw),
+        (dst_blocked.oc, dst_blocked.ic, dst_blocked.kh, dst_blocked.kw),
+        "shape mismatch"
+    );
+    let (oc, ic, kh, kw) = (src_oihw.oc, src_oihw.ic, src_oihw.kh, src_oihw.kw);
+    let ocb = dst_blocked.layout.ocb;
+    let oc_stride_bytes = (ic * kh * kw * 4) as u64;
+    for ob in 0..dst_blocked.oc_blocks() {
+        let o0 = ob * ocb;
+        if o0 >= oc {
+            break;
+        }
+        let cnt = ocb.min(oc - o0);
+        for i in 0..ic {
+            for y in 0..kh {
+                core.scalar_ops(2);
+                for x in 0..kw {
+                    core.scalar_op();
+                    core.vload_strided(arena, 0, src_oihw.at(o0, i, y, x), oc_stride_bytes, cnt);
+                    core.vstore(arena, 0, dst_blocked.oc_vector_at(ob, i, y, x), cnt);
+                }
+            }
+        }
+    }
+}
+
+/// Simulated cost (cycles and instruction counts) of reordering all three
+/// operand tensors of a problem into an algorithm's layouts — the setup tax
+/// a framework pays per primitive instantiation.
+pub fn reorder_cost(
+    arch: &lsv_arch::ArchParams,
+    p: &ConvProblem,
+    cfg: &crate::tuning::KernelConfig,
+) -> lsv_vengine::CoreStats {
+    let mut arena = Arena::new();
+    let mut core = VCore::new(arch, lsv_vengine::ExecutionMode::TimingOnly, 1);
+    let src_n = ActTensor::alloc(&mut arena, p.n, p.ic, p.ih, p.iw, ActivationLayout::nchw());
+    let src_b = ActTensor::alloc(&mut arena, p.n, p.ic, p.ih, p.iw, cfg.src_layout);
+    reorder_activations(&mut core, &mut arena, &src_n, &src_b);
+    let wei_n = WeiTensor::alloc(&mut arena, p.oc, p.ic, p.kh, p.kw, lsv_tensor::WeightLayout::oihw());
+    if !cfg.wei_swapped {
+        let wei_b = WeiTensor::alloc(&mut arena, p.oc, p.ic, p.kh, p.kw, cfg.wei_layout);
+        reorder_weights(&mut core, &mut arena, &wei_n, &wei_b);
+    }
+    let dst_b = ActTensor::alloc(&mut arena, p.n, p.oc, p.oh(), p.ow(), cfg.dst_layout);
+    let dst_n = ActTensor::alloc(&mut arena, p.n, p.oc, p.oh(), p.ow(), ActivationLayout::nchw());
+    reorder_activations_back(&mut core, &mut arena, &dst_b, &dst_n);
+    core.drain()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsv_arch::presets::sx_aurora;
+    use lsv_tensor::WeightLayout;
+    use lsv_vengine::ExecutionMode;
+
+    #[test]
+    fn activation_reorder_roundtrip() {
+        let arch = sx_aurora();
+        let mut arena = Arena::new();
+        let mut core = VCore::new(&arch, ExecutionMode::Functional, 1);
+        let nchw = ActTensor::alloc(&mut arena, 2, 40, 5, 6, ActivationLayout::nchw());
+        let blocked = ActTensor::alloc(&mut arena, 2, 40, 5, 6, ActivationLayout { cb: 32 });
+        let back = ActTensor::alloc(&mut arena, 2, 40, 5, 6, ActivationLayout::nchw());
+        let data: Vec<f32> = (0..nchw.elems()).map(|i| i as f32).collect();
+        nchw.store_nchw(&mut arena, &data);
+        reorder_activations(&mut core, &mut arena, &nchw, &blocked);
+        assert_eq!(blocked.load_nchw(&arena), data, "forward reorder correct");
+        reorder_activations_back(&mut core, &mut arena, &blocked, &back);
+        assert_eq!(back.load_nchw(&arena), data, "inverse reorder correct");
+        let stats = core.drain();
+        assert!(stats.insts.vloads > 0 && stats.insts.vstores > 0);
+    }
+
+    #[test]
+    fn weight_reorder_matches_host_conversion() {
+        let arch = sx_aurora();
+        let mut arena = Arena::new();
+        let mut core = VCore::new(&arch, ExecutionMode::Functional, 1);
+        let oihw = WeiTensor::alloc(&mut arena, 20, 6, 3, 3, WeightLayout::oihw());
+        let blocked = WeiTensor::alloc(&mut arena, 20, 6, 3, 3, WeightLayout { icb: 4, ocb: 16 });
+        let data: Vec<f32> = (0..oihw.elems()).map(|i| (i as f32).sin()).collect();
+        oihw.store_oihw(&mut arena, &data);
+        reorder_weights(&mut core, &mut arena, &oihw, &blocked);
+        assert_eq!(blocked.load_oihw(&arena), data);
+    }
+
+    #[test]
+    fn reorder_cost_scales_with_tensor_volume() {
+        let arch = sx_aurora();
+        let small = ConvProblem::new(1, 32, 32, 7, 7, 1, 1, 1, 0);
+        let large = ConvProblem::new(1, 32, 32, 28, 28, 1, 1, 1, 0);
+        let cfg_s = crate::tuning::kernel_config(&arch, &small, crate::Direction::Fwd, crate::Algorithm::Bdc, 1);
+        let cfg_l = crate::tuning::kernel_config(&arch, &large, crate::Direction::Fwd, crate::Algorithm::Bdc, 1);
+        let c_small = reorder_cost(&arch, &small, &cfg_s);
+        let c_large = reorder_cost(&arch, &large, &cfg_l);
+        assert!(
+            c_large.cycles > c_small.cycles * 4,
+            "16x the spatial volume must cost much more: {} vs {}",
+            c_large.cycles,
+            c_small.cycles
+        );
+    }
+}

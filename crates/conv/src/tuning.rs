@@ -1,0 +1,567 @@
+//! Optimization-variable selection: register blocking policies (Sections
+//! 4.1, 6.2), the micro-kernel footprint auto-tuner (Section 6.1 /
+//! Algorithm 3), and the per-algorithm kernel configuration that the
+//! "code generation" step of the primitive API consumes (Section 6.5,
+//! summarized by Table 2).
+
+use crate::problem::{Algorithm, ConvProblem, Direction};
+use lsv_arch::{
+    bdc_register_block_range, formula2_rb_min, formula3_predicts_conflicts, ArchParams,
+};
+use lsv_tensor::{ActivationLayout, WeightLayout};
+
+/// Spatial register blocking factors (`RB_w`, `RB_h` of Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterBlocking {
+    /// Output-width blocking factor.
+    pub rb_w: usize,
+    /// Output-height blocking factor.
+    pub rb_h: usize,
+}
+
+impl RegisterBlocking {
+    /// Combined factor `RB_w * RB_h` — the quantity Formulas 2-4 constrain.
+    #[inline]
+    pub fn combined(&self) -> usize {
+        self.rb_w * self.rb_h
+    }
+}
+
+/// Split a combined register-block target into `(RB_w, RB_h)` for a given
+/// output shape: fill the width first (unit-stride direction), then add
+/// rows. The combined factor may *exceed* the target by a partial row —
+/// appropriate when the target is a lower bound (Formula 2).
+pub fn split_register_block(target: usize, ow: usize, oh: usize) -> RegisterBlocking {
+    let target = target.max(1);
+    let rb_w = ow.min(target).max(1);
+    let rb_h = oh.min(target.div_ceil(rb_w)).max(1);
+    RegisterBlocking { rb_w, rb_h }
+}
+
+/// Like [`split_register_block`] but never exceeding the target —
+/// appropriate when the target is an upper bound (BDC's Formula 4 conflict
+/// bound).
+pub fn split_register_block_capped(target: usize, ow: usize, oh: usize) -> RegisterBlocking {
+    let target = target.max(1);
+    let rb_w = ow.min(target).max(1);
+    let rb_h = oh.min((target / rb_w).max(1));
+    RegisterBlocking { rb_w, rb_h }
+}
+
+/// Micro-kernel loop sizes chosen by the auto-tuner (Algorithm 3's
+/// `kh_i`, `kw_i`, `ic_i` outputs). For the backward-data pass `c_i` is the
+/// grain of the scalar-summed `OC` loop; the paper's `ic_i` name is kept for
+/// the forward orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroTile {
+    /// Kernel-height iterations inside the micro-kernel (`kh_i`).
+    pub kh_i: usize,
+    /// Kernel-width iterations inside the micro-kernel (`kw_i`).
+    pub kw_i: usize,
+    /// Scalar-summed channel iterations inside the micro-kernel (`ic_i`).
+    pub c_i: usize,
+}
+
+/// Algorithm 3: shrink the micro-kernel working set until it fits the LLC,
+/// preferring *loop resizing* (halve `ic_i`, floor `2*N_cline`) over *loop
+/// reordering* (hoist `KH`, then `KW`, out of the micro-kernel).
+///
+/// `c_sum` is the scalar-summed channel extent (IC forward, OC backward-
+/// data); `c_vec` the vectorized one. `threads` multiplies the activation
+/// footprints as prescribed for shared caches (Section 6.1's closing note).
+///
+/// Beyond the paper: after both reordering steps the loop could still
+/// exceed the LLC with `ic_i = IC`; we keep halving down to `N_cline` and
+/// then stop unconditionally, guaranteeing termination.
+#[allow(clippy::too_many_arguments)]
+pub fn autotune_microkernel(
+    arch: &ArchParams,
+    kh: usize,
+    kw: usize,
+    c_sum: usize,
+    c_vec: usize,
+    ih: usize,
+    iw: usize,
+    rb: RegisterBlocking,
+    threads: usize,
+) -> MicroTile {
+    let ncline = arch.n_cline();
+    let cvb = c_vec.min(arch.n_vlen()).max(1);
+    let llc_bytes = arch.llc.size;
+    let threads = threads.max(1);
+    let (mut kh_i, mut kw_i, mut c_i) = (kh, kw, c_sum);
+    loop {
+        let nih = ih.min(rb.rb_h + kh_i - 1);
+        let niw = iw.min(rb.rb_w + kw_i - 1);
+        let w_mem = cvb * c_i * kh_i * kw_i;
+        let d_mem = cvb * rb.rb_h * rb.rb_w * threads;
+        let s_mem = c_i * nih * niw * threads;
+        if (w_mem + d_mem + s_mem) * arch.elem_bytes() <= llc_bytes {
+            break;
+        }
+        if c_i > 2 * ncline {
+            c_i /= 2;
+        } else if kh_i > 1 {
+            kh_i = 1;
+            c_i = c_sum;
+        } else if kw_i > 1 {
+            kw_i = 1;
+            c_i = c_sum;
+        } else if c_i > ncline {
+            c_i = (c_i / 2).max(ncline);
+        } else {
+            break;
+        }
+    }
+    MicroTile { kh_i, kw_i, c_i }
+}
+
+/// Complete kernel configuration produced at primitive-creation time — the
+/// structure the paper's code-generation engine consumes (Section 6.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Which algorithm this configuration implements.
+    pub algorithm: Algorithm,
+    /// Which pass it computes.
+    pub direction: Direction,
+    /// Working SIMD length of all vector instructions
+    /// (`vl = min(C_vec, N_vlen)`, Algorithm 2 line 5).
+    pub vl: usize,
+    /// Spatial register blocking (fwd / bwd-data).
+    pub rb: RegisterBlocking,
+    /// Channel register blocking for the backward-weights pass (`RB_c`).
+    pub rb_c: usize,
+    /// Micro-kernel loop grains from the auto-tuner.
+    pub tile: MicroTile,
+    /// Layout of the `S` tensor.
+    pub src_layout: ActivationLayout,
+    /// Layout of the `D` tensor.
+    pub dst_layout: ActivationLayout,
+    /// Layout of the `W` tensor (for `BwdData` the stored tensor is
+    /// role-swapped so the vector dimension stays innermost; see
+    /// [`KernelConfig::wei_swapped`]).
+    pub wei_layout: WeightLayout,
+    /// Weights are stored with OC/IC roles swapped (vectorized over IC).
+    pub wei_swapped: bool,
+    /// For `BwdWeights`: vectorize over IC instead of OC (chosen when
+    /// `IC > OC`, Section 4.1).
+    pub vec_over_ic: bool,
+    /// Number of weight-vector double-buffer registers the generated
+    /// micro-kernel rotates through to hide the LLC vector-load latency.
+    pub wbuf: usize,
+    /// Formula 3 evaluated for this configuration (reported in the CSVs and
+    /// validated against measured conflict misses in the tests).
+    pub conflicts_predicted: bool,
+}
+
+/// Feature-map blocking factor of an activation tensor under `algorithm`:
+/// `min(C, N_vlen)` for DC/BDC, `min(C, N_cline)` for MBDC (Table 2).
+fn act_cb(arch: &ArchParams, algorithm: Algorithm, c: usize) -> usize {
+    match algorithm {
+        Algorithm::Dc | Algorithm::Bdc => c.min(arch.n_vlen()).max(1),
+        Algorithm::Mbdc => c.min(arch.n_cline()).max(1),
+    }
+}
+
+/// Scalar-summed channel grain of the weights layout: `IC_b` for DC,
+/// `N_cline` after loop resizing for BDC/MBDC (Table 2's "Schedule grain").
+fn wei_inner_grain(arch: &ArchParams, algorithm: Algorithm, c: usize) -> usize {
+    match algorithm {
+        Algorithm::Dc => c.min(arch.n_vlen()).max(1),
+        Algorithm::Bdc | Algorithm::Mbdc => c.min(arch.n_cline()).max(1),
+    }
+}
+
+/// Weight-buffer depth needed to hide the LLC vector-load latency behind
+/// `rb_combined` FMAs of `B_seq` instructions each.
+fn wbuf_depth(arch: &ArchParams, vl: usize, rb_combined: usize) -> usize {
+    // One inner iteration issues rb * B_seq instructions through a
+    // `scalar_issue_width`-wide frontend.
+    let per_iter = ((rb_combined * arch.b_seq).max(1) as u64).div_ceil(arch.scalar_issue_width as u64);
+    let lat = arch.lat.llc + arch.vector_occupancy(vl);
+    (lat.div_ceil(per_iter.max(1)) as usize + 1).clamp(2, 12)
+}
+
+/// Choose the combined register-block target for an algorithm given the
+/// scalar-stream parameters (`ab_elems`, effective stride).
+fn rb_target(arch: &ArchParams, algorithm: Algorithm, ab_elems: usize, c_str_eff: usize) -> usize {
+    match algorithm {
+        // State of the art: Formula 2 (met with equality: using more
+        // registers buys nothing once the pipelines are full).
+        Algorithm::Dc => formula2_rb_min(arch),
+        // BDC: Formula 4 range.
+        Algorithm::Bdc => bdc_register_block_range(arch, ab_elems, c_str_eff).pick(),
+        // MBDC eliminates the conflict bound via the layout, so the
+        // dependency bound of Formula 2 is the only constraint.
+        Algorithm::Mbdc => formula2_rb_min(arch),
+    }
+}
+
+/// Build the full kernel configuration for (`arch`, `problem`, `direction`,
+/// `algorithm`). `threads` feeds the auto-tuner's shared-cache correction.
+pub fn kernel_config(
+    arch: &ArchParams,
+    p: &ConvProblem,
+    direction: Direction,
+    algorithm: Algorithm,
+    threads: usize,
+) -> KernelConfig {
+    let n_vlen = arch.n_vlen();
+    match direction {
+        Direction::Fwd => {
+            let vl = p.oc.min(n_vlen);
+            let ab = act_cb(arch, algorithm, p.ic);
+            let target = rb_target(arch, algorithm, ab, p.stride);
+            let rb = match algorithm {
+                // Formula 4's value is a conflict *upper* bound, additionally
+                // capped by the register file.
+                Algorithm::Bdc => split_register_block_capped(
+                    target.min(arch.n_vregs.saturating_sub(12)).max(1),
+                    p.ow(),
+                    p.oh(),
+                ),
+                _ => split_register_block(target, p.ow(), p.oh()),
+            };
+            let tile = match algorithm {
+                Algorithm::Dc => MicroTile {
+                    kh_i: p.kh,
+                    kw_i: p.kw,
+                    c_i: p.ic.min(n_vlen),
+                },
+                _ => autotune_microkernel(arch, p.kh, p.kw, p.ic, p.oc, p.ih, p.iw, rb, threads),
+            };
+            KernelConfig {
+                algorithm,
+                direction,
+                vl,
+                rb,
+                rb_c: 0,
+                tile,
+                src_layout: ActivationLayout { cb: ab },
+                dst_layout: ActivationLayout {
+                    cb: act_cb(arch, algorithm, p.oc),
+                },
+                wei_layout: WeightLayout {
+                    icb: wei_inner_grain(arch, algorithm, p.ic),
+                    ocb: p.oc.min(n_vlen).max(1),
+                },
+                wei_swapped: false,
+                vec_over_ic: false,
+                wbuf: wbuf_depth(arch, vl, rb.combined()),
+                conflicts_predicted: formula3_predicts_conflicts(
+                    arch,
+                    ab,
+                    rb.combined(),
+                    p.stride,
+                ),
+            }
+        }
+        Direction::BwdData => {
+            // Output is S_diff: vectorize IC, scalar stream over D_diff
+            // (unit spatial steps -> effective stride 1; Section 4.1).
+            let vl = p.ic.min(n_vlen);
+            let ab = act_cb(arch, algorithm, p.oc);
+            let target = rb_target(arch, algorithm, ab, 1);
+            let rb = match algorithm {
+                Algorithm::Bdc => split_register_block_capped(
+                    target.min(arch.n_vregs.saturating_sub(12)).max(1),
+                    p.iw,
+                    p.ih,
+                ),
+                _ => split_register_block(target, p.iw, p.ih),
+            };
+            let tile = match algorithm {
+                Algorithm::Dc => MicroTile {
+                    kh_i: p.kh,
+                    kw_i: p.kw,
+                    c_i: p.oc.min(n_vlen),
+                },
+                _ => autotune_microkernel(arch, p.kh, p.kw, p.oc, p.ic, p.oh(), p.ow(), rb, threads),
+            };
+            KernelConfig {
+                algorithm,
+                direction,
+                vl,
+                rb,
+                rb_c: 0,
+                tile,
+                src_layout: ActivationLayout {
+                    cb: act_cb(arch, algorithm, p.ic),
+                },
+                dst_layout: ActivationLayout { cb: ab },
+                // Swapped storage: (IC/vl, OC/grain, KH, KW, grain, vl).
+                wei_layout: WeightLayout {
+                    icb: wei_inner_grain(arch, algorithm, p.oc),
+                    ocb: p.ic.min(n_vlen).max(1),
+                },
+                wei_swapped: true,
+                vec_over_ic: true,
+                wbuf: wbuf_depth(arch, vl, rb.combined()),
+                conflicts_predicted: formula3_predicts_conflicts(arch, ab, rb.combined(), 1),
+            }
+        }
+        Direction::BwdWeights => {
+            // Vectorize the larger feature-map dimension; register-block the
+            // smaller one with RB_c (Section 4.1).
+            let vec_over_ic = p.ic > p.oc;
+            let (c_vec, c_small) = if vec_over_ic { (p.ic, p.oc) } else { (p.oc, p.ic) };
+            let vl = c_vec.min(n_vlen);
+            // Scalar stream walks the *non*-vectorized activation tensor:
+            // S when vectorizing OC (stride = conv stride), D when
+            // vectorizing IC (unit steps).
+            let (ab, c_str_eff) = if vec_over_ic {
+                (act_cb(arch, algorithm, p.oc), 1)
+            } else {
+                (act_cb(arch, algorithm, p.ic), p.stride)
+            };
+            // The Formula 4 range targets the spatial register blocking of
+            // the fwd/bwd-data passes; Section 8 observes that fine-tuning
+            // the register block "is not as effective in this direction",
+            // so every algorithm keeps the Formula 2 target here.
+            let target = formula2_rb_min(arch);
+            let rb_c = c_small.min(target).max(1);
+            KernelConfig {
+                algorithm,
+                direction,
+                vl,
+                rb: RegisterBlocking { rb_w: 1, rb_h: 1 },
+                rb_c,
+                tile: MicroTile {
+                    kh_i: p.kh,
+                    kw_i: p.kw,
+                    c_i: rb_c,
+                },
+                src_layout: ActivationLayout {
+                    cb: act_cb(arch, algorithm, p.ic),
+                },
+                dst_layout: ActivationLayout {
+                    cb: act_cb(arch, algorithm, p.oc),
+                },
+                // W_diff output layout keeps the vector dimension innermost.
+                wei_layout: if vec_over_ic {
+                    WeightLayout {
+                        icb: wei_inner_grain(arch, algorithm, p.oc),
+                        ocb: p.ic.min(n_vlen).max(1),
+                    }
+                } else {
+                    WeightLayout {
+                        icb: wei_inner_grain(arch, algorithm, p.ic),
+                        ocb: p.oc.min(n_vlen).max(1),
+                    }
+                },
+                wei_swapped: vec_over_ic,
+                vec_over_ic,
+                wbuf: 4,
+                conflicts_predicted: formula3_predicts_conflicts(arch, ab, rb_c, c_str_eff),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsv_arch::presets::sx_aurora;
+
+    fn layer(ic: usize, oc: usize, hw: usize, k: usize, s: usize, p: usize) -> ConvProblem {
+        ConvProblem::new(256, ic, oc, hw, hw, k, k, s, p)
+    }
+
+    #[test]
+    fn split_register_block_shapes() {
+        let rb = split_register_block(24, 56, 56);
+        assert_eq!((rb.rb_w, rb.rb_h), (24, 1));
+        let rb = split_register_block(24, 14, 14);
+        assert_eq!((rb.rb_w, rb.rb_h), (14, 2));
+        let rb = split_register_block(24, 7, 7);
+        assert_eq!((rb.rb_w, rb.rb_h), (7, 4));
+        let rb = split_register_block(8, 56, 56);
+        assert_eq!((rb.rb_w, rb.rb_h), (8, 1));
+        // degenerate shapes clamp
+        let rb = split_register_block(24, 2, 1);
+        assert_eq!((rb.rb_w, rb.rb_h), (2, 1));
+    }
+
+    #[test]
+    fn dc_conflict_predictions_match_paper_fwdd() {
+        // Section 8: conflicts predicted for layers 4,5,8-10,13-18 (fwdd).
+        let arch = sx_aurora();
+        let layers = crate::tuning::tests::table3();
+        let expected = [
+            false, false, false, false, true, true, false, false, true, true, true, false, false,
+            true, true, true, true, true, true,
+        ];
+        for (i, l) in layers.iter().enumerate() {
+            let cfg = kernel_config(&arch, l, Direction::Fwd, Algorithm::Dc, 8);
+            assert_eq!(
+                cfg.conflicts_predicted, expected[i],
+                "layer {i} fwdd conflict prediction"
+            );
+        }
+    }
+
+    #[test]
+    fn dc_conflict_predictions_match_paper_bwdd() {
+        // Section 8: conflicts predicted for layers 4,7,9,12,14-18 (bwdd).
+        let arch = sx_aurora();
+        let layers = table3();
+        let expected = [
+            false, false, false, false, true, false, false, true, false, true, false, false, true,
+            false, true, true, true, true, true,
+        ];
+        for (i, l) in layers.iter().enumerate() {
+            let cfg = kernel_config(&arch, l, Direction::BwdData, Algorithm::Dc, 8);
+            assert_eq!(
+                cfg.conflicts_predicted, expected[i],
+                "layer {i} bwdd conflict prediction"
+            );
+        }
+    }
+
+    #[test]
+    fn bdc_rarely_predicts_conflicts() {
+        let arch = sx_aurora();
+        for (i, l) in table3().iter().enumerate() {
+            for dir in [Direction::Fwd, Direction::BwdData] {
+                let cfg = kernel_config(&arch, l, dir, Algorithm::Bdc, 8);
+                // BDC's RB choice is conflict-free wherever Formula 4 has a
+                // non-empty range; only the strided 512-channel layers are
+                // borderline.
+                if cfg.conflicts_predicted {
+                    assert!(
+                        l.stride > 1,
+                        "layer {i} {dir}: BDC conflicts only acceptable on strided layers"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mbdc_never_predicts_conflicts() {
+        let arch = sx_aurora();
+        for (i, l) in table3().iter().enumerate() {
+            for dir in Direction::ALL {
+                let cfg = kernel_config(&arch, l, dir, Algorithm::Mbdc, 8);
+                assert!(
+                    !cfg.conflicts_predicted,
+                    "layer {i} {dir}: MBDC layout must eliminate conflicts"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mbdc_uses_cline_blocked_activations() {
+        let arch = sx_aurora();
+        let cfg = kernel_config(&arch, &layer(256, 512, 28, 1, 1, 0), Direction::Fwd, Algorithm::Mbdc, 8);
+        assert_eq!(cfg.src_layout.cb, 32);
+        assert_eq!(cfg.dst_layout.cb, 32);
+        assert_eq!(cfg.wei_layout.ocb, 512, "weights keep the vector dim contiguous");
+        assert_eq!(cfg.wei_layout.icb, 32);
+    }
+
+    #[test]
+    fn dc_uses_vlen_blocked_activations() {
+        let arch = sx_aurora();
+        let cfg = kernel_config(&arch, &layer(256, 512, 28, 1, 1, 0), Direction::Fwd, Algorithm::Dc, 8);
+        assert_eq!(cfg.src_layout.cb, 256, "dynamic C_b = min(IC, N_vlen)");
+        assert_eq!(cfg.dst_layout.cb, 512);
+        assert_eq!(cfg.vl, 512);
+    }
+
+    #[test]
+    fn bdc_register_block_respects_formula4_where_dc_conflicts() {
+        let arch = sx_aurora();
+        let p = layer(512, 512, 28, 1, 1, 0);
+        let dc = kernel_config(&arch, &p, Direction::Fwd, Algorithm::Dc, 8);
+        let bdc = kernel_config(&arch, &p, Direction::Fwd, Algorithm::Bdc, 8);
+        assert_eq!(dc.rb.combined(), 24);
+        // Formula 4 on A_b = 512, stride 1: largest conflict-free block 16.
+        assert_eq!(bdc.rb.combined(), 16);
+        assert!(dc.conflicts_predicted);
+        assert!(!bdc.conflicts_predicted);
+    }
+
+    #[test]
+    fn autotuner_resizes_large_3x3_kernels() {
+        // Layer 16-like shape at full vlen blocking would put a 9.4 MB W
+        // sub-tensor plus 8 threads of activations in a 16 MB LLC.
+        let arch = sx_aurora();
+        let rb = RegisterBlocking { rb_w: 7, rb_h: 2 };
+        let tile = autotune_microkernel(&arch, 3, 3, 512, 512, 7, 7, rb, 8);
+        let w_bytes = 512.min(arch.n_vlen()) * tile.c_i * tile.kh_i * tile.kw_i * 4;
+        assert!(w_bytes <= arch.llc.size, "tuned W sub-tensor fits the LLC");
+        assert!(tile.c_i >= arch.n_cline(), "loop resize floor is N_cline-ish");
+    }
+
+    #[test]
+    fn autotuner_keeps_small_kernels_whole() {
+        let arch = sx_aurora();
+        let rb = RegisterBlocking { rb_w: 24, rb_h: 1 };
+        let tile = autotune_microkernel(&arch, 1, 1, 64, 64, 56, 56, rb, 8);
+        assert_eq!(tile, MicroTile { kh_i: 1, kw_i: 1, c_i: 64 });
+    }
+
+    #[test]
+    fn autotuner_terminates_on_adversarial_input() {
+        // A pathological shape that cannot fit even after every strategy.
+        let arch = sx_aurora();
+        let rb = RegisterBlocking { rb_w: 56, rb_h: 1 };
+        let tile = autotune_microkernel(&arch, 7, 7, 1 << 20, 1 << 20, 4096, 4096, rb, 64);
+        assert!(tile.c_i >= 1, "terminated with a sane tile: {tile:?}");
+    }
+
+    #[test]
+    fn bwdw_vectorizes_larger_dim() {
+        let arch = sx_aurora();
+        // OC > IC -> vectorize OC, register-block IC.
+        let cfg = kernel_config(&arch, &layer(64, 256, 56, 1, 1, 0), Direction::BwdWeights, Algorithm::Dc, 8);
+        assert!(!cfg.vec_over_ic);
+        assert_eq!(cfg.vl, 256);
+        assert_eq!(cfg.rb_c, 24);
+        // IC > OC -> vectorize IC.
+        let cfg = kernel_config(&arch, &layer(256, 64, 56, 1, 1, 0), Direction::BwdWeights, Algorithm::Dc, 8);
+        assert!(cfg.vec_over_ic);
+        assert_eq!(cfg.vl, 256);
+        assert_eq!(cfg.rb_c, 24);
+    }
+
+    #[test]
+    fn wbuf_deepens_for_small_register_blocks() {
+        let arch = sx_aurora();
+        let small = wbuf_depth(&arch, 512, 8);
+        let large = wbuf_depth(&arch, 512, 24);
+        assert!(small >= large, "{small} >= {large}");
+        assert!(small <= 8 && large >= 2);
+    }
+
+    /// The Table 3 layer suite at minibatch 256 (duplicated in `lsv-models`;
+    /// kept here so `lsv-conv` tests do not depend on a higher crate).
+    pub(crate) fn table3() -> Vec<ConvProblem> {
+        let rows: [(usize, usize, usize, usize, usize, usize, usize); 19] = [
+            (64, 256, 56, 56, 1, 1, 0),
+            (64, 64, 56, 56, 1, 1, 0),
+            (64, 64, 56, 56, 3, 1, 1),
+            (256, 64, 56, 56, 1, 1, 0),
+            (256, 512, 56, 28, 1, 2, 0),
+            (256, 128, 56, 28, 1, 2, 0),
+            (128, 128, 28, 28, 3, 1, 1),
+            (128, 512, 28, 28, 1, 1, 0),
+            (512, 128, 28, 28, 1, 1, 0),
+            (512, 1024, 28, 14, 1, 2, 0),
+            (512, 256, 28, 14, 1, 2, 0),
+            (256, 256, 14, 14, 3, 1, 1),
+            (256, 1024, 14, 14, 1, 1, 0),
+            (1024, 256, 14, 14, 1, 1, 0),
+            (1024, 2048, 14, 7, 1, 2, 0),
+            (1024, 512, 14, 7, 1, 2, 0),
+            (512, 512, 7, 7, 3, 1, 1),
+            (512, 2048, 7, 7, 1, 1, 0),
+            (2048, 512, 7, 7, 1, 1, 0),
+        ];
+        rows.iter()
+            .map(|&(ic, oc, ihw, _ohw, k, s, pad)| ConvProblem::new(256, ic, oc, ihw, ihw, k, k, s, pad))
+            .collect()
+    }
+}

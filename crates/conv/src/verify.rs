@@ -1,0 +1,143 @@
+//! Correctness validation of the simulated kernels against the naive
+//! reference (the artifact's `validate.sh` role).
+
+use crate::naive;
+use crate::primitive::ConvDesc;
+use crate::problem::{Algorithm, ConvProblem, Direction};
+use lsv_arch::ArchParams;
+use rand::{Rng, SeedableRng};
+
+/// Result of validating one (problem, direction, algorithm) triple.
+#[derive(Debug, Clone, Copy)]
+pub struct ValidationReport {
+    /// Largest absolute element difference against the reference.
+    pub max_abs_err: f32,
+    /// `max_abs_err` relative to the largest reference magnitude.
+    pub rel_err: f32,
+    /// Whether the error is within the f32 reassociation tolerance.
+    pub passed: bool,
+}
+
+/// Relative tolerance for f32 accumulation-order differences, scaled by the
+/// reduction length (`benchdnn` uses a comparable criterion).
+fn tolerance(reduction_len: usize) -> f32 {
+    1e-6 * (reduction_len as f32).sqrt().max(1.0) * 8.0
+}
+
+/// Validate one kernel configuration functionally: random operands, run the
+/// simulated kernel, compare against [`crate::naive`].
+pub fn validate(
+    arch: &ArchParams,
+    problem: &ConvProblem,
+    direction: Direction,
+    algorithm: Algorithm,
+) -> ValidationReport {
+    let p = *problem;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed ^ p.macs());
+    let src: Vec<f32> = (0..p.n * p.ic * p.ih * p.iw)
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
+    let wei: Vec<f32> = (0..p.oc * p.ic * p.kh * p.kw)
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
+    let dst: Vec<f32> = (0..p.n * p.oc * p.oh() * p.ow())
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
+
+    let prim = ConvDesc::new(p, direction, algorithm)
+        .create(arch, 1)
+        .expect("primitive creation");
+    let (got, _stats) = prim.run_functional(&src, &wei, &dst);
+
+    let (reference, reduction_len) = match direction {
+        Direction::Fwd => (naive::forward(&p, &src, &wei), p.ic * p.kh * p.kw),
+        Direction::BwdData => (
+            naive::backward_data(&p, &dst, &wei),
+            p.oc * p.kh * p.kw,
+        ),
+        Direction::BwdWeights => (
+            naive::backward_weights(&p, &src, &dst),
+            p.n * p.oh() * p.ow(),
+        ),
+    };
+
+    let max_abs_err = naive::max_abs_diff(&got, &reference);
+    let scale = reference.iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1.0);
+    let rel_err = max_abs_err / scale;
+    ValidationReport {
+        max_abs_err,
+        rel_err,
+        passed: rel_err <= tolerance(reduction_len),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsv_arch::presets::sx_aurora;
+
+    fn small(ic: usize, oc: usize, hw: usize, k: usize, s: usize, pad: usize) -> ConvProblem {
+        ConvProblem::new(2, ic, oc, hw, hw, k, k, s, pad)
+    }
+
+    #[test]
+    fn all_algorithms_fwd_small() {
+        let arch = sx_aurora();
+        for alg in Algorithm::ALL {
+            let r = validate(&arch, &small(8, 16, 6, 3, 1, 1), Direction::Fwd, alg);
+            assert!(r.passed, "{alg}: rel_err {}", r.rel_err);
+        }
+    }
+
+    #[test]
+    fn all_algorithms_bwd_data_small() {
+        let arch = sx_aurora();
+        for alg in Algorithm::ALL {
+            let r = validate(&arch, &small(16, 8, 6, 3, 1, 1), Direction::BwdData, alg);
+            assert!(r.passed, "{alg}: rel_err {}", r.rel_err);
+        }
+    }
+
+    #[test]
+    fn all_algorithms_bwd_weights_small() {
+        let arch = sx_aurora();
+        for alg in Algorithm::ALL {
+            let r = validate(&arch, &small(8, 16, 6, 3, 1, 1), Direction::BwdWeights, alg);
+            assert!(r.passed, "{alg}: rel_err {}", r.rel_err);
+        }
+    }
+
+    #[test]
+    fn strided_and_unpadded_variants() {
+        let arch = sx_aurora();
+        for alg in Algorithm::ALL {
+            for dir in Direction::ALL {
+                let r = validate(&arch, &small(8, 8, 8, 1, 2, 0), dir, alg);
+                assert!(r.passed, "{alg} {dir} strided: rel_err {}", r.rel_err);
+            }
+        }
+    }
+
+    #[test]
+    fn channels_larger_than_vlen() {
+        // Forces multiple vector blocks even at the full 512-element vlen:
+        // use a narrow custom arch instead (keeps the test fast).
+        let arch = sx_aurora().with_max_vlen_bits(512); // 16 lanes
+        for alg in Algorithm::ALL {
+            for dir in Direction::ALL {
+                let r = validate(&arch, &small(48, 32, 5, 3, 1, 1), dir, alg);
+                assert!(r.passed, "{alg} {dir}: rel_err {}", r.rel_err);
+            }
+        }
+    }
+
+    #[test]
+    fn vec_over_ic_bwdw() {
+        // IC > OC triggers the swapped vectorization path.
+        let arch = sx_aurora();
+        for alg in Algorithm::ALL {
+            let r = validate(&arch, &small(32, 8, 6, 3, 1, 1), Direction::BwdWeights, alg);
+            assert!(r.passed, "{alg}: rel_err {}", r.rel_err);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests: every generated kernel (all algorithms x directions)
+//! computes the same function as the naive reference on randomly drawn
+//! convolution problems — shapes, strides and paddings included.
+
+use lsv_arch::presets::sx_aurora;
+use lsv_conv::{validate, Algorithm, ConvProblem, Direction};
+use proptest::prelude::*;
+
+fn arb_problem() -> impl Strategy<Value = ConvProblem> {
+    (
+        1usize..3,  // n
+        1usize..20, // ic
+        1usize..20, // oc
+        3usize..9,  // ih == iw
+        prop_oneof![Just(1usize), Just(2), Just(3)], // k
+        prop_oneof![Just(1usize), Just(2)],          // stride
+        0usize..2,  // pad
+    )
+        .prop_filter_map("kernel must fit padded input", |(n, ic, oc, hw, k, s, pad)| {
+            if hw + 2 * pad >= k {
+                Some(ConvProblem::new(n, ic, oc, hw, hw, k, k, s, pad))
+            } else {
+                None
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn forward_kernels_match_reference(p in arb_problem(), alg_idx in 0usize..3) {
+        let arch = sx_aurora();
+        let r = validate(&arch, &p, Direction::Fwd, Algorithm::ALL[alg_idx]);
+        prop_assert!(r.passed, "{p} fwd {}: rel {:.3e}", Algorithm::ALL[alg_idx], r.rel_err);
+    }
+
+    #[test]
+    fn backward_data_kernels_match_reference(p in arb_problem(), alg_idx in 0usize..3) {
+        let arch = sx_aurora();
+        let r = validate(&arch, &p, Direction::BwdData, Algorithm::ALL[alg_idx]);
+        prop_assert!(r.passed, "{p} bwdd {}: rel {:.3e}", Algorithm::ALL[alg_idx], r.rel_err);
+    }
+
+    #[test]
+    fn backward_weights_kernels_match_reference(p in arb_problem(), alg_idx in 0usize..3) {
+        let arch = sx_aurora();
+        let r = validate(&arch, &p, Direction::BwdWeights, Algorithm::ALL[alg_idx]);
+        prop_assert!(r.passed, "{p} bwdw {}: rel {:.3e}", Algorithm::ALL[alg_idx], r.rel_err);
+    }
+
+    #[test]
+    fn kernels_match_reference_on_narrow_vectors(p in arb_problem(), alg_idx in 0usize..3) {
+        // The Figure 5 sweep regenerates kernels for shorter vector lengths;
+        // correctness must be length-independent.
+        let arch = sx_aurora().with_max_vlen_bits(512);
+        let r = validate(&arch, &p, Direction::Fwd, Algorithm::ALL[alg_idx]);
+        prop_assert!(r.passed, "{p} fwd@512b {}: rel {:.3e}", Algorithm::ALL[alg_idx], r.rel_err);
+    }
+}

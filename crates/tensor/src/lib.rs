@@ -1,0 +1,422 @@
+//! # lsv-tensor — rank-4 tensors and blocked memory layouts
+//!
+//! The paper's algorithms are defined as much by their *memory layouts* as by
+//! their loop nests (Sections 4.2, 6.1, 6.3). This crate provides:
+//!
+//! * [`ActTensor`] — activation tensors `(N, C, H, W)` stored in the blocked
+//!   layout `(N, C/C_b, H, W, C_b)` of Figure 1. The block factor `C_b` is a
+//!   runtime parameter:
+//!   - `C_b = min(C, N_vlen)` — the state-of-the-art / DC / BDC layout,
+//!   - `C_b = N_cline` — the MBDC multi-block layout (Section 6.3),
+//!   - `C_b = 1` — plain NCHW (used by the vednn baseline).
+//! * [`WeiTensor`] — weight tensors `(OC, IC, KH, KW)` stored as
+//!   `(OC/OC_b, IC/IC_b, KH, KW, IC_b, OC_b)`, including the *loop-resized*
+//!   variant `(OC/OC_b, IC/N_cline, KH, KW, N_cline, OC_b)` of Section 6.1.
+//! * NCHW/OIHW conversion for validation against the naive reference.
+//!
+//! Tensors do not own their storage: data lives in an
+//! [`lsv_vengine::Arena`] so the cache simulator sees real addresses.
+
+use lsv_vengine::Arena;
+use rand::distributions::{Distribution, Uniform};
+use rand::SeedableRng;
+
+/// Activation memory layout: channel-blocked `(N, C/cb, H, W, cb)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActivationLayout {
+    /// Channel block size (`IC_b` / `OC_b` in the paper).
+    pub cb: usize,
+}
+
+impl ActivationLayout {
+    /// The state-of-the-art layout: `C_b = min(C, N_vlen)` (Section 4.2).
+    pub fn vlen_blocked(c: usize, n_vlen: usize) -> Self {
+        Self { cb: c.min(n_vlen).max(1) }
+    }
+
+    /// The MBDC multi-block layout: `C_b = N_cline` (Section 6.3).
+    pub fn cline_blocked(c: usize, n_cline: usize) -> Self {
+        Self { cb: c.min(n_cline).max(1) }
+    }
+
+    /// Plain NCHW (`C_b = 1`), used by the vednn baseline.
+    pub fn nchw() -> Self {
+        Self { cb: 1 }
+    }
+}
+
+/// Weight memory layout: `(OC/ocb, IC/icb, KH, KW, icb, ocb)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightLayout {
+    /// Inner IC block (`IC_b`, or `N_cline` after loop resizing).
+    pub icb: usize,
+    /// Inner OC block (`OC_b`).
+    pub ocb: usize,
+}
+
+impl WeightLayout {
+    /// State-of-the-art layout: both blocks tied to the vector length.
+    pub fn vlen_blocked(ic: usize, oc: usize, n_vlen: usize) -> Self {
+        Self {
+            icb: ic.min(n_vlen).max(1),
+            ocb: oc.min(n_vlen).max(1),
+        }
+    }
+
+    /// Loop-resized layout (Section 6.1): IC block decoupled from the vector
+    /// length and tied to the cache line.
+    pub fn loop_resized(ic: usize, oc: usize, n_vlen: usize, n_cline: usize) -> Self {
+        Self {
+            icb: ic.min(n_cline).max(1),
+            ocb: oc.min(n_vlen).max(1),
+        }
+    }
+
+    /// Plain OIHW (both blocks 1), used by the vednn baseline.
+    pub fn oihw() -> Self {
+        Self { icb: 1, ocb: 1 }
+    }
+}
+
+/// An activation tensor `(N, C, H, W)` resident in an [`Arena`].
+#[derive(Debug, Clone, Copy)]
+pub struct ActTensor {
+    /// Minibatch size.
+    pub n: usize,
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    /// Memory layout.
+    pub layout: ActivationLayout,
+    /// Base byte address in the arena.
+    pub base: u64,
+}
+
+impl ActTensor {
+    /// Allocate a zero-initialized activation tensor.
+    pub fn alloc(arena: &mut Arena, n: usize, c: usize, h: usize, w: usize, layout: ActivationLayout) -> Self {
+        let t = Self {
+            n,
+            c,
+            h,
+            w,
+            layout,
+            base: 0,
+        };
+        let mut t = t;
+        t.base = arena.alloc(t.elems_padded());
+        t
+    }
+
+    /// Number of channel blocks (`C / C_b`, rounded up; the tail block is
+    /// zero-padded).
+    #[inline]
+    pub fn c_blocks(&self) -> usize {
+        self.c.div_ceil(self.layout.cb)
+    }
+
+    /// Total stored elements including tail-block padding.
+    #[inline]
+    pub fn elems_padded(&self) -> usize {
+        self.n * self.c_blocks() * self.h * self.w * self.layout.cb
+    }
+
+    /// Logical element count (`N*C*H*W`).
+    #[inline]
+    pub fn elems(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Byte address of element `(n, c, h, w)`.
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> u64 {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        let cb = self.layout.cb;
+        let idx = (((n * self.c_blocks() + c / cb) * self.h + h) * self.w + w) * cb + c % cb;
+        self.base + (idx as u64) * 4
+    }
+
+    /// Byte address of the first channel of block `cblk` at `(n, h, w)` —
+    /// the address a unit-stride vector load/store of the block starts at
+    /// (Algorithm 2 lines 12/19).
+    #[inline]
+    pub fn block_at(&self, n: usize, cblk: usize, h: usize, w: usize) -> u64 {
+        debug_assert!(n < self.n && cblk < self.c_blocks() && h < self.h && w < self.w);
+        let cb = self.layout.cb;
+        let idx = (((n * self.c_blocks() + cblk) * self.h + h) * self.w + w) * cb;
+        self.base + (idx as u64) * 4
+    }
+
+    /// Import from a logical NCHW host buffer (length `N*C*H*W`).
+    pub fn store_nchw(&self, arena: &mut Arena, data: &[f32]) {
+        assert_eq!(data.len(), self.elems(), "NCHW buffer length mismatch");
+        for n in 0..self.n {
+            for c in 0..self.c {
+                for h in 0..self.h {
+                    for w in 0..self.w {
+                        let v = data[((n * self.c + c) * self.h + h) * self.w + w];
+                        arena.write(self.at(n, c, h, w), v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Export to a logical NCHW host buffer.
+    pub fn load_nchw(&self, arena: &Arena) -> Vec<f32> {
+        let mut out = vec![0.0; self.elems()];
+        for n in 0..self.n {
+            for c in 0..self.c {
+                for h in 0..self.h {
+                    for w in 0..self.w {
+                        out[((n * self.c + c) * self.h + h) * self.w + w] =
+                            arena.read(self.at(n, c, h, w));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Fill with deterministic pseudo-random values in `[-1, 1)`.
+    pub fn fill_random(&self, arena: &mut Arena, seed: u64) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dist = Uniform::new(-1.0f32, 1.0);
+        let data: Vec<f32> = (0..self.elems()).map(|_| dist.sample(&mut rng)).collect();
+        self.store_nchw(arena, &data);
+    }
+
+    /// Zero all stored elements (including padding).
+    pub fn zero(&self, arena: &mut Arena) {
+        arena.fill(self.base, self.elems_padded(), 0.0);
+    }
+}
+
+/// A weight tensor `(OC, IC, KH, KW)` resident in an [`Arena`].
+#[derive(Debug, Clone, Copy)]
+pub struct WeiTensor {
+    /// Output channels.
+    pub oc: usize,
+    /// Input channels.
+    pub ic: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Memory layout.
+    pub layout: WeightLayout,
+    /// Base byte address in the arena.
+    pub base: u64,
+}
+
+impl WeiTensor {
+    /// Allocate a zero-initialized weight tensor.
+    pub fn alloc(arena: &mut Arena, oc: usize, ic: usize, kh: usize, kw: usize, layout: WeightLayout) -> Self {
+        let mut t = Self {
+            oc,
+            ic,
+            kh,
+            kw,
+            layout,
+            base: 0,
+        };
+        t.base = arena.alloc(t.elems_padded());
+        t
+    }
+
+    /// Number of IC blocks.
+    #[inline]
+    pub fn ic_blocks(&self) -> usize {
+        self.ic.div_ceil(self.layout.icb)
+    }
+
+    /// Number of OC blocks.
+    #[inline]
+    pub fn oc_blocks(&self) -> usize {
+        self.oc.div_ceil(self.layout.ocb)
+    }
+
+    /// Total stored elements including padding.
+    #[inline]
+    pub fn elems_padded(&self) -> usize {
+        self.oc_blocks() * self.ic_blocks() * self.kh * self.kw * self.layout.icb * self.layout.ocb
+    }
+
+    /// Logical element count.
+    #[inline]
+    pub fn elems(&self) -> usize {
+        self.oc * self.ic * self.kh * self.kw
+    }
+
+    /// Byte address of element `(oc, ic, kh, kw)`.
+    #[inline]
+    pub fn at(&self, oc: usize, ic: usize, kh: usize, kw: usize) -> u64 {
+        debug_assert!(oc < self.oc && ic < self.ic && kh < self.kh && kw < self.kw);
+        let (icb, ocb) = (self.layout.icb, self.layout.ocb);
+        let idx = ((((oc / ocb * self.ic_blocks() + ic / icb) * self.kh + kh) * self.kw + kw) * icb
+            + ic % icb)
+            * ocb
+            + oc % ocb;
+        self.base + (idx as u64) * 4
+    }
+
+    /// Byte address of the OC-block vector at `(oc_blk, ic, kh, kw)` — the
+    /// address the micro-kernel's weights vector load starts at
+    /// (Algorithm 2 line 14).
+    #[inline]
+    pub fn oc_vector_at(&self, oc_blk: usize, ic: usize, kh: usize, kw: usize) -> u64 {
+        debug_assert!(oc_blk < self.oc_blocks() && ic < self.ic && kh < self.kh && kw < self.kw);
+        let (icb, ocb) = (self.layout.icb, self.layout.ocb);
+        let idx = ((((oc_blk * self.ic_blocks() + ic / icb) * self.kh + kh) * self.kw + kw) * icb
+            + ic % icb)
+            * ocb;
+        self.base + (idx as u64) * 4
+    }
+
+    /// Import from a logical OIHW host buffer (length `OC*IC*KH*KW`).
+    pub fn store_oihw(&self, arena: &mut Arena, data: &[f32]) {
+        assert_eq!(data.len(), self.elems(), "OIHW buffer length mismatch");
+        for oc in 0..self.oc {
+            for ic in 0..self.ic {
+                for kh in 0..self.kh {
+                    for kw in 0..self.kw {
+                        let v = data[((oc * self.ic + ic) * self.kh + kh) * self.kw + kw];
+                        arena.write(self.at(oc, ic, kh, kw), v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Export to a logical OIHW host buffer.
+    pub fn load_oihw(&self, arena: &Arena) -> Vec<f32> {
+        let mut out = vec![0.0; self.elems()];
+        for oc in 0..self.oc {
+            for ic in 0..self.ic {
+                for kh in 0..self.kh {
+                    for kw in 0..self.kw {
+                        out[((oc * self.ic + ic) * self.kh + kh) * self.kw + kw] =
+                            arena.read(self.at(oc, ic, kh, kw));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Fill with deterministic pseudo-random values in `[-1, 1)`.
+    pub fn fill_random(&self, arena: &mut Arena, seed: u64) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dist = Uniform::new(-1.0f32, 1.0);
+        let data: Vec<f32> = (0..self.elems()).map(|_| dist.sample(&mut rng)).collect();
+        self.store_oihw(arena, &data);
+    }
+
+    /// Zero all stored elements (including padding).
+    pub fn zero(&self, arena: &mut Arena) {
+        arena.fill(self.base, self.elems_padded(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_blocked_offsets_match_figure1() {
+        // Figure 1: the channel block interleaves channel data for adjacent
+        // spatial points: (n, cblk, h, w, cb) order.
+        let mut arena = Arena::new();
+        let t = ActTensor::alloc(&mut arena, 1, 64, 4, 4, ActivationLayout { cb: 32 });
+        // channel 0..31 at (0,0,0) are contiguous
+        assert_eq!(t.at(0, 1, 0, 0), t.at(0, 0, 0, 0) + 4);
+        // channel 32 starts a new block: whole H*W*cb plane away
+        assert_eq!(t.at(0, 32, 0, 0), t.at(0, 0, 0, 0) + (4 * 4 * 32 * 4) as u64);
+        // next spatial point is cb elements away (the Figure 3 stride!)
+        assert_eq!(t.at(0, 0, 0, 1), t.at(0, 0, 0, 0) + (32 * 4) as u64);
+        assert_eq!(t.block_at(0, 0, 0, 1), t.at(0, 0, 0, 1));
+    }
+
+    #[test]
+    fn nchw_is_cb1() {
+        let mut arena = Arena::new();
+        let t = ActTensor::alloc(&mut arena, 2, 3, 4, 5, ActivationLayout::nchw());
+        // NCHW: w is innermost
+        assert_eq!(t.at(0, 0, 0, 1), t.at(0, 0, 0, 0) + 4);
+        assert_eq!(t.at(0, 1, 0, 0), t.at(0, 0, 0, 0) + (4 * 5 * 4) as u64);
+        assert_eq!(t.at(1, 0, 0, 0), t.at(0, 0, 0, 0) + (3 * 4 * 5 * 4) as u64);
+    }
+
+    #[test]
+    fn store_load_nchw_roundtrip() {
+        let mut arena = Arena::new();
+        let t = ActTensor::alloc(&mut arena, 2, 7, 3, 5, ActivationLayout { cb: 4 });
+        let data: Vec<f32> = (0..t.elems()).map(|i| i as f32).collect();
+        t.store_nchw(&mut arena, &data);
+        assert_eq!(t.load_nchw(&arena), data);
+    }
+
+    #[test]
+    fn tail_block_is_padded() {
+        let mut arena = Arena::new();
+        // C=7, cb=4 -> 2 blocks, 8 slots per spatial point.
+        let t = ActTensor::alloc(&mut arena, 1, 7, 2, 2, ActivationLayout { cb: 4 });
+        assert_eq!(t.c_blocks(), 2);
+        assert_eq!(t.elems_padded(), 2 * 2 * 2 * 4);
+        let data: Vec<f32> = (0..t.elems()).map(|_| 1.0).collect();
+        t.store_nchw(&mut arena, &data);
+        // Padding slot (channel 7 of block 1) stays zero.
+        let pad_addr = t.block_at(0, 1, 0, 0) + 3 * 4;
+        assert_eq!(arena.read(pad_addr), 0.0);
+    }
+
+    #[test]
+    fn weight_blocked_offsets() {
+        let mut arena = Arena::new();
+        let t = WeiTensor::alloc(&mut arena, 8, 6, 3, 3, WeightLayout { icb: 2, ocb: 4 });
+        // oc innermost within block
+        assert_eq!(t.at(1, 0, 0, 0), t.at(0, 0, 0, 0) + 4);
+        // ic next
+        assert_eq!(t.at(0, 1, 0, 0), t.at(0, 0, 0, 0) + (4 * 4) as u64);
+        // kw next: icb*ocb
+        assert_eq!(t.at(0, 0, 0, 1), t.at(0, 0, 0, 0) + (2 * 4 * 4) as u64);
+        assert_eq!(t.oc_vector_at(0, 1, 0, 0), t.at(0, 1, 0, 0));
+        assert_eq!(t.oc_vector_at(1, 0, 2, 2), t.at(4, 0, 2, 2));
+    }
+
+    #[test]
+    fn store_load_oihw_roundtrip() {
+        let mut arena = Arena::new();
+        let t = WeiTensor::alloc(&mut arena, 5, 7, 3, 3, WeightLayout { icb: 4, ocb: 4 });
+        let data: Vec<f32> = (0..t.elems()).map(|i| (i as f32).sin()).collect();
+        t.store_oihw(&mut arena, &data);
+        assert_eq!(t.load_oihw(&arena), data);
+    }
+
+    #[test]
+    fn layout_constructors() {
+        let l = ActivationLayout::vlen_blocked(2048, 512);
+        assert_eq!(l.cb, 512);
+        let l = ActivationLayout::vlen_blocked(64, 512);
+        assert_eq!(l.cb, 64, "dynamic blocking: C_b = min(C, N_vlen)");
+        let l = ActivationLayout::cline_blocked(2048, 32);
+        assert_eq!(l.cb, 32);
+        let w = WeightLayout::loop_resized(1024, 256, 512, 32);
+        assert_eq!(w.icb, 32);
+        assert_eq!(w.ocb, 256);
+    }
+
+    #[test]
+    fn fill_random_is_deterministic() {
+        let mut a1 = Arena::new();
+        let mut a2 = Arena::new();
+        let t1 = ActTensor::alloc(&mut a1, 1, 4, 3, 3, ActivationLayout { cb: 2 });
+        let t2 = ActTensor::alloc(&mut a2, 1, 4, 3, 3, ActivationLayout::nchw());
+        t1.fill_random(&mut a1, 42);
+        t2.fill_random(&mut a2, 42);
+        assert_eq!(t1.load_nchw(&a1), t2.load_nchw(&a2), "layout-independent content");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the blocked tensor layouts: every layout is a
+//! bijection between logical coordinates and distinct addresses, and the
+//! NCHW/OIHW import/export round-trips for arbitrary shapes and block sizes.
+
+use lsv_tensor::{ActTensor, ActivationLayout, WeiTensor, WeightLayout};
+use lsv_vengine::Arena;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn activation_roundtrip(
+        n in 1usize..3,
+        c in 1usize..40,
+        h in 1usize..8,
+        w in 1usize..8,
+        cb in 1usize..40,
+    ) {
+        let mut arena = Arena::new();
+        let t = ActTensor::alloc(&mut arena, n, c, h, w, ActivationLayout { cb });
+        let data: Vec<f32> = (0..t.elems()).map(|i| i as f32 + 0.5).collect();
+        t.store_nchw(&mut arena, &data);
+        prop_assert_eq!(t.load_nchw(&arena), data);
+    }
+
+    #[test]
+    fn activation_addresses_are_distinct_and_in_bounds(
+        c in 1usize..24,
+        h in 1usize..6,
+        w in 1usize..6,
+        cb in 1usize..24,
+    ) {
+        let mut arena = Arena::new();
+        let t = ActTensor::alloc(&mut arena, 1, c, h, w, ActivationLayout { cb });
+        let mut seen = std::collections::HashSet::new();
+        let end = t.base + (t.elems_padded() * 4) as u64;
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    let a = t.at(0, ci, y, x);
+                    prop_assert!(a >= t.base && a < end, "address out of allocation");
+                    prop_assert!(a.is_multiple_of(4));
+                    prop_assert!(seen.insert(a), "aliasing at ({ci},{y},{x})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weight_roundtrip(
+        oc in 1usize..24,
+        ic in 1usize..24,
+        k in 1usize..4,
+        icb in 1usize..24,
+        ocb in 1usize..24,
+    ) {
+        let mut arena = Arena::new();
+        let t = WeiTensor::alloc(&mut arena, oc, ic, k, k, WeightLayout { icb, ocb });
+        let data: Vec<f32> = (0..t.elems()).map(|i| (i as f32).sin()).collect();
+        t.store_oihw(&mut arena, &data);
+        prop_assert_eq!(t.load_oihw(&arena), data);
+    }
+
+    #[test]
+    fn weight_oc_vector_is_contiguous(
+        oc in 2usize..33,
+        ic in 1usize..9,
+        ocb in 2usize..33,
+    ) {
+        let mut arena = Arena::new();
+        let t = WeiTensor::alloc(&mut arena, oc, ic, 1, 1, WeightLayout { icb: 1, ocb });
+        // Within one OC block, consecutive output channels are adjacent —
+        // the invariant the micro-kernel's weights vector load relies on.
+        for blk in 0..t.oc_blocks() {
+            let base = t.oc_vector_at(blk, 0, 0, 0);
+            let in_block = ocb.min(oc - blk * ocb);
+            for j in 0..in_block {
+                prop_assert_eq!(t.at(blk * ocb + j, 0, 0, 0), base + (j * 4) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn block_at_matches_first_channel(
+        c in 1usize..40,
+        cb in 1usize..40,
+        h in 1usize..5,
+        w in 1usize..5,
+    ) {
+        let mut arena = Arena::new();
+        let t = ActTensor::alloc(&mut arena, 1, c, h, w, ActivationLayout { cb });
+        for blk in 0..t.c_blocks() {
+            let ch = blk * cb;
+            if ch < c {
+                prop_assert_eq!(t.block_at(0, blk, h - 1, w - 1), t.at(0, ch, h - 1, w - 1));
+            }
+        }
+    }
+}

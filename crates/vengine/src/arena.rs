@@ -1,0 +1,128 @@
+//! Flat simulated memory.
+//!
+//! All tensors live in one byte-addressed arena so that the cache simulator
+//! sees *real* addresses: the paper's conflict misses (Section 5.2) depend on
+//! the byte distance between consecutive scalar accesses, which is a property
+//! of the blocked tensor layouts. Allocations are page-aligned to keep base
+//! addresses realistic and reproducible.
+
+/// Alignment of every allocation (a 4 KiB page).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Byte-addressed f32 memory.
+///
+/// Addresses handed out by [`Arena::alloc`] are byte offsets; element
+/// accessors divide by 4. The arena never frees — convolution runs allocate
+/// their operand tensors once.
+#[derive(Debug, Default, Clone)]
+pub struct Arena {
+    data: Vec<f32>,
+    next: u64,
+}
+
+impl Arena {
+    /// Empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate `elems` f32 elements, zero-initialized; returns the base byte
+    /// address (page aligned).
+    pub fn alloc(&mut self, elems: usize) -> u64 {
+        let base = self.next.next_multiple_of(PAGE_BYTES);
+        let end_elems = base as usize / 4 + elems;
+        if self.data.len() < end_elems {
+            self.data.resize(end_elems, 0.0);
+        }
+        self.next = (end_elems as u64) * 4;
+        base
+    }
+
+    /// Total bytes currently backed.
+    pub fn len_bytes(&self) -> u64 {
+        self.data.len() as u64 * 4
+    }
+
+    /// Read one element at byte address `addr`.
+    ///
+    /// # Panics
+    /// Panics if `addr` is not 4-byte aligned or out of bounds.
+    #[inline]
+    pub fn read(&self, addr: u64) -> f32 {
+        debug_assert!(addr.is_multiple_of(4), "unaligned f32 read at {addr:#x}");
+        self.data[(addr / 4) as usize]
+    }
+
+    /// Write one element at byte address `addr`.
+    #[inline]
+    pub fn write(&mut self, addr: u64, v: f32) {
+        debug_assert!(addr.is_multiple_of(4), "unaligned f32 write at {addr:#x}");
+        self.data[(addr / 4) as usize] = v;
+    }
+
+    /// Borrow `len` elements starting at byte address `addr`.
+    #[inline]
+    pub fn slice(&self, addr: u64, len: usize) -> &[f32] {
+        let i = (addr / 4) as usize;
+        &self.data[i..i + len]
+    }
+
+    /// Mutably borrow `len` elements starting at byte address `addr`.
+    #[inline]
+    pub fn slice_mut(&mut self, addr: u64, len: usize) -> &mut [f32] {
+        let i = (addr / 4) as usize;
+        &mut self.data[i..i + len]
+    }
+
+    /// Copy a host slice into the arena at `addr`.
+    pub fn store_slice(&mut self, addr: u64, src: &[f32]) {
+        self.slice_mut(addr, src.len()).copy_from_slice(src);
+    }
+
+    /// Copy `len` elements out of the arena into a fresh vector.
+    pub fn load_vec(&self, addr: u64, len: usize) -> Vec<f32> {
+        self.slice(addr, len).to_vec()
+    }
+
+    /// Fill `len` elements starting at `addr` with a value.
+    pub fn fill(&mut self, addr: u64, len: usize, v: f32) {
+        self.slice_mut(addr, len).fill(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_page_aligned_and_disjoint() {
+        let mut a = Arena::new();
+        let x = a.alloc(10);
+        let y = a.alloc(3);
+        let z = a.alloc(5000);
+        assert_eq!(x % PAGE_BYTES, 0);
+        assert_eq!(y % PAGE_BYTES, 0);
+        assert_eq!(z % PAGE_BYTES, 0);
+        assert!(y >= x + 40);
+        assert!(z >= y + 12);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut a = Arena::new();
+        let base = a.alloc(4);
+        a.write(base + 8, 3.5);
+        assert_eq!(a.read(base + 8), 3.5);
+        assert_eq!(a.read(base), 0.0, "zero initialized");
+    }
+
+    #[test]
+    fn slice_copy_roundtrip() {
+        let mut a = Arena::new();
+        let base = a.alloc(6);
+        a.store_slice(base, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.load_vec(base + 4, 2), vec![2.0, 3.0]);
+        a.fill(base, 3, 9.0);
+        assert_eq!(a.load_vec(base, 4), vec![9.0, 9.0, 9.0, 4.0]);
+    }
+}

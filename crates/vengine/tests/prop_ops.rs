@@ -1,0 +1,129 @@
+//! Property tests for the vector engine's functional semantics: memory ops
+//! round-trip for arbitrary geometries, FMA arithmetic matches scalar math,
+//! and timing invariants (cycles monotone in work).
+
+use lsv_arch::presets::sx_aurora;
+use lsv_vengine::{Arena, ExecutionMode, ScalarValue, VCore};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn vload_vstore_roundtrip(vl in 1usize..513, offset_lines in 0u64..8) {
+        let arch = sx_aurora();
+        let mut core = VCore::new(&arch, ExecutionMode::Functional, 1);
+        let mut arena = Arena::new();
+        let src = arena.alloc(1024) + offset_lines * 128;
+        let dst = arena.alloc(1024);
+        let vals: Vec<f32> = (0..vl).map(|i| i as f32 * 1.5 - 7.0).collect();
+        arena.store_slice(src, &vals);
+        core.vload(&arena, 0, src, vl);
+        core.vstore(&mut arena, 0, dst, vl);
+        prop_assert_eq!(arena.load_vec(dst, vl), vals);
+    }
+
+    #[test]
+    fn fma_bcast_matches_scalar_math(vl in 1usize..513, scalar in -10.0f32..10.0) {
+        let arch = sx_aurora();
+        let mut core = VCore::new(&arch, ExecutionMode::Functional, 1);
+        let mut arena = Arena::new();
+        let w = arena.alloc(512);
+        let acc0 = arena.alloc(512);
+        let wv: Vec<f32> = (0..vl).map(|i| (i as f32).cos()).collect();
+        let a0: Vec<f32> = (0..vl).map(|i| (i as f32) * 0.25).collect();
+        arena.store_slice(w, &wv);
+        arena.store_slice(acc0, &a0);
+        core.vload(&arena, 0, acc0, vl);
+        core.vload(&arena, 1, w, vl);
+        core.vfma_bcast(0, 1, ScalarValue::constant(scalar), vl);
+        for i in 0..vl {
+            let want = a0[i] + wv[i] * scalar;
+            prop_assert!((core.vreg(0)[i] - want).abs() <= 1e-5 * want.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip(
+        nblocks in 1usize..17,
+        block_elems in 1usize..33,
+        stride_lines in 1u64..64,
+    ) {
+        prop_assume!(nblocks * block_elems <= 512);
+        prop_assume!(stride_lines * 128 >= (block_elems * 4) as u64);
+        let arch = sx_aurora();
+        let mut core = VCore::new(&arch, ExecutionMode::Functional, 1);
+        let mut arena = Arena::new();
+        let span = (nblocks as u64 * stride_lines * 128 / 4) as usize + block_elems;
+        let src_base = arena.alloc(span);
+        let dst_base = arena.alloc(span);
+        let blocks_src: Vec<u64> = (0..nblocks as u64).map(|i| src_base + i * stride_lines * 128).collect();
+        let blocks_dst: Vec<u64> = (0..nblocks as u64).map(|i| dst_base + i * stride_lines * 128).collect();
+        for (bi, &b) in blocks_src.iter().enumerate() {
+            for e in 0..block_elems {
+                arena.write(b + (e * 4) as u64, (bi * 1000 + e) as f32);
+            }
+        }
+        core.vgather_blocks(&arena, 3, &blocks_src, block_elems);
+        core.vscatter_blocks(&mut arena, 3, &blocks_dst, block_elems);
+        for (bi, &b) in blocks_dst.iter().enumerate() {
+            for e in 0..block_elems {
+                prop_assert_eq!(arena.read(b + (e * 4) as u64), (bi * 1000 + e) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_load_matches_manual_copy(
+        rows in 1usize..9,
+        row_elems in 1usize..33,
+        stride_elems in 33usize..128,
+    ) {
+        prop_assume!(rows * row_elems <= 512);
+        let arch = sx_aurora();
+        let mut core = VCore::new(&arch, ExecutionMode::Functional, 1);
+        let mut arena = Arena::new();
+        let base = arena.alloc(rows * stride_elems + row_elems);
+        for i in 0..(rows * stride_elems + row_elems) {
+            arena.write(base + (i * 4) as u64, i as f32);
+        }
+        core.vload_rows(&arena, 2, base, row_elems, (stride_elems * 4) as u64, rows);
+        for r in 0..rows {
+            for e in 0..row_elems {
+                prop_assert_eq!(core.vreg(2)[r * row_elems + e], (r * stride_elems + e) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn strided_load_store_roundtrip(count in 1usize..129, stride_elems in 1usize..9) {
+        let arch = sx_aurora();
+        let mut core = VCore::new(&arch, ExecutionMode::Functional, 1);
+        let mut arena = Arena::new();
+        let base = arena.alloc(count * stride_elems + 1);
+        let out = arena.alloc(count * stride_elems + 1);
+        for i in 0..count {
+            arena.write(base + (i * stride_elems * 4) as u64, (i * 7) as f32);
+        }
+        core.vload_strided(&arena, 1, base, (stride_elems * 4) as u64, count);
+        core.vstore_strided(&mut arena, 1, out, (stride_elems * 4) as u64, count);
+        for i in 0..count {
+            prop_assert_eq!(arena.read(out + (i * stride_elems * 4) as u64), (i * 7) as f32);
+        }
+    }
+
+    #[test]
+    fn cycles_monotone_in_fma_count(n1 in 1usize..50, extra in 1usize..50) {
+        let arch = sx_aurora();
+        let run = |n: usize| -> u64 {
+            let mut core = VCore::new(&arch, ExecutionMode::TimingOnly, 1);
+            let arena = Arena::new();
+            for i in 0..n {
+                core.vfma_bcast(i % 8, 30, ScalarValue::constant(1.0), 512);
+                let _ = &arena;
+            }
+            core.drain().cycles
+        };
+        prop_assert!(run(n1 + extra) >= run(n1));
+    }
+}

@@ -1,0 +1,61 @@
+//! Layout explorer: how the channel-blocked activation layout (Figure 1)
+//! maps logical coordinates to memory, why the scalar access stride equals
+//! `C_b * 4` bytes (Figure 3), and how MBDC's `N_cline` blocking changes the
+//! picture. Also prints the Figure 2 footprint growth for one layer.
+//!
+//! Run with: `cargo run --release --example layout_explorer`
+
+use lsvconv::arch::presets::{aurora_with_vlen_bits, sx_aurora};
+use lsvconv::arch::formula2_rb_min;
+use lsvconv::conv::footprint::microkernel_footprint;
+use lsvconv::conv::tuning::split_register_block;
+use lsvconv::conv::ConvProblem;
+use lsvconv::tensor::{ActTensor, ActivationLayout};
+use lsvconv::vengine::Arena;
+
+fn main() {
+    let arch = sx_aurora();
+    let mut arena = Arena::new();
+    let (c, h, w) = (512usize, 14usize, 14usize);
+
+    println!("activation tensor (1, {c}, {h}, {w}) under three layouts:\n");
+    for (name, layout) in [
+        ("state-of-the-art (C_b = min(C, N_vlen))", ActivationLayout::vlen_blocked(c, arch.n_vlen())),
+        ("MBDC multi-block (C_b = N_cline)", ActivationLayout::cline_blocked(c, arch.n_cline())),
+        ("plain NCHW (C_b = 1)", ActivationLayout::nchw()),
+    ] {
+        let t = ActTensor::alloc(&mut arena, 1, c, h, w, layout);
+        let p00 = t.at(0, 0, 0, 0);
+        let p01 = t.at(0, 0, 0, 1);
+        let c1 = t.at(0, 1, 0, 0);
+        println!("{name}: C_b = {}", layout.cb);
+        println!("  channel stride (c -> c+1):        {:>7} bytes", c1 - p00);
+        println!("  spatial stride  (w -> w+1):       {:>7} bytes  <- the Figure 3 scalar stride", p01 - p00);
+        println!(
+            "  L1 sets touched by 24-point sweep: {:>6} of {}",
+            distinct_sets(&arch, p00, p01 - p00, 24),
+            arch.l1d.sets()
+        );
+        println!();
+    }
+
+    println!("micro-kernel footprint growth for a 3x3 512-channel layer (Figure 2):");
+    let p = ConvProblem::new(256, 512, 512, 7, 7, 3, 3, 1, 1);
+    for bits in [512usize, 2048, 4096, 8192, 16384] {
+        let a = aurora_with_vlen_bits(bits);
+        let rb = split_register_block(formula2_rb_min(&a), p.ow(), p.oh());
+        let fp = microkernel_footprint(&a, &p, rb);
+        println!(
+            "  {:>6}-bit vectors: W {:>9} B + S {:>8} B + D {:>7} B = {:>6.2} MiB",
+            bits, fp.weights, fp.source, fp.destination, fp.total_mib()
+        );
+    }
+}
+
+/// Count distinct L1 sets visited by `n` accesses of the given byte stride.
+fn distinct_sets(arch: &lsvconv::arch::ArchParams, base: u64, stride: u64, n: u64) -> usize {
+    let mut sets: Vec<usize> = (0..n).map(|i| arch.l1d.set_of(base + i * stride)).collect();
+    sets.sort_unstable();
+    sets.dedup();
+    sets.len()
+}

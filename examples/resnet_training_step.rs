@@ -1,0 +1,89 @@
+//! Model-level scenario: estimate one full ResNet training step (forward +
+//! backward-data + backward-weights over every convolution) on the simulated
+//! SX-Aurora for each convolution engine — a miniature of the paper's
+//! Figures 5/6 methodology.
+//!
+//! Run with: `cargo run --release --example resnet_training_step [minibatch]`
+
+use lsvconv::conv::ExecutionMode;
+use lsvconv::models::ResNetModel;
+use lsvconv::prelude::sx_aurora;
+use lsv_bench_shim::*;
+
+// The bench crate is not a dependency of the facade; inline the tiny amount
+// of aggregation logic the example needs.
+mod lsv_bench_shim {
+    use super::*;
+    use lsvconv::conv::{bench_layer, Algorithm, Direction};
+    use lsvconv::models::resnet_layers;
+    use lsvconv::vednn::bench_layer_vednn;
+
+    pub enum Engine {
+        Direct(Algorithm),
+        Vednn,
+    }
+
+    impl Engine {
+        pub fn name(&self) -> &'static str {
+            match self {
+                Engine::Vednn => "vednn",
+                Engine::Direct(a) => a.short_name(),
+            }
+        }
+    }
+
+    pub fn step_time_ms(
+        arch: &lsvconv::arch::ArchParams,
+        model: ResNetModel,
+        minibatch: usize,
+        engine: &Engine,
+    ) -> f64 {
+        let layers = resnet_layers(minibatch);
+        let counts = model.layer_counts();
+        let mut total = 0.0;
+        for (id, p) in layers.iter().enumerate() {
+            for dir in Direction::ALL {
+                let perf = match engine {
+                    Engine::Direct(a) => bench_layer(arch, p, dir, *a, ExecutionMode::TimingOnly),
+                    Engine::Vednn => bench_layer_vednn(arch, p, dir, ExecutionMode::TimingOnly),
+                };
+                total += perf.time_ms * counts[id] as f64;
+            }
+        }
+        total
+    }
+}
+
+fn main() {
+    let minibatch: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(32);
+    let arch = sx_aurora();
+    let model = ResNetModel::R101;
+    let flops = 3.0 * model.total_flops(minibatch) as f64;
+    println!(
+        "{} training step, minibatch {minibatch}: {:.1} GFLOP over {} conv layers x 3 passes",
+        model.name(),
+        flops / 1e9,
+        model.total_conv_layers()
+    );
+    println!("engine,step_ms,gflops,images/s");
+    use lsvconv::conv::Algorithm;
+    let engines = [
+        Engine::Vednn,
+        Engine::Direct(Algorithm::Dc),
+        Engine::Direct(Algorithm::Bdc),
+        Engine::Direct(Algorithm::Mbdc),
+    ];
+    for e in &engines {
+        let ms = step_time_ms(&arch, model, minibatch, e);
+        println!(
+            "{},{:.1},{:.0},{:.1}",
+            e.name(),
+            ms,
+            flops / (ms / 1e3) / 1e9,
+            minibatch as f64 / (ms / 1e3)
+        );
+    }
+}

@@ -1,0 +1,18 @@
+#!/bin/sh
+set -x
+B=./target/release
+$B/table1 > results/table1.csv 2>&1
+$B/table2 > results/table2.csv 2>&1
+$B/table3 > results/table3.csv 2>&1
+$B/figure2 > results/figure2.csv 2>&1
+$B/figure4 > results/figure4.csv 2>&1
+$B/figure5 > results/figure5.csv 2>&1
+$B/figure6 > results/figure6.csv 2>&1
+$B/mpki 32 > results/mpki.csv 2>&1
+$B/ablation > results/ablation.csv 2>&1
+$B/performance 256 > results/performance.csv 2>&1
+$B/figure3 8 > results/figure3.txt 2>&1
+$B/crossisa 32 > results/crossisa.csv 2>&1
+$B/validate 1 > results/validate.csv 2>&1
+$B/report results > results/report.txt 2>&1
+echo ALL_DONE

@@ -1,0 +1,91 @@
+//! The analytical model against the cycle-level simulator: Formula 3's
+//! conflict predictions must agree with the conflict misses the cache
+//! simulator actually measures — the paper's central empirical claim
+//! (Sections 5.2 and 8).
+
+use lsvconv::conv::{bench_layer, Algorithm, ConvProblem, Direction, ExecutionMode};
+use lsvconv::prelude::sx_aurora;
+
+/// Quarter-spatial versions of two Section 8 exemplars: the conflict
+/// structure depends on channels and stride, not on the spatial extent.
+fn conflict_layer() -> ConvProblem {
+    // Table 3 layer 8 shape (IC=512 drives A_b to 512): conflicts predicted.
+    ConvProblem::new(8, 512, 128, 14, 14, 1, 1, 1, 0)
+}
+
+fn clean_layer() -> ConvProblem {
+    // Table 3 layer 7 shape (IC=128): no conflicts predicted.
+    ConvProblem::new(8, 128, 512, 14, 14, 1, 1, 1, 0)
+}
+
+#[test]
+fn dc_thrashes_exactly_where_formula3_says() {
+    let arch = sx_aurora();
+    let hot = bench_layer(&arch, &conflict_layer(), Direction::Fwd, Algorithm::Dc, ExecutionMode::TimingOnly);
+    assert!(hot.conflicts_predicted, "Formula 3 predicts conflicts");
+    assert!(
+        hot.conflict_fraction > 0.5,
+        "most L1 misses are conflict-classified, got {}",
+        hot.conflict_fraction
+    );
+    assert!(hot.mpki_l1 > 50.0, "thrash shows in MPKI, got {}", hot.mpki_l1);
+
+    let cold = bench_layer(&arch, &clean_layer(), Direction::Fwd, Algorithm::Dc, ExecutionMode::TimingOnly);
+    assert!(!cold.conflicts_predicted);
+    assert!(
+        cold.mpki_l1 < 5.0,
+        "no thrash on the clean layer, got MPKI {}",
+        cold.mpki_l1
+    );
+}
+
+#[test]
+fn bdc_removes_the_conflicts_dc_suffers() {
+    let arch = sx_aurora();
+    let p = conflict_layer();
+    let dc = bench_layer(&arch, &p, Direction::Fwd, Algorithm::Dc, ExecutionMode::TimingOnly);
+    let bdc = bench_layer(&arch, &p, Direction::Fwd, Algorithm::Bdc, ExecutionMode::TimingOnly);
+    assert!(
+        bdc.mpki_l1 < dc.mpki_l1 / 10.0,
+        "BDC MPKI {} vs DC {}",
+        bdc.mpki_l1,
+        dc.mpki_l1
+    );
+    assert!(
+        bdc.gflops > dc.gflops * 1.5,
+        "BDC {} GF/s vs DC {} GF/s",
+        bdc.gflops,
+        dc.gflops
+    );
+}
+
+#[test]
+fn mbdc_layout_eliminates_conflicts_entirely() {
+    let arch = sx_aurora();
+    let p = conflict_layer();
+    let mbdc = bench_layer(&arch, &p, Direction::Fwd, Algorithm::Mbdc, ExecutionMode::TimingOnly);
+    assert!(!mbdc.conflicts_predicted);
+    assert!(
+        mbdc.mpki_l1 < 5.0,
+        "the N_cline layout stresses all sets equally, got MPKI {}",
+        mbdc.mpki_l1
+    );
+}
+
+#[test]
+fn no_algorithm_differences_at_short_simd() {
+    // Figure 5's left edge: at 512-bit vectors A_b <= 16 elements, Formula 3
+    // never fires and all three algorithms perform alike.
+    let arch = sx_aurora().with_max_vlen_bits(512);
+    let p = conflict_layer();
+    let perfs: Vec<f64> = Algorithm::ALL
+        .iter()
+        .map(|&a| bench_layer(&arch, &p, Direction::Fwd, a, ExecutionMode::TimingOnly).gflops)
+        .collect();
+    let max = perfs.iter().cloned().fold(0.0, f64::max);
+    let min = perfs.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        max / min < 1.35,
+        "algorithms should be within ~30% at 512-bit: {perfs:?}"
+    );
+}
