@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, build, tests, and the kernel-verifier sweep.
+# Any step failing fails the run.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings denied)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release --workspace
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "== lint-kernels (deny findings are errors)"
+cargo run --release -p lsv-bench --bin lint-kernels -- --deny-as-error
+
+echo "CI OK"

@@ -1,0 +1,201 @@
+//! Structured diagnostics: stable rule identifiers, severity levels, and
+//! the report type every analysis pass appends to.
+
+use std::fmt;
+
+/// How severe a finding is.
+///
+/// The ordering is meaningful: `Note < Warn < Deny`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: a property worth surfacing, not a defect.
+    Note,
+    /// The configuration is legal but predictably slow (e.g. a DC kernel
+    /// in the Formula 3 conflict regime — the paper's Table 3 expects it).
+    Warn,
+    /// The configuration violates a contract: the kernel is wrong, unsafe,
+    /// or breaks an invariant its algorithm promises (a BDC kernel that
+    /// still thrashes, an out-of-bounds address, a clobbered accumulator).
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        })
+    }
+}
+
+/// Stable identifiers for every lint rule.
+///
+/// These are API: `results/lint.json`, the CI gate and the tests key on
+/// them, so variants are append-only and the string forms never change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// Formula 3 (§5.2): the scalar activation stream thrashes L1 sets.
+    L1Conflict,
+    /// Formula 4 lower bound (§6.2): register blocking too small to hide
+    /// FMA latency given `B_seq` filler instructions.
+    BseqLower,
+    /// Formula 4 upper bound (§6.2): register blocking so large the scalar
+    /// stream re-enters the conflict regime (BDC contract).
+    BseqUpper,
+    /// A traced scalar/vector/gather address fell outside every tensor.
+    OobAddr,
+    /// An accumulator holding unsaved FMA results was overwritten.
+    AccClobber,
+    /// MBDC layout contract: block sizes must divide into the cache-line
+    /// grain `N_cline` and reorder shapes must round-trip.
+    LayoutDivide,
+    /// The kernel needs more vector registers than the architecture has.
+    RegPressure,
+}
+
+impl RuleId {
+    /// Every rule, in report order.
+    pub const ALL: [RuleId; 7] = [
+        RuleId::L1Conflict,
+        RuleId::BseqLower,
+        RuleId::BseqUpper,
+        RuleId::OobAddr,
+        RuleId::AccClobber,
+        RuleId::LayoutDivide,
+        RuleId::RegPressure,
+    ];
+
+    /// The stable string form used in reports and JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RuleId::L1Conflict => "L1-CONFLICT",
+            RuleId::BseqLower => "BSEQ-LOWER",
+            RuleId::BseqUpper => "BSEQ-UPPER",
+            RuleId::OobAddr => "OOB-ADDR",
+            RuleId::AccClobber => "ACC-CLOBBER",
+            RuleId::LayoutDivide => "LAYOUT-DIVIDE",
+            RuleId::RegPressure => "REG-PRESSURE",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: a rule, its severity for this occurrence, and an
+/// explanation with the concrete numbers that triggered it.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Severity of this occurrence (one rule can be `Warn` for DC but
+    /// `Deny` for BDC, where the property is a contract).
+    pub severity: Severity,
+    /// Human-readable explanation including the violating values.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]: {}", self.severity, self.rule, self.message)
+    }
+}
+
+/// The outcome of analysing one kernel configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All findings, in the order the passes emitted them.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Append a finding.
+    pub fn push(&mut self, rule: RuleId, severity: Severity, message: String) {
+        self.diagnostics.push(Diagnostic {
+            rule,
+            severity,
+            message,
+        });
+    }
+
+    /// Merge another report's findings into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Whether any finding denies the configuration.
+    pub fn has_deny(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Deny)
+    }
+
+    /// All findings for one rule.
+    pub fn by_rule(&self, rule: RuleId) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.rule == rule)
+    }
+
+    /// Whether `rule` fired at least once.
+    pub fn fired(&self, rule: RuleId) -> bool {
+        self.by_rule(rule).next().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_note_warn_deny() {
+        assert!(Severity::Note < Severity::Warn && Severity::Warn < Severity::Deny);
+    }
+
+    #[test]
+    fn rule_ids_are_stable_strings() {
+        let ids: Vec<&str> = RuleId::ALL.iter().map(|r| r.as_str()).collect();
+        assert_eq!(
+            ids,
+            [
+                "L1-CONFLICT",
+                "BSEQ-LOWER",
+                "BSEQ-UPPER",
+                "OOB-ADDR",
+                "ACC-CLOBBER",
+                "LAYOUT-DIVIDE",
+                "REG-PRESSURE"
+            ]
+        );
+    }
+
+    #[test]
+    fn report_aggregation() {
+        let mut r = Report::new();
+        assert!(!r.has_deny());
+        r.push(RuleId::L1Conflict, Severity::Warn, "thrash".into());
+        r.push(RuleId::OobAddr, Severity::Deny, "oob".into());
+        assert!(r.has_deny());
+        assert_eq!(r.count(Severity::Warn), 1);
+        assert!(r.fired(RuleId::OobAddr) && !r.fired(RuleId::AccClobber));
+        let mut other = Report::new();
+        other.push(RuleId::RegPressure, Severity::Deny, "regs".into());
+        r.merge(other);
+        assert_eq!(r.diagnostics.len(), 3);
+    }
+}

@@ -1,0 +1,157 @@
+//! # lsv-analyze — static kernel verifier and lint framework
+//!
+//! The simulator stack generates convolution kernels from a
+//! [`lsv_conv::KernelConfig`]; this crate proves properties *about* those
+//! kernels without trusting the generator:
+//!
+//! * **Static checks** ([`analyze_config`]) evaluate the paper's analytical
+//!   model against a configuration triple: Formula 3 conflict prediction
+//!   (`L1-CONFLICT`, explaining which cache sets thrash), the Formula 4
+//!   register-block range (`BSEQ-LOWER` / `BSEQ-UPPER`), register pressure
+//!   (`REG-PRESSURE`) and the MBDC layout contracts (`LAYOUT-DIVIDE`).
+//! * **Dynamic checks** ([`analyze_trace`]) lint a recorded instruction
+//!   stream: the address-stream bounds sanitizer (`OOB-ADDR`) and the
+//!   accumulator-hazard analysis (`ACC-CLOBBER`).
+//! * [`analyze_kernel`] combines both: it replays the generated kernel for a
+//!   single image in trace-recording timing-only mode and merges the static
+//!   and dynamic reports.
+//!
+//! Findings carry a stable [`RuleId`] and a [`Severity`]; `Deny` means the
+//! configuration is wrong (out-of-bounds addresses, discarded partial sums,
+//! broken layout contracts), `Warn` means the model predicts it is slow
+//! (conflict misses, under-subscribed pipelines). The
+//! [`deny_validator`] adapter plugs the linter into
+//! [`lsv_conv::ConvDesc::create_validated`] so the tuner's output can be
+//! rejected at primitive-creation time.
+
+pub mod diagnostics;
+pub mod static_checks;
+pub mod trace_checks;
+
+pub use diagnostics::{Diagnostic, Report, RuleId, Severity};
+pub use static_checks::analyze_config;
+
+use lsv_arch::ArchParams;
+use lsv_conv::{ConvDesc, ConvPrimitive, ConvProblem, KernelConfig, UnsupportedReason};
+use lsv_vengine::{Arena, ExecutionMode, TraceEvent, VCore};
+
+/// Lint a recorded instruction stream against the arena it executed in.
+/// Thin re-export wrapper fixing the register-file bound to the
+/// architecture's.
+pub fn analyze_trace(arena: &Arena, trace: &[TraceEvent], arch: &ArchParams) -> Report {
+    trace_checks::analyze_trace(arena, trace, arch.n_vregs)
+}
+
+/// Full analysis of one kernel: static checks, then — if nothing was
+/// statically denied — a traced single-image replay feeding the dynamic
+/// checks.
+///
+/// The replay clones the problem with `N = 1`: the configuration is
+/// independent of the minibatch (the tuner never reads `N`), every image
+/// executes the identical instruction stream modulo the base offset, and a
+/// single image bounds the trace to a few hundred MB even for the largest
+/// Table 3 layer. The replay runs in [`ExecutionMode::TimingOnly`], where
+/// loads do not dereference the arena — so an out-of-bounds address is
+/// *recorded* (and reported as `OOB-ADDR`) instead of crashing the replay.
+///
+/// A statically denied configuration is not replayed: the generator's own
+/// preconditions (register file size, layout divisibility) no longer hold,
+/// so a replay would panic rather than lint.
+pub fn analyze_kernel(arch: &ArchParams, p: &ConvProblem, cfg: &KernelConfig) -> Report {
+    let mut report = analyze_config(arch, p, cfg);
+    if report.has_deny() {
+        return report;
+    }
+    let p1 = ConvProblem::new(1, p.ic, p.oc, p.ih, p.iw, p.kh, p.kw, p.stride, p.pad);
+    let desc = ConvDesc::new(p1, cfg.direction, cfg.algorithm);
+    let prim = desc.create_with_config(arch, *cfg, 1);
+    let mut arena = Arena::new();
+    let t = prim.alloc_tensors(&mut arena);
+    let mut core = VCore::new(arch, ExecutionMode::TimingOnly, 1);
+    core.enable_trace();
+    prim.execute_core(&mut core, &mut arena, &t, 0..1, 0..prim.bwdw_small_blocks());
+    let trace = core.trace().expect("trace was enabled");
+    report.merge(trace_checks::analyze_trace(&arena, trace, arch.n_vregs));
+    report
+}
+
+/// Validator closure body for [`ConvDesc::create_validated`]: runs the full
+/// analysis and rejects on any `Deny`, summarizing the denying diagnostics
+/// in the error string.
+pub fn deny_validator(
+    arch: &ArchParams,
+    p: &ConvProblem,
+    cfg: &KernelConfig,
+) -> Result<(), String> {
+    let report = analyze_kernel(arch, p, cfg);
+    if !report.has_deny() {
+        return Ok(());
+    }
+    let denies: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .map(|d| d.to_string())
+        .collect();
+    Err(denies.join("; "))
+}
+
+/// Convenience: create a primitive and gate it on the linter in one call —
+/// `desc.create(...)` followed by [`deny_validator`] on the tuned
+/// configuration, with rejection surfacing as
+/// [`UnsupportedReason::Rejected`].
+pub fn create_checked(
+    desc: &ConvDesc,
+    arch: &ArchParams,
+    threads: usize,
+) -> Result<ConvPrimitive, UnsupportedReason> {
+    desc.create_validated(arch, threads, &deny_validator)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsv_arch::sx_aurora;
+    use lsv_conv::{Algorithm, Direction};
+
+    #[test]
+    fn tuned_kernels_replay_clean_end_to_end() {
+        let arch = sx_aurora();
+        // Small but representative: strided conv with padding, all three
+        // algorithms and directions through the full static + dynamic path.
+        let p = ConvProblem::new(2, 16, 24, 14, 14, 3, 3, 2, 1);
+        for alg in Algorithm::ALL {
+            for dir in Direction::ALL {
+                let cfg = lsv_conv::tuning::kernel_config(&arch, &p, dir, alg, 1);
+                let r = analyze_kernel(&arch, &p, &cfg);
+                assert!(!r.has_deny(), "{alg}/{dir:?}: {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn create_checked_accepts_tuned_and_rejects_corrupt() {
+        let arch = sx_aurora();
+        let p = ConvProblem::new(1, 32, 32, 8, 8, 3, 3, 1, 1);
+        let desc = ConvDesc::new(p, Direction::Fwd, Algorithm::Mbdc);
+        assert!(create_checked(&desc, &arch, 1).is_ok());
+
+        // A validator that rejects everything exercises the Rejected path.
+        let always_no = |_: &ArchParams, _: &ConvProblem, _: &KernelConfig| Err("nope".to_string());
+        match desc.create_validated(&arch, 1, &always_no) {
+            Err(UnsupportedReason::Rejected { why }) => assert_eq!(why, "nope"),
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn statically_denied_config_skips_replay() {
+        let arch = sx_aurora();
+        let p = ConvProblem::new(1, 32, 32, 8, 8, 1, 1, 1, 0);
+        let mut cfg = lsv_conv::tuning::kernel_config(&arch, &p, Direction::Fwd, Algorithm::Dc, 1);
+        cfg.rb.rb_w = 100; // blows the register file; replay would panic
+        let r = analyze_kernel(&arch, &p, &cfg);
+        assert!(r.fired(RuleId::RegPressure) && r.has_deny());
+        assert!(deny_validator(&arch, &p, &cfg).is_err());
+    }
+}

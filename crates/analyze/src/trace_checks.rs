@@ -1,0 +1,390 @@
+//! Dynamic lints over a recorded instruction stream.
+//!
+//! These run on the trace a [`lsv_vengine::VCore`] records during a replay:
+//! the address-stream bounds sanitizer (`OOB-ADDR`) and the accumulator
+//! lifetime checker (`ACC-CLOBBER`). Both are properties a static look at the
+//! configuration cannot prove — they depend on the addresses the generated
+//! kernel actually emits.
+
+use crate::diagnostics::{Report, RuleId, Severity};
+use lsv_vengine::{Arena, TraceEvent};
+
+/// Stop describing individual findings of one rule after this many; the
+/// remainder is summarized in a closing `Note` so a systematically broken
+/// kernel does not produce a million-line report.
+const MAX_FINDINGS_PER_RULE: usize = 16;
+
+/// Tracks per-rule finding counts and enforces the reporting cap.
+struct CappedRule {
+    rule: RuleId,
+    emitted: usize,
+    suppressed: usize,
+}
+
+impl CappedRule {
+    fn new(rule: RuleId) -> Self {
+        Self {
+            rule,
+            emitted: 0,
+            suppressed: 0,
+        }
+    }
+
+    fn push(&mut self, report: &mut Report, message: String) {
+        if self.emitted < MAX_FINDINGS_PER_RULE {
+            self.emitted += 1;
+            report.push(self.rule, Severity::Deny, message);
+        } else {
+            self.suppressed += 1;
+        }
+    }
+
+    fn finish(self, report: &mut Report) {
+        if self.suppressed > 0 {
+            report.push(
+                self.rule,
+                Severity::Note,
+                format!(
+                    "{} further {} findings suppressed after the first {}",
+                    self.suppressed,
+                    self.rule.as_str(),
+                    self.emitted
+                ),
+            );
+        }
+    }
+}
+
+/// What a memory-touching trace event claims about itself: an operation name,
+/// the first byte it touches, its byte footprint, and the region the engine
+/// resolved for its base address at record time.
+fn memory_footprint(ev: &TraceEvent) -> Option<(&'static str, u64, u64, Option<u32>)> {
+    match *ev {
+        TraceEvent::ScalarLoad { addr, region } => Some(("scalar load", addr, 4, region)),
+        TraceEvent::ScalarStore { addr, region } => Some(("scalar store", addr, 4, region)),
+        TraceEvent::VLoad {
+            addr, span, region, ..
+        } => Some(("vector load", addr, span, region)),
+        TraceEvent::VStore {
+            addr, span, region, ..
+        } => Some(("vector store", addr, span, region)),
+        TraceEvent::VGather {
+            addr, span, region, ..
+        } => Some(("block gather", addr, span, region)),
+        TraceEvent::VScatter {
+            addr, span, region, ..
+        } => Some(("block scatter", addr, span, region)),
+        _ => None,
+    }
+}
+
+/// Address-stream bounds sanitizer: every memory access in the trace must lie
+/// wholly inside one arena allocation. An access outside every allocation, or
+/// one that starts inside a tensor but runs past its extent, is the simulator
+/// equivalent of a segfault / silent corruption of a neighbouring tensor.
+fn check_oob(arena: &Arena, trace: &[TraceEvent], report: &mut Report) {
+    let mut cap = CappedRule::new(RuleId::OobAddr);
+    for (i, ev) in trace.iter().enumerate() {
+        let Some((what, addr, span, region)) = memory_footprint(ev) else {
+            continue;
+        };
+        match region {
+            None => cap.push(
+                report,
+                format!(
+                    "trace event #{i}: {what} of {span} bytes at {addr:#x} hits \
+                     no allocation (arena holds {} regions)",
+                    arena.regions().len()
+                ),
+            ),
+            Some(r) => {
+                let reg = &arena.regions()[r as usize];
+                if addr + span > reg.end() {
+                    cap.push(
+                        report,
+                        format!(
+                            "trace event #{i}: {what} of {span} bytes at {addr:#x} \
+                             starts inside `{}` [{:#x}, {:#x}) but overruns it by \
+                             {} bytes",
+                            reg.label,
+                            reg.base,
+                            reg.end(),
+                            addr + span - reg.end()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    cap.finish(report);
+}
+
+/// Per-register accumulator state for the clobber analysis.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum AccState {
+    /// Never accumulated into, or drained since.
+    Clean,
+    /// Holds FMA results not yet stored/reduced; the event index of the last
+    /// contributing FMA is kept for the diagnostic.
+    Dirty(usize),
+}
+
+/// Accumulator-hazard analysis: a register that received FMA results must be
+/// stored (or reduced) before anything overwrites it, and must not still hold
+/// live results when the trace ends. Either case means the kernel computed
+/// partial sums and threw them away — numerically wrong output even though
+/// every individual instruction was well-formed.
+fn check_acc_clobber(trace: &[TraceEvent], report: &mut Report) {
+    let mut cap = CappedRule::new(RuleId::AccClobber);
+    let mut state: Vec<AccState> = Vec::new();
+    let ensure = |state: &mut Vec<AccState>, vr: usize| {
+        if state.len() <= vr {
+            state.resize(vr + 1, AccState::Clean);
+        }
+    };
+    for (i, ev) in trace.iter().enumerate() {
+        match *ev {
+            TraceEvent::VFma { acc, .. } => {
+                ensure(&mut state, acc);
+                state[acc] = AccState::Dirty(i);
+            }
+            TraceEvent::VStore { vr, .. }
+            | TraceEvent::VScatter { vr, .. }
+            | TraceEvent::VReduce { vr } => {
+                ensure(&mut state, vr);
+                state[vr] = AccState::Clean;
+            }
+            TraceEvent::VZero { vr }
+            | TraceEvent::VLoad { vr, .. }
+            | TraceEvent::VGather { vr, .. } => {
+                ensure(&mut state, vr);
+                if let AccState::Dirty(fma) = state[vr] {
+                    let how = match ev {
+                        TraceEvent::VZero { .. } => "zeroed",
+                        _ => "overwritten by a load",
+                    };
+                    cap.push(
+                        report,
+                        format!(
+                            "trace event #{i}: accumulator v{vr} is {how} while \
+                             holding unsaved FMA results (last accumulation at \
+                             event #{fma}) — partial sums are discarded"
+                        ),
+                    );
+                    // Reset so one lost accumulator is reported once, not at
+                    // every subsequent reuse.
+                    state[vr] = AccState::Clean;
+                }
+            }
+            _ => {}
+        }
+    }
+    for (vr, s) in state.iter().enumerate() {
+        if let AccState::Dirty(fma) = s {
+            cap.push(
+                report,
+                format!(
+                    "accumulator v{vr} still holds unsaved FMA results at the end \
+                     of the trace (last accumulation at event #{fma})"
+                ),
+            );
+        }
+    }
+    cap.finish(report);
+}
+
+/// Register-file usage census over the trace: the highest vector register the
+/// recorded stream actually touches, useful for cross-checking the static
+/// [`crate::static_checks::analyze_config`] pressure model. Returns
+/// `None` for a trace with no vector-register activity.
+pub fn max_vreg_used(trace: &[TraceEvent]) -> Option<usize> {
+    trace
+        .iter()
+        .filter_map(|ev| match *ev {
+            TraceEvent::VLoad { vr, .. }
+            | TraceEvent::VStore { vr, .. }
+            | TraceEvent::VZero { vr }
+            | TraceEvent::VReduce { vr }
+            | TraceEvent::VGather { vr, .. }
+            | TraceEvent::VScatter { vr, .. } => Some(vr),
+            TraceEvent::VFma { acc, w } => Some(acc.max(w)),
+            _ => None,
+        })
+        .max()
+}
+
+/// Run every dynamic check over a recorded trace against the arena it
+/// executed in, plus the register-file bound of the architecture that
+/// recorded it (for the trace-level `REG-PRESSURE` cross-check).
+pub fn analyze_trace(arena: &Arena, trace: &[TraceEvent], n_vregs: usize) -> Report {
+    let mut report = Report::new();
+    check_oob(arena, trace, &mut report);
+    check_acc_clobber(trace, &mut report);
+    if let Some(hi) = max_vreg_used(trace) {
+        if hi >= n_vregs {
+            report.push(
+                RuleId::RegPressure,
+                Severity::Deny,
+                format!(
+                    "trace touches vector register v{hi} but the architecture \
+                     has only {n_vregs} registers (v0..v{})",
+                    n_vregs - 1
+                ),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena_with(labels: &[(&str, usize)]) -> Arena {
+        let mut a = Arena::new();
+        for &(label, elems) in labels {
+            a.alloc_labeled(elems, label);
+        }
+        a
+    }
+
+    #[test]
+    fn in_bounds_trace_is_clean() {
+        let a = arena_with(&[("src", 64)]);
+        let base = a.regions()[0].base;
+        let trace = vec![
+            TraceEvent::VZero { vr: 0 },
+            TraceEvent::VLoad {
+                vr: 1,
+                addr: base,
+                span: 128,
+                region: Some(0),
+            },
+            TraceEvent::VFma { acc: 0, w: 1 },
+            TraceEvent::VStore {
+                vr: 0,
+                addr: base + 128,
+                span: 128,
+                region: Some(0),
+            },
+        ];
+        let r = analyze_trace(&a, &trace, 64);
+        assert!(r.diagnostics.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn overrun_names_the_region() {
+        let a = arena_with(&[("dst 1x8x2x2", 32)]);
+        let base = a.regions()[0].base;
+        let trace = vec![TraceEvent::VStore {
+            vr: 0,
+            addr: base + 64,
+            span: 128, // region holds 128 bytes; this overruns by 64
+            region: Some(0),
+        }];
+        let r = analyze_trace(&a, &trace, 64);
+        assert!(r.fired(RuleId::OobAddr) && r.has_deny(), "{r:?}");
+        let msg = r.by_rule(RuleId::OobAddr).next().unwrap().message.clone();
+        assert!(msg.contains("dst 1x8x2x2"), "{msg}");
+        assert!(msg.contains("overruns it by 64 bytes"), "{msg}");
+    }
+
+    #[test]
+    fn unmapped_address_is_denied() {
+        let a = arena_with(&[("src", 16)]);
+        let trace = vec![TraceEvent::ScalarLoad {
+            addr: 0x4000_0000,
+            region: None,
+        }];
+        let r = analyze_trace(&a, &trace, 64);
+        assert!(r.fired(RuleId::OobAddr) && r.has_deny(), "{r:?}");
+    }
+
+    #[test]
+    fn finding_flood_is_capped() {
+        let a = arena_with(&[("src", 16)]);
+        let trace: Vec<TraceEvent> = (0..40)
+            .map(|i| TraceEvent::ScalarLoad {
+                addr: 0x4000_0000 + i * 4,
+                region: None,
+            })
+            .collect();
+        let r = analyze_trace(&a, &trace, 64);
+        assert_eq!(
+            r.by_rule(RuleId::OobAddr).count(),
+            MAX_FINDINGS_PER_RULE + 1
+        );
+        assert_eq!(r.count(Severity::Deny), MAX_FINDINGS_PER_RULE);
+        assert_eq!(r.count(Severity::Note), 1, "{r:?}");
+    }
+
+    #[test]
+    fn clobbered_accumulator_is_denied() {
+        let a = arena_with(&[("src", 64)]);
+        let base = a.regions()[0].base;
+        let trace = vec![
+            TraceEvent::VFma { acc: 3, w: 10 },
+            TraceEvent::VZero { vr: 3 }, // dirty accumulator lost
+            TraceEvent::VStore {
+                vr: 3,
+                addr: base,
+                span: 4,
+                region: Some(0),
+            },
+        ];
+        let r = analyze_trace(&a, &trace, 64);
+        assert!(r.fired(RuleId::AccClobber) && r.has_deny(), "{r:?}");
+        assert_eq!(r.by_rule(RuleId::AccClobber).count(), 1, "reported once");
+    }
+
+    #[test]
+    fn dirty_accumulator_at_end_is_denied() {
+        let a = arena_with(&[("src", 64)]);
+        let trace = vec![TraceEvent::VFma { acc: 5, w: 9 }];
+        let r = analyze_trace(&a, &trace, 64);
+        assert!(r.fired(RuleId::AccClobber), "{r:?}");
+        let msg = r
+            .by_rule(RuleId::AccClobber)
+            .next()
+            .unwrap()
+            .message
+            .clone();
+        assert!(msg.contains("end of the trace"), "{msg}");
+    }
+
+    #[test]
+    fn weight_reload_into_clean_register_is_fine() {
+        let a = arena_with(&[("wei", 64)]);
+        let base = a.regions()[0].base;
+        // The double-buffer pattern: load weights, FMA into a *different*
+        // accumulator, reload the weight register.
+        let trace = vec![
+            TraceEvent::VLoad {
+                vr: 8,
+                addr: base,
+                span: 64,
+                region: Some(0),
+            },
+            TraceEvent::VFma { acc: 0, w: 8 },
+            TraceEvent::VLoad {
+                vr: 8,
+                addr: base + 64,
+                span: 64,
+                region: Some(0),
+            },
+            TraceEvent::VFma { acc: 0, w: 8 },
+            TraceEvent::VReduce { vr: 0 },
+        ];
+        let r = analyze_trace(&a, &trace, 64);
+        assert!(r.diagnostics.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn trace_register_overflow_is_denied() {
+        let a = arena_with(&[("src", 16)]);
+        let trace = vec![TraceEvent::VZero { vr: 64 }];
+        let r = analyze_trace(&a, &trace, 64);
+        assert!(r.fired(RuleId::RegPressure) && r.has_deny(), "{r:?}");
+        assert_eq!(max_vreg_used(&trace), Some(64));
+    }
+}

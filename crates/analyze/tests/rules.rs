@@ -1,0 +1,140 @@
+//! One end-to-end test per rule ID: every rule must demonstrably fire on a
+//! synthetic violating configuration (or trace) through the crate's public
+//! API, and the all-rules census at the bottom keeps this file honest when a
+//! rule is added.
+
+use lsv_analyze::{analyze_config, analyze_kernel, analyze_trace, Report, RuleId, Severity};
+use lsv_arch::sx_aurora;
+use lsv_conv::tuning::kernel_config;
+use lsv_conv::{Algorithm, ConvProblem, Direction, KernelConfig};
+use lsv_vengine::{Arena, TraceEvent};
+
+/// The canonical DC conflict layer (Table 3 id 8: IC = 512 at 28x28).
+fn conflict_layer() -> ConvProblem {
+    ConvProblem::new(1, 512, 128, 28, 28, 1, 1, 1, 0)
+}
+
+fn tuned(alg: Algorithm, dir: Direction) -> (ConvProblem, KernelConfig) {
+    let arch = sx_aurora();
+    let p = conflict_layer();
+    (p, kernel_config(&arch, &p, dir, alg, 1))
+}
+
+#[test]
+fn l1_conflict_fires_on_oversized_bdc_block() {
+    let arch = sx_aurora();
+    let (p, mut cfg) = tuned(Algorithm::Bdc, Direction::Fwd);
+    cfg.rb.rb_w = 24; // past the Formula 4 cap of 16 for this layer
+    cfg.rb.rb_h = 1;
+    let r = analyze_config(&arch, &p, &cfg);
+    assert!(r.fired(RuleId::L1Conflict), "{r:?}");
+    assert!(r.has_deny(), "BDC promised conflict-freedom on fwd: {r:?}");
+}
+
+#[test]
+fn bseq_lower_fires_on_undersized_block() {
+    let arch = sx_aurora();
+    let (p, mut cfg) = tuned(Algorithm::Bdc, Direction::Fwd);
+    cfg.rb.rb_w = 3;
+    cfg.rb.rb_h = 1;
+    let r = analyze_config(&arch, &p, &cfg);
+    assert!(r.fired(RuleId::BseqLower), "{r:?}");
+}
+
+#[test]
+fn bseq_upper_fires_on_the_dc_conflict_layer() {
+    // DC's tuner-chosen block (Formula 2 target = 24) already exceeds the
+    // conflict-free bound (16) on this layer: the Table 3 observation.
+    let arch = sx_aurora();
+    let (p, cfg) = tuned(Algorithm::Dc, Direction::Fwd);
+    let r = analyze_config(&arch, &p, &cfg);
+    assert!(r.fired(RuleId::BseqUpper), "{r:?}");
+    assert!(
+        !r.has_deny(),
+        "DC conflicts are warnings, not errors: {r:?}"
+    );
+}
+
+#[test]
+fn oob_addr_fires_on_an_escaped_address() {
+    let arch = sx_aurora();
+    let mut arena = Arena::new();
+    arena.alloc_labeled(32, "src 1x2x4x4");
+    let trace = vec![TraceEvent::VLoad {
+        vr: 0,
+        addr: 0x7000_0000,
+        span: 1024,
+        region: None,
+    }];
+    let r = analyze_trace(&arena, &trace, &arch);
+    assert!(r.fired(RuleId::OobAddr) && r.has_deny(), "{r:?}");
+}
+
+#[test]
+fn acc_clobber_fires_on_a_lost_accumulator() {
+    let arch = sx_aurora();
+    let arena = Arena::new();
+    let trace = vec![
+        TraceEvent::VZero { vr: 0 },
+        TraceEvent::VFma { acc: 0, w: 8 },
+        TraceEvent::VZero { vr: 0 }, // partial sums discarded
+    ];
+    let r = analyze_trace(&arena, &trace, &arch);
+    assert!(r.fired(RuleId::AccClobber) && r.has_deny(), "{r:?}");
+}
+
+#[test]
+fn layout_divide_fires_on_a_line_straddling_mbdc_block() {
+    let arch = sx_aurora();
+    let (p, mut cfg) = tuned(Algorithm::Mbdc, Direction::Fwd);
+    cfg.src_layout.cb = 20; // neither divides N_cline = 32 nor equals IC
+    let r = analyze_kernel(&arch, &p, &cfg);
+    assert!(r.fired(RuleId::LayoutDivide) && r.has_deny(), "{r:?}");
+}
+
+#[test]
+fn reg_pressure_fires_on_register_file_overflow() {
+    let arch = sx_aurora();
+    let (p, mut cfg) = tuned(Algorithm::Dc, Direction::Fwd);
+    cfg.rb.rb_w = 28;
+    cfg.rb.rb_h = 3; // 84 accumulators on a 64-register file
+    let r = analyze_kernel(&arch, &p, &cfg);
+    assert!(r.fired(RuleId::RegPressure) && r.has_deny(), "{r:?}");
+}
+
+/// Census: the tests above must collectively cover every rule in the
+/// registry, so adding a RuleId without a firing test fails here.
+#[test]
+fn every_rule_id_has_a_demonstrated_firing() {
+    let arch = sx_aurora();
+    let mut fired = Report::new();
+
+    let (p, mut cfg) = tuned(Algorithm::Bdc, Direction::Fwd);
+    cfg.rb.rb_w = 24;
+    cfg.rb.rb_h = 1;
+    fired.merge(analyze_config(&arch, &p, &cfg)); // L1-CONFLICT + BSEQ-UPPER
+    cfg.rb.rb_w = 3;
+    fired.merge(analyze_config(&arch, &p, &cfg)); // BSEQ-LOWER
+    cfg.rb.rb_w = 100;
+    fired.merge(analyze_config(&arch, &p, &cfg)); // REG-PRESSURE
+
+    let (p, mut cfg) = tuned(Algorithm::Mbdc, Direction::Fwd);
+    cfg.dst_layout.cb = 20;
+    fired.merge(analyze_config(&arch, &p, &cfg)); // LAYOUT-DIVIDE
+
+    let arena = Arena::new();
+    let trace = vec![
+        TraceEvent::VFma { acc: 0, w: 8 },
+        TraceEvent::VZero { vr: 0 },
+        TraceEvent::ScalarStore {
+            addr: 0x123_4560,
+            region: None,
+        },
+    ];
+    fired.merge(analyze_trace(&arena, &trace, &arch)); // OOB-ADDR + ACC-CLOBBER
+
+    for rule in RuleId::ALL {
+        assert!(fired.fired(rule), "no firing demonstrated for {rule}");
+    }
+    assert!(fired.count(Severity::Deny) > 0 && fired.count(Severity::Warn) > 0);
+}

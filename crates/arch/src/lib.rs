@@ -30,13 +30,11 @@ pub use model::{
 };
 pub use presets::{a64fx_sve, aurora_with_vlen_bits, rvv_longvector, skylake_avx512, sx_aurora};
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry of one cache level.
 ///
 /// All sizes are in bytes. `ways == 0` is invalid; a fully-associative cache
 /// is expressed by `ways == size / line`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
     pub size: usize,
@@ -89,7 +87,7 @@ impl CacheGeometry {
 
 /// Access latencies (in core cycles) for each memory level, measured from
 /// issue of a scalar load to availability of the result.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemLatencies {
     /// L1 data cache hit latency.
     pub l1: u64,
@@ -104,7 +102,7 @@ pub struct MemLatencies {
 /// Parameters of the banked last-level cache (Section 7: the SX-Aurora LLC
 /// interleaves 128-byte lines over 16 memory banks; gathers whose blocks land
 /// in the same bank are serialized — Section 8's `bwdw` analysis).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LlcBanking {
     /// Number of independent LLC banks.
     pub banks: usize,
@@ -117,7 +115,7 @@ pub struct LlcBanking {
 ///
 /// Field names follow the paper's notation where one exists
 /// (`n_vlen`, `n_vregs`, `n_fma`, `l_fma`, `b_seq`, `n_cline`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArchParams {
     /// Human-readable name (used in benchmark CSV output).
     pub name: String,
@@ -278,7 +276,6 @@ mod tests {
 
 #[cfg(test)]
 mod more_tests {
-    use super::*;
     use crate::presets::{rvv_longvector, sx_aurora};
 
     #[test]

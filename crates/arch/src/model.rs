@@ -47,7 +47,8 @@ pub fn formula3_predicts_conflicts(
     rb: usize,
     c_str: usize,
 ) -> bool {
-    (arch.l1d.size as u128) < (ab_elems as u128) * (rb as u128) * (c_str as u128) * (arch.elem_bytes() as u128)
+    (arch.l1d.size as u128)
+        < (ab_elems as u128) * (rb as u128) * (c_str as u128) * (arch.elem_bytes() as u128)
 }
 
 /// The largest conflict-free combined register block (the exclusive upper

@@ -200,8 +200,7 @@ mod tests {
         assert_eq!(sve.n_cline(), 64, "256-byte lines");
         // Formula 1 scales with the machine.
         assert!(
-            formula1_required_independent_elems(&rvv)
-                > formula1_required_independent_elems(&sve)
+            formula1_required_independent_elems(&rvv) > formula1_required_independent_elems(&sve)
         );
     }
 

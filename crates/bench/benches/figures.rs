@@ -3,11 +3,13 @@
 //! The full-size runs live in the `lsv-bench` binaries (one per figure).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lsv_arch::presets::{aurora_with_vlen_bits, sx_aurora};
 use lsv_arch::formula2_rb_min;
+use lsv_arch::presets::{aurora_with_vlen_bits, sx_aurora};
 use lsv_bench::{bench_engine, Engine};
 use lsv_conv::footprint::microkernel_footprint;
-use lsv_conv::tuning::{autotune_microkernel, kernel_config, split_register_block, RegisterBlocking};
+use lsv_conv::tuning::{
+    autotune_microkernel, kernel_config, split_register_block, RegisterBlocking,
+};
 use lsv_conv::{Algorithm, ConvProblem, Direction, ExecutionMode};
 use lsv_models::resnet_layer;
 
@@ -49,11 +51,21 @@ fn bench_figure4_layer(c: &mut Criterion) {
     let mut g = c.benchmark_group("figure4/layer6_reduced");
     g.sample_size(10);
     for engine in Engine::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(engine.name()), &engine, |b, &e| {
-            b.iter(|| {
-                std::hint::black_box(bench_engine(&arch, &p, Direction::Fwd, e, ExecutionMode::TimingOnly))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(engine.name()),
+            &engine,
+            |b, &e| {
+                b.iter(|| {
+                    std::hint::black_box(bench_engine(
+                        &arch,
+                        &p,
+                        Direction::Fwd,
+                        e,
+                        ExecutionMode::TimingOnly,
+                    ))
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -111,17 +123,21 @@ fn bench_mpki_study(c: &mut Criterion) {
     let mut g = c.benchmark_group("mpki/conflicted_layer");
     g.sample_size(10);
     for alg in [Algorithm::Dc, Algorithm::Bdc] {
-        g.bench_with_input(BenchmarkId::from_parameter(alg.short_name()), &alg, |b, &a| {
-            b.iter(|| {
-                std::hint::black_box(bench_engine(
-                    &arch,
-                    &conflicted,
-                    Direction::Fwd,
-                    Engine::Direct(a),
-                    ExecutionMode::TimingOnly,
-                ))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(alg.short_name()),
+            &alg,
+            |b, &a| {
+                b.iter(|| {
+                    std::hint::black_box(bench_engine(
+                        &arch,
+                        &conflicted,
+                        Direction::Fwd,
+                        Engine::Direct(a),
+                        ExecutionMode::TimingOnly,
+                    ))
+                })
+            },
+        );
     }
     g.finish();
 }

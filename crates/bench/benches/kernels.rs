@@ -61,15 +61,23 @@ fn bench_scoreboard(c: &mut Criterion) {
 fn bench_functional_kernels(c: &mut Criterion) {
     let arch = sx_aurora();
     let p = ConvProblem::new(1, 32, 32, 12, 12, 3, 3, 1, 1);
-    let src: Vec<f32> = (0..p.n * p.ic * p.ih * p.iw).map(|i| i as f32 * 1e-3).collect();
-    let wei: Vec<f32> = (0..p.oc * p.ic * p.kh * p.kw).map(|i| i as f32 * 1e-4).collect();
+    let src: Vec<f32> = (0..p.n * p.ic * p.ih * p.iw)
+        .map(|i| i as f32 * 1e-3)
+        .collect();
+    let wei: Vec<f32> = (0..p.oc * p.ic * p.kh * p.kw)
+        .map(|i| i as f32 * 1e-4)
+        .collect();
     let mut g = c.benchmark_group("substrate/functional_fwd");
     g.sample_size(10);
     for alg in Algorithm::ALL {
-        let prim = ConvDesc::new(p, Direction::Fwd, alg).create(&arch, 1).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(alg.short_name()), &prim, |b, prim| {
-            b.iter(|| std::hint::black_box(prim.run_functional(&src, &wei, &[])))
-        });
+        let prim = ConvDesc::new(p, Direction::Fwd, alg)
+            .create(&arch, 1)
+            .unwrap();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(alg.short_name()),
+            &prim,
+            |b, prim| b.iter(|| std::hint::black_box(prim.run_functional(&src, &wei, &[]))),
+        );
     }
     g.finish();
 }

@@ -123,11 +123,27 @@ fn main() {
     println!("# dynamic VL vs channel zero-padding on layer 3 fwdd (OC=64 < N_vlen)");
     println!("variant,gflops,efficiency");
     let p3 = resnet_layer(3, minibatch);
-    for (name, oc) in [("dynamic_vl(oc=64)", p3.oc), ("padded(oc=512)", arch.n_vlen())] {
-        let padded = lsv_conv::ConvProblem::new(p3.n, p3.ic, oc, p3.ih, p3.iw, p3.kh, p3.kw, p3.stride, p3.pad);
-        let perf = lsv_conv::bench_layer(&arch, &padded, Direction::Fwd, Algorithm::Bdc, ExecutionMode::TimingOnly);
+    for (name, oc) in [
+        ("dynamic_vl(oc=64)", p3.oc),
+        ("padded(oc=512)", arch.n_vlen()),
+    ] {
+        let padded = lsv_conv::ConvProblem::new(
+            p3.n, p3.ic, oc, p3.ih, p3.iw, p3.kh, p3.kw, p3.stride, p3.pad,
+        );
+        let perf = lsv_conv::bench_layer(
+            &arch,
+            &padded,
+            Direction::Fwd,
+            Algorithm::Bdc,
+            ExecutionMode::TimingOnly,
+        );
         // Padding performs 8x the useful flops; report the *useful* rate.
         let useful = perf.gflops * (p3.oc as f64 / oc as f64);
-        println!("{},{:.1},{:.3}", name, useful, useful * 1e9 / arch.peak_flops());
+        println!(
+            "{},{:.1},{:.3}",
+            name,
+            useful,
+            useful * 1e9 / arch.peak_flops()
+        );
     }
 }

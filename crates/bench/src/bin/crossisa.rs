@@ -14,7 +14,6 @@ use lsv_arch::presets::{a64fx_sve, rvv_longvector, skylake_avx512, sx_aurora};
 use lsv_bench::{bench_engine, geomean, Engine};
 use lsv_conv::{Algorithm, Direction, ExecutionMode};
 use lsv_models::resnet_layers;
-use rayon::prelude::*;
 
 fn main() {
     let minibatch: usize = std::env::args()
@@ -32,10 +31,9 @@ fn main() {
         let layers = resnet_layers(minibatch);
         let mut means = Vec::new();
         for &e in &engines {
-            let gfs: Vec<f64> = layers
-                .par_iter()
-                .map(|p| bench_engine(arch, p, Direction::Fwd, e, ExecutionMode::TimingOnly).gflops)
-                .collect();
+            let gfs: Vec<f64> = lsv_bench::par::par_map(layers.clone(), |p| {
+                bench_engine(arch, &p, Direction::Fwd, e, ExecutionMode::TimingOnly).gflops
+            });
             means.push((e, geomean(gfs)));
         }
         let dc = means[0].1;

@@ -3,8 +3,8 @@
 //! lengths. The paper's observation: the weights sub-tensor grows
 //! quadratically with `N_vlen`, reaching ~9 MB at 16,384-bit vectors.
 
-use lsv_arch::presets::aurora_with_vlen_bits;
 use lsv_arch::formula2_rb_min;
+use lsv_arch::presets::aurora_with_vlen_bits;
 use lsv_conv::footprint::microkernel_footprint;
 use lsv_conv::tuning::split_register_block;
 use lsv_conv::ConvProblem;
@@ -41,5 +41,7 @@ fn main() {
         println!();
     }
     println!();
-    println!("# Paper Figure 2: footprints reach ~9 MiB at 16384-bit vectors for 512-channel layers.");
+    println!(
+        "# Paper Figure 2: footprints reach ~9 MiB at 16384-bit vectors for 512-channel layers."
+    );
 }

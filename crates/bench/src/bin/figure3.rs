@@ -64,7 +64,11 @@ fn main() {
             };
             println!("  {:>2} |{row}|{marker}", level);
         }
-        println!("     +{}+ sets 0..{}\n", "-".repeat(cells.len()), arch.l1d.sets());
+        println!(
+            "     +{}+ sets 0..{}\n",
+            "-".repeat(cells.len()),
+            arch.l1d.sets()
+        );
     }
     println!("# A bar above the associativity limit means the sweep's lines cannot");
     println!("# coexist in those sets: the next channel iteration conflict-misses");

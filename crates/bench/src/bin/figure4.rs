@@ -41,7 +41,13 @@ fn main() {
                     .map(|r| r.perf.gflops),
             );
             let eff = g * 1e9 / arch.peak_flops() * 100.0;
-            println!("# {:5} {:6}: {:8.1} GFLOP/s  ({:4.1}% peak)", dir, engine.name(), g, eff);
+            println!(
+                "# {:5} {:6}: {:8.1} GFLOP/s  ({:4.1}% peak)",
+                dir,
+                engine.name(),
+                g,
+                eff
+            );
         }
     }
 }

@@ -1,0 +1,211 @@
+//! `lint-kernels` — run the `lsv-analyze` verifier over every kernel the
+//! stack can generate: Table 3's 19 ResNet layers x {DC, BDC, MBDC} x
+//! {fwdd, bwdd, bwdw}, each configuration produced by the real tuner
+//! (`ConvDesc::create`, including its register-pressure fallback) and then
+//! statically checked plus replayed under the trace sanitizers.
+//!
+//! Output: a human-readable report on stdout (one line per kernel, then the
+//! diagnostics grouped by rule) and a machine-readable `results/lint.json`.
+//!
+//! Usage: `lint-kernels [--deny-as-error] [results_dir]`
+//!
+//! `--deny-as-error` exits non-zero if any kernel produced a `Deny` finding —
+//! the CI mode: the tuner must never emit a kernel its own verifier rejects.
+
+use lsv_analyze::{analyze_kernel, Report, RuleId, Severity};
+use lsv_arch::presets::sx_aurora;
+use lsv_bench::par::par_map;
+use lsv_conv::{Algorithm, ConvDesc, ConvProblem, Direction};
+use lsv_models::resnet_layers;
+use std::io::Write;
+
+/// One analyzed kernel: identity plus its lint report.
+struct Entry {
+    layer_id: usize,
+    problem: ConvProblem,
+    direction: Direction,
+    algorithm: Algorithm,
+    report: Report,
+}
+
+/// Minimal JSON string escaping (the only non-trivial JSON we emit).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn to_json(entries: &[Entry]) -> String {
+    let mut s = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        let diags: Vec<String> = e
+            .report
+            .diagnostics
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"rule\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\"}}",
+                    d.rule.as_str(),
+                    d.severity,
+                    json_escape(&d.message)
+                )
+            })
+            .collect();
+        s.push_str(&format!(
+            "  {{\"layer\": {}, \"problem\": \"{}\", \"direction\": \"{}\", \
+             \"algorithm\": \"{}\", \"deny\": {}, \"warn\": {}, \"note\": {}, \
+             \"diagnostics\": [{}]}}{}\n",
+            e.layer_id,
+            e.problem,
+            e.direction.short_name(),
+            e.algorithm.short_name(),
+            e.report.count(Severity::Deny),
+            e.report.count(Severity::Warn),
+            e.report.count(Severity::Note),
+            diags.join(", "),
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("]\n");
+    s
+}
+
+fn main() {
+    let mut deny_as_error = false;
+    let mut out_dir = String::from("results");
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-as-error" => deny_as_error = true,
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown flag `{other}`");
+                eprintln!("usage: lint-kernels [--deny-as-error] [results_dir]");
+                std::process::exit(2);
+            }
+            other => out_dir = other.to_string(),
+        }
+    }
+
+    let arch = sx_aurora();
+    let layers = resnet_layers(256);
+    let mut jobs: Vec<(usize, Direction, Algorithm)> = Vec::new();
+    for id in 0..layers.len() {
+        for d in Direction::ALL {
+            for a in Algorithm::ALL {
+                jobs.push((id, d, a));
+            }
+        }
+    }
+
+    let mut entries: Vec<Entry> = par_map(jobs, |(id, direction, algorithm)| {
+        let p = layers[id];
+        let desc = ConvDesc::new(p, direction, algorithm);
+        let report = match desc.create(&arch, 8) {
+            Ok(prim) => analyze_kernel(&arch, &p, prim.cfg()),
+            Err(e) => {
+                // The tuner itself refused — surface that as a Deny so the
+                // sweep never silently skips a kernel.
+                let mut r = Report::new();
+                r.push(
+                    RuleId::RegPressure,
+                    Severity::Deny,
+                    format!("primitive creation failed: {e}"),
+                );
+                r
+            }
+        };
+        Entry {
+            layer_id: id,
+            problem: p,
+            direction,
+            algorithm,
+            report,
+        }
+    });
+    entries.sort_by_key(|e| {
+        (
+            e.layer_id,
+            e.direction.short_name(),
+            e.algorithm.short_name(),
+        )
+    });
+
+    let mut totals = [0usize; 3]; // deny, warn, note
+    println!("layer direction alg   deny warn note  rules");
+    for e in &entries {
+        let (d, w, n) = (
+            e.report.count(Severity::Deny),
+            e.report.count(Severity::Warn),
+            e.report.count(Severity::Note),
+        );
+        totals[0] += d;
+        totals[1] += w;
+        totals[2] += n;
+        let rules: Vec<&str> = RuleId::ALL
+            .iter()
+            .filter(|&&r| e.report.fired(r))
+            .map(|r| r.as_str())
+            .collect();
+        println!(
+            "{:>5} {:<9} {:<5} {:>4} {:>4} {:>4}  {}",
+            e.layer_id,
+            e.direction.short_name(),
+            e.algorithm.short_name(),
+            d,
+            w,
+            n,
+            if rules.is_empty() {
+                "-".to_string()
+            } else {
+                rules.join(",")
+            }
+        );
+    }
+
+    println!();
+    for rule in RuleId::ALL {
+        let msgs: Vec<&Entry> = entries.iter().filter(|e| e.report.fired(rule)).collect();
+        if msgs.is_empty() {
+            continue;
+        }
+        println!("[{}] fired on {} kernels, e.g.:", rule.as_str(), msgs.len());
+        let e = msgs[0];
+        for d in e.report.by_rule(rule).take(2) {
+            println!(
+                "  layer {} {} {}: {}",
+                e.layer_id,
+                e.direction.short_name(),
+                e.algorithm.short_name(),
+                d.message
+            );
+        }
+    }
+
+    println!();
+    println!(
+        "analyzed {} kernels: {} deny, {} warn, {} note",
+        entries.len(),
+        totals[0],
+        totals[1],
+        totals[2]
+    );
+
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    let path = format!("{out_dir}/lint.json");
+    let mut f = std::fs::File::create(&path).expect("create lint.json");
+    f.write_all(to_json(&entries).as_bytes())
+        .expect("write lint.json");
+    println!("wrote {path}");
+
+    if deny_as_error && totals[0] > 0 {
+        eprintln!("error: {} deny findings (--deny-as-error)", totals[0]);
+        std::process::exit(1);
+    }
+}

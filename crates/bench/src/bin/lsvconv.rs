@@ -40,7 +40,8 @@ fn arch_by_name(name: &str) -> ArchParams {
         other => {
             if let Some(bits) = other.strip_prefix("aurora-vl") {
                 return lsv_arch::presets::aurora_with_vlen_bits(
-                    bits.parse().unwrap_or_else(|_| usage(&format!("bad vlen in {other}"))),
+                    bits.parse()
+                        .unwrap_or_else(|_| usage(&format!("bad vlen in {other}"))),
                 );
             }
             usage(&format!("unknown architecture '{other}'"))
@@ -75,7 +76,10 @@ fn problem_from_flags(flags: &HashMap<String, String>, default_mb: usize) -> Con
     if let Some(layer) = flags.get("layer") {
         let id: usize = layer.parse().unwrap_or_else(|_| usage("bad --layer"));
         if id >= lsv_models::NUM_LAYERS {
-            usage(&format!("--layer must be 0..{}", lsv_models::NUM_LAYERS - 1));
+            usage(&format!(
+                "--layer must be 0..{}",
+                lsv_models::NUM_LAYERS - 1
+            ));
         }
         return resnet_layer(id, mb);
     }
@@ -115,17 +119,39 @@ fn main() {
     match cmd.as_str() {
         "info" => {
             println!("architecture: {}", arch.name);
-            println!("  SIMD: {} bits = {} x f32, {} vregs", arch.vlen_bits, arch.n_vlen(), arch.n_vregs);
-            println!("  FMA:  {} ports x {} lanes, {}-cycle pipelines", arch.n_fma, arch.lanes_per_port, arch.l_fma);
-            println!("  peak: {:.1} GFLOP/s/core, {:.1} GFLOP/s chip ({} cores)",
-                arch.peak_flops_per_core() / 1e9, arch.peak_flops() / 1e9, arch.cores);
-            println!("  L1D {} KB {}-way | L2 {} KB | LLC {} MB, {} banks",
-                arch.l1d.size / 1024, arch.l1d.ways, arch.l2.size / 1024,
-                arch.llc.size / (1024 * 1024), arch.llc_banking.banks);
-            println!("  E (Formula 1) = {}", lsv_arch::formula1_required_independent_elems(&arch));
+            println!(
+                "  SIMD: {} bits = {} x f32, {} vregs",
+                arch.vlen_bits,
+                arch.n_vlen(),
+                arch.n_vregs
+            );
+            println!(
+                "  FMA:  {} ports x {} lanes, {}-cycle pipelines",
+                arch.n_fma, arch.lanes_per_port, arch.l_fma
+            );
+            println!(
+                "  peak: {:.1} GFLOP/s/core, {:.1} GFLOP/s chip ({} cores)",
+                arch.peak_flops_per_core() / 1e9,
+                arch.peak_flops() / 1e9,
+                arch.cores
+            );
+            println!(
+                "  L1D {} KB {}-way | L2 {} KB | LLC {} MB, {} banks",
+                arch.l1d.size / 1024,
+                arch.l1d.ways,
+                arch.l2.size / 1024,
+                arch.llc.size / (1024 * 1024),
+                arch.llc_banking.banks
+            );
+            println!(
+                "  E (Formula 1) = {}",
+                lsv_arch::formula1_required_independent_elems(&arch)
+            );
             println!();
-            println!("ResNet models: {} layer shapes (Table 3); see `lsvconv bench --layer N`",
-                lsv_models::NUM_LAYERS);
+            println!(
+                "ResNet models: {} layer shapes (Table 3); see `lsvconv bench --layer N`",
+                lsv_models::NUM_LAYERS
+            );
         }
         "bench" => {
             let p = problem_from_flags(&flags, 64);
@@ -133,10 +159,27 @@ fn main() {
             let engine = engine_by_name(flags.get("alg").map(String::as_str).unwrap_or(""));
             let perf = bench_engine(&arch, &p, dir, engine, ExecutionMode::TimingOnly);
             println!("problem:   {p} ({dir}, {})", engine.name());
-            println!("time:      {:.3} ms for the whole minibatch on {} cores", perf.time_ms, arch.cores);
-            println!("rate:      {:.1} GFLOP/s ({:.1}% of chip peak)", perf.gflops, perf.efficiency * 100.0);
-            println!("L1 MPKI:   {:.2} (conflict fraction {:.2})", perf.mpki_l1, perf.conflict_fraction);
-            println!("predicted: conflicts {}", if perf.conflicts_predicted { "YES (Formula 3)" } else { "no" });
+            println!(
+                "time:      {:.3} ms for the whole minibatch on {} cores",
+                perf.time_ms, arch.cores
+            );
+            println!(
+                "rate:      {:.1} GFLOP/s ({:.1}% of chip peak)",
+                perf.gflops,
+                perf.efficiency * 100.0
+            );
+            println!(
+                "L1 MPKI:   {:.2} (conflict fraction {:.2})",
+                perf.mpki_l1, perf.conflict_fraction
+            );
+            println!(
+                "predicted: conflicts {}",
+                if perf.conflicts_predicted {
+                    "YES (Formula 3)"
+                } else {
+                    "no"
+                }
+            );
         }
         "verify" => {
             let p = problem_from_flags(&flags, 2);
@@ -168,13 +211,38 @@ fn main() {
                     let cfg = prim.cfg();
                     println!("{p} {dir} {alg} on {}:", arch.name);
                     println!("  vl            = {}", cfg.vl);
-                    println!("  register blk  = {} x {} (combined {}), rb_c = {}", cfg.rb.rb_w, cfg.rb.rb_h, cfg.rb.combined(), cfg.rb_c);
-                    println!("  micro tile    = kh {} x kw {} x c {}", cfg.tile.kh_i, cfg.tile.kw_i, cfg.tile.c_i);
+                    println!(
+                        "  register blk  = {} x {} (combined {}), rb_c = {}",
+                        cfg.rb.rb_w,
+                        cfg.rb.rb_h,
+                        cfg.rb.combined(),
+                        cfg.rb_c
+                    );
+                    println!(
+                        "  micro tile    = kh {} x kw {} x c {}",
+                        cfg.tile.kh_i, cfg.tile.kw_i, cfg.tile.c_i
+                    );
                     println!("  src layout    = C_b {}", cfg.src_layout.cb);
                     println!("  dst layout    = C_b {}", cfg.dst_layout.cb);
-                    println!("  wei layout    = (icb {}, ocb {}){}", cfg.wei_layout.icb, cfg.wei_layout.ocb, if cfg.wei_swapped { " [role-swapped]" } else { "" });
+                    println!(
+                        "  wei layout    = (icb {}, ocb {}){}",
+                        cfg.wei_layout.icb,
+                        cfg.wei_layout.ocb,
+                        if cfg.wei_swapped {
+                            " [role-swapped]"
+                        } else {
+                            ""
+                        }
+                    );
                     println!("  weight bufs   = {}", cfg.wbuf);
-                    println!("  conflicts     = {}", if cfg.conflicts_predicted { "PREDICTED (Formula 3)" } else { "not predicted" });
+                    println!(
+                        "  conflicts     = {}",
+                        if cfg.conflicts_predicted {
+                            "PREDICTED (Formula 3)"
+                        } else {
+                            "not predicted"
+                        }
+                    );
                 }
                 Err(e) => {
                     eprintln!("cannot create primitive: {e}");

@@ -23,7 +23,13 @@ fn main() {
         Engine::Direct(Algorithm::Bdc),
         Engine::Direct(Algorithm::Mbdc),
     ];
-    let rows = run_suite(&arch, minibatch, &engines, &Direction::ALL, ExecutionMode::TimingOnly);
+    let rows = run_suite(
+        &arch,
+        minibatch,
+        &engines,
+        &Direction::ALL,
+        ExecutionMode::TimingOnly,
+    );
     println!("layer_id,direction,algorithm,mpki_l1,conflict_fraction");
     for r in &rows {
         println!(
@@ -48,8 +54,16 @@ fn main() {
         };
         let dc = avg("DC");
         for name in ["BDC", "MBDC"] {
-            let red = if dc > 0.0 { (1.0 - avg(name) / dc) * 100.0 } else { 0.0 };
-            println!("# {dir} {name}: {red:+.1}% vs DC (avg MPKI {:.2} -> {:.2})", dc, avg(name));
+            let red = if dc > 0.0 {
+                (1.0 - avg(name) / dc) * 100.0
+            } else {
+                0.0
+            };
+            println!(
+                "# {dir} {name}: {red:+.1}% vs DC (avg MPKI {:.2} -> {:.2})",
+                dc,
+                avg(name)
+            );
         }
     }
 }

@@ -14,7 +14,13 @@ fn main() {
     let arch = sx_aurora();
     println!("{}", Row::csv_header());
     for &mb in &minibatches {
-        let rows = run_suite(&arch, mb, &Engine::ALL, &Direction::ALL, ExecutionMode::TimingOnly);
+        let rows = run_suite(
+            &arch,
+            mb,
+            &Engine::ALL,
+            &Direction::ALL,
+            ExecutionMode::TimingOnly,
+        );
         for r in &rows {
             println!("{}", r.to_csv());
         }

@@ -104,10 +104,26 @@ fn main() {
     }
 
     // --- claim: BDC and MBDC beat vednn overall (paper: 1.83x / 1.63x on R101)
-    let bdc_vednn = geomean(["fwdd", "bwdd", "bwdw"].iter().map(|d| gm(d, "BDC") / gm(d, "vednn")));
-    let mbdc_vednn = geomean(["fwdd", "bwdd", "bwdw"].iter().map(|d| gm(d, "MBDC") / gm(d, "vednn")));
-    v.check("BDC > vednn (paper 1.83x)", bdc_vednn > 1.3, format!("{bdc_vednn:.2}x"));
-    v.check("MBDC > vednn (paper 1.63x)", mbdc_vednn > 1.2, format!("{mbdc_vednn:.2}x"));
+    let bdc_vednn = geomean(
+        ["fwdd", "bwdd", "bwdw"]
+            .iter()
+            .map(|d| gm(d, "BDC") / gm(d, "vednn")),
+    );
+    let mbdc_vednn = geomean(
+        ["fwdd", "bwdd", "bwdw"]
+            .iter()
+            .map(|d| gm(d, "MBDC") / gm(d, "vednn")),
+    );
+    v.check(
+        "BDC > vednn (paper 1.83x)",
+        bdc_vednn > 1.3,
+        format!("{bdc_vednn:.2}x"),
+    );
+    v.check(
+        "MBDC > vednn (paper 1.63x)",
+        mbdc_vednn > 1.2,
+        format!("{mbdc_vednn:.2}x"),
+    );
 
     // --- claim: DC collapses on the Formula-3 layers (fwdd)
     let (mut hot, mut cold) = (Vec::new(), Vec::new());
@@ -122,7 +138,10 @@ fn main() {
     v.check(
         "DC conflict collapse (fwdd)",
         collapse > 1.5,
-        format!("clean/conflicted geomean = {collapse:.2}x ({} conflicted layers)", hot.len()),
+        format!(
+            "clean/conflicted geomean = {collapse:.2}x ({} conflicted layers)",
+            hot.len()
+        ),
     );
 
     // --- claim: BDC rescues the conflicted layers (paper ~2.95x over DC)
@@ -190,7 +209,10 @@ fn main() {
     // --- Figure 5 claims, if present.
     if let Ok(text) = std::fs::read_to_string(dir.join("figure5.csv")) {
         let mut t: HashMap<(String, usize, String), f64> = HashMap::new();
-        for l in text.lines().filter(|l| !l.starts_with('#') && !l.starts_with("model")) {
+        for l in text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.starts_with("model"))
+        {
             let f: Vec<&str> = l.split(',').collect();
             if f.len() == 5 {
                 if let (Ok(vl), Ok(ms)) = (f[1].parse::<usize>(), f[3].parse::<f64>()) {

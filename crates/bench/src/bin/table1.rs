@@ -2,8 +2,8 @@
 //! `N_vlen`, `N_fma`, `L_fma` and the independent-computation requirement
 //! `E` (Formula 1) for Intel Skylake and NEC SX-Aurora.
 
-use lsv_arch::{formula1_required_independent_elems, formula2_rb_min};
 use lsv_arch::presets::{skylake_avx512, sx_aurora};
+use lsv_arch::{formula1_required_independent_elems, formula2_rb_min};
 
 fn main() {
     println!("architecture,n_vlen,n_fma,l_fma,E,rb_min");

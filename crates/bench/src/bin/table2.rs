@@ -13,9 +13,13 @@ fn main() {
     // A wide layer: IC = OC = 1024 >= N_vlen so the blocking policies are
     // visible unclamped.
     let p = ConvProblem::new(256, 1024, 1024, 14, 14, 3, 3, 1, 1);
-    println!("algorithm,act_block(IC_b/OC_b),wei_block(icb,ocb),schedule_grain,register_block,rb_range");
+    println!(
+        "algorithm,act_block(IC_b/OC_b),wei_block(icb,ocb),schedule_grain,register_block,rb_range"
+    );
     for alg in Algorithm::ALL {
-        let prim = ConvDesc::new(p, Direction::Fwd, alg).create(&arch, 8).unwrap();
+        let prim = ConvDesc::new(p, Direction::Fwd, alg)
+            .create(&arch, 8)
+            .unwrap();
         let cfg = prim.cfg();
         let range = match alg {
             Algorithm::Dc => format!(">= {}", formula2_rb_min(&arch)),

@@ -31,5 +31,7 @@ fn main() {
         );
     }
     println!();
-    println!("# Paper Section 8: conflicts predicted fwdd on 4,5,8-10,13-18; bwdd on 4,7,9,12,14-18.");
+    println!(
+        "# Paper Section 8: conflicts predicted fwdd on 4,5,8-10,13-18; bwdd on 4,7,9,12,14-18."
+    );
 }

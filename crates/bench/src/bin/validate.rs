@@ -11,7 +11,6 @@ use lsv_arch::presets::sx_aurora;
 use lsv_conv::{naive, validate, Algorithm, Direction};
 use lsv_models::resnet_layers;
 use lsv_vednn::VednnConv;
-use rayon::prelude::*;
 use rand::{Rng, SeedableRng};
 
 fn main() {
@@ -31,9 +30,8 @@ fn main() {
         }
     }
 
-    let mut results: Vec<(usize, Direction, &'static str, f32, bool)> = jobs
-        .into_par_iter()
-        .map(|(id, dir, name)| {
+    let mut results: Vec<(usize, Direction, &'static str, f32, bool)> =
+        lsv_bench::par::par_map(jobs, |(id, dir, name)| {
             let p = layers[id];
             let (rel, pass) = match name {
                 "vednn" => {
@@ -70,8 +68,7 @@ fn main() {
                 }
             };
             (id, dir, name, rel, pass)
-        })
-        .collect();
+        });
     results.sort_by_key(|r| (r.0, r.1.short_name(), r.2));
 
     println!("problem_id,direction,algorithm,minibatch,rel_err,status");

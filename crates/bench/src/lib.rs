@@ -11,7 +11,8 @@ use lsv_conv::perf::LayerPerf;
 use lsv_conv::{bench_layer, Algorithm, ConvProblem, Direction, ExecutionMode};
 use lsv_models::{resnet_layers, ResNetModel};
 use lsv_vednn::bench_layer_vednn;
-use rayon::prelude::*;
+
+pub mod par;
 
 /// A convolution engine under test: one of the paper's direct algorithms or
 /// the baseline library.
@@ -131,19 +132,16 @@ pub fn run_suite(
             }
         }
     }
-    let mut rows: Vec<Row> = jobs
-        .into_par_iter()
-        .map(|(id, direction, engine)| {
-            let perf = bench_engine(arch, &layers[id], direction, engine, mode);
-            Row {
-                layer_id: id,
-                direction,
-                engine,
-                minibatch,
-                perf,
-            }
-        })
-        .collect();
+    let mut rows: Vec<Row> = par::par_map(jobs, |(id, direction, engine)| {
+        let perf = bench_engine(arch, &layers[id], direction, engine, mode);
+        Row {
+            layer_id: id,
+            direction,
+            engine,
+            minibatch,
+            perf,
+        }
+    });
     rows.sort_by_key(|r| (r.direction.short_name(), r.layer_id, r.engine.name()));
     rows
 }
@@ -161,13 +159,10 @@ pub fn layer_time_table(
     let jobs: Vec<(usize, usize)> = (0..layers.len())
         .flat_map(|id| (0..3).map(move |d| (id, d)))
         .collect();
-    let times: Vec<(usize, usize, f64)> = jobs
-        .into_par_iter()
-        .map(|(id, d)| {
-            let perf = bench_engine(arch, &layers[id], Direction::ALL[d], engine, mode);
-            (id, d, perf.time_ms)
-        })
-        .collect();
+    let times: Vec<(usize, usize, f64)> = par::par_map(jobs, |(id, d)| {
+        let perf = bench_engine(arch, &layers[id], Direction::ALL[d], engine, mode);
+        (id, d, perf.time_ms)
+    });
     let mut table = vec![[0.0f64; 3]; layers.len()];
     for (id, d, t) in times {
         table[id][d] = t;

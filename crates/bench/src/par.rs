@@ -1,0 +1,72 @@
+//! Host-side parallel map over independent benchmark jobs.
+//!
+//! Replaces the rayon dependency (unavailable offline) with a scoped
+//! worker pool: jobs are claimed by atomic index so an expensive layer
+//! doesn't serialize behind a cheap one, and results keep input order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Apply `f` to every item, using up to `available_parallelism` worker
+/// threads, and return the results in input order.
+pub fn par_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("par_map: poisoned job slot")
+                    .take()
+                    .expect("par_map: job claimed twice");
+                let out = f(item);
+                *results[i].lock().expect("par_map: poisoned result slot") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("par_map: poisoned result slot")
+                .expect("par_map: worker panicked before storing its result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::par_map;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let xs: Vec<usize> = (0..100).collect();
+        let ys = par_map(xs, |x| x * 3);
+        assert_eq!(ys, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let ys: Vec<u32> = par_map(Vec::<u32>::new(), |x| x);
+        assert!(ys.is_empty());
+    }
+}

@@ -81,7 +81,10 @@ mod tests {
         let stride = (16 * LINE) as u64;
         let addrs: Vec<u64> = (0..16).map(|i| i * stride).collect();
         assert_eq!(gather_serialization(addrs, LINE, &banking()), 16);
-        assert_eq!(gather_service_cycles((0..16).map(|i| i * stride), LINE, &banking()), 64);
+        assert_eq!(
+            gather_service_cycles((0..16).map(|i| i * stride), LINE, &banking()),
+            64
+        );
     }
 
     #[test]
@@ -102,6 +105,9 @@ mod tests {
 
     #[test]
     fn empty_gather_is_free() {
-        assert_eq!(gather_serialization(std::iter::empty(), LINE, &banking()), 0);
+        assert_eq!(
+            gather_serialization(std::iter::empty(), LINE, &banking()),
+            0
+        );
     }
 }

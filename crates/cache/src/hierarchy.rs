@@ -77,7 +77,11 @@ impl Hierarchy {
             let shrunk = (arch.llc.size / llc_share).max(arch.llc.line * arch.llc.ways);
             // Round down to a multiple of line*ways so the geometry stays valid.
             let quantum = arch.llc.line * arch.llc.ways;
-            llc_geom = lsv_arch::CacheGeometry::new(shrunk / quantum * quantum, arch.llc.line, arch.llc.ways);
+            llc_geom = lsv_arch::CacheGeometry::new(
+                shrunk / quantum * quantum,
+                arch.llc.line,
+                arch.llc.ways,
+            );
         }
         Self {
             l1: SetAssocCache::new(arch.l1d, true),

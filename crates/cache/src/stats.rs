@@ -1,9 +1,7 @@
 //! Hit/miss statistics for cache levels and the full hierarchy.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters for one cache level.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct LevelStats {
     /// Accesses that hit this level.
     pub hits: u64,
@@ -54,7 +52,7 @@ impl LevelStats {
 }
 
 /// Statistics for a whole [`crate::Hierarchy`].
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyStats {
     /// L1 data cache counters.
     pub l1: LevelStats,

@@ -60,8 +60,8 @@ pub fn microkernel_footprint(
 mod tests {
     use super::*;
     use crate::tuning::split_register_block;
-    use lsv_arch::presets::{aurora_with_vlen_bits, sx_aurora};
     use lsv_arch::formula2_rb_min;
+    use lsv_arch::presets::{aurora_with_vlen_bits, sx_aurora};
 
     #[test]
     fn figure2_peak_footprint_is_about_9mib() {

@@ -68,9 +68,33 @@ pub fn run(
                             while iw0 < p.iw {
                                 let rbw_cur = rb_w.min(p.iw - iw0);
                                 micro_kernel(
-                                    cfg, p, core, arena, src_diff, wei, dst_diff, n, icv,
-                                    icv * vl_max, vl, lanes, oc0, oc_cnt, kh0, kh_cnt, kw0, kw_cnt, ih0, rbh_cur,
-                                    iw0, rbw_cur, first_pass, wslot0, wbuf, oh, ow,
+                                    cfg,
+                                    p,
+                                    core,
+                                    arena,
+                                    src_diff,
+                                    wei,
+                                    dst_diff,
+                                    n,
+                                    icv,
+                                    icv * vl_max,
+                                    vl,
+                                    lanes,
+                                    oc0,
+                                    oc_cnt,
+                                    kh0,
+                                    kh_cnt,
+                                    kw0,
+                                    kw_cnt,
+                                    ih0,
+                                    rbh_cur,
+                                    iw0,
+                                    rbw_cur,
+                                    first_pass,
+                                    wslot0,
+                                    wbuf,
+                                    oh,
+                                    ow,
                                 );
                                 iw0 += rb_w;
                             }
@@ -160,7 +184,12 @@ fn micro_kernel(
     for j in 0..total {
         if j + lookahead < total {
             core.scalar_op();
-            core.vload(arena, wslot0 + (j + lookahead) % wbuf, w_addr(j + lookahead), vl);
+            core.vload(
+                arena,
+                wslot0 + (j + lookahead) % wbuf,
+                w_addr(j + lookahead),
+                vl,
+            );
         }
         let wreg = wslot0 + j % wbuf;
         let o = j % oc_cnt;

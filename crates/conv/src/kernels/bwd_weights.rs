@@ -77,8 +77,23 @@ pub fn run(
                     for n in n_range.clone() {
                         core.scalar_ops(2);
                         sweep_spatial(
-                            cfg, p, core, arena, vec_t, sca_t, n, cvb * vl_max, vl, cs0, rb_cur,
-                            kh, kw, oh, ow, vbuf0, vbuf,
+                            cfg,
+                            p,
+                            core,
+                            arena,
+                            vec_t,
+                            sca_t,
+                            n,
+                            cvb * vl_max,
+                            vl,
+                            cs0,
+                            rb_cur,
+                            kh,
+                            kw,
+                            oh,
+                            ow,
+                            vbuf0,
+                            vbuf,
                         );
                     }
                     // Store the finished W_diff vectors (one store per

@@ -189,7 +189,12 @@ fn micro_kernel(a: MicroArgs<'_, '_>) {
     for j in 0..total {
         if j + lookahead < total {
             core.scalar_op(); // weight pointer bump
-            core.vload(arena, wslot0 + (j + lookahead) % wbuf, w_addr(j + lookahead), vl);
+            core.vload(
+                arena,
+                wslot0 + (j + lookahead) % wbuf,
+                w_addr(j + lookahead),
+                vl,
+            );
         }
         let wreg = wslot0 + j % wbuf;
         let i = j % ic_cnt;

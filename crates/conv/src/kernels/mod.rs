@@ -49,15 +49,16 @@ pub(crate) fn load_act_vec(
 ) {
     let cb = t.layout.cb;
     if cb >= vl {
-        debug_assert!(c0 % cb + vl <= cb, "vector access straddles a channel block");
+        debug_assert!(
+            c0 % cb + vl <= cb,
+            "vector access straddles a channel block"
+        );
         let addr = t.block_at(n, c0 / cb, y, x) + ((c0 % cb) as u64) * 4;
         core.vload(arena, reg, addr, vl);
     } else {
         debug_assert_eq!(c0 % cb, 0, "gather must start on a block boundary");
         let bpv = vl.div_ceil(cb);
-        let blocks: Vec<u64> = (0..bpv)
-            .map(|j| t.block_at(n, c0 / cb + j, y, x))
-            .collect();
+        let blocks: Vec<u64> = (0..bpv).map(|j| t.block_at(n, c0 / cb + j, y, x)).collect();
         core.vgather_blocks(arena, reg, &blocks, cb);
     }
 }
@@ -78,15 +79,16 @@ pub(crate) fn store_act_vec(
 ) {
     let cb = t.layout.cb;
     if cb >= vl {
-        debug_assert!(c0 % cb + vl <= cb, "vector access straddles a channel block");
+        debug_assert!(
+            c0 % cb + vl <= cb,
+            "vector access straddles a channel block"
+        );
         let addr = t.block_at(n, c0 / cb, y, x) + ((c0 % cb) as u64) * 4;
         core.vstore(arena, reg, addr, vl);
     } else {
         debug_assert_eq!(c0 % cb, 0, "scatter must start on a block boundary");
         let bpv = vl.div_ceil(cb);
-        let blocks: Vec<u64> = (0..bpv)
-            .map(|j| t.block_at(n, c0 / cb + j, y, x))
-            .collect();
+        let blocks: Vec<u64> = (0..bpv).map(|j| t.block_at(n, c0 / cb + j, y, x)).collect();
         core.vscatter_blocks(arena, reg, &blocks, cb);
     }
 }

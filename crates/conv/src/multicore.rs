@@ -125,8 +125,12 @@ mod tests {
         let mut arena = Arena::new();
         let t = prim.alloc_tensors(&mut arena);
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let src: Vec<f32> = (0..p.n * p.ic * p.ih * p.iw).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let wei: Vec<f32> = (0..p.oc * p.ic * p.kh * p.kw).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let src: Vec<f32> = (0..p.n * p.ic * p.ih * p.iw)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let wei: Vec<f32> = (0..p.oc * p.ic * p.kh * p.kw)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         t.src.store_nchw(&mut arena, &src);
         prim.store_weights(&mut arena, &t, &wei);
         let report = execute_multicore(&prim, &mut arena, &t, ExecutionMode::Functional);

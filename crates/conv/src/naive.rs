@@ -41,8 +41,8 @@ pub fn forward(p: &ConvProblem, src: &[f32], wei: &[f32]) -> Vec<f32> {
                                 if iw < 0 || iw >= p.iw as isize {
                                     continue;
                                 }
-                                let s = src[((n * p.ic + ic) * p.ih + ih as usize) * p.iw
-                                    + iw as usize];
+                                let s = src
+                                    [((n * p.ic + ic) * p.ih + ih as usize) * p.iw + iw as usize];
                                 let w = wei[((oc * p.ic + ic) * p.kh + kh) * p.kw + kw];
                                 acc += s * w;
                             }
@@ -200,8 +200,16 @@ mod tests {
         let d = rand_vec(p.n * p.oc * p.oh() * p.ow(), 4);
         let fwd = forward(&p, &s, &w);
         let bwd = backward_data(&p, &d, &w);
-        let lhs: f64 = fwd.iter().zip(&d).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
-        let rhs: f64 = s.iter().zip(&bwd).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let lhs: f64 = fwd
+            .iter()
+            .zip(&d)
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        let rhs: f64 = s
+            .iter()
+            .zip(&bwd)
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
         assert!(
             (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
             "adjoint identity violated: {lhs} vs {rhs}"
@@ -217,8 +225,16 @@ mod tests {
         let d = rand_vec(p.n * p.oc * p.oh() * p.ow(), 7);
         let fwd = forward(&p, &s, &w);
         let wd = backward_weights(&p, &s, &d);
-        let lhs: f64 = fwd.iter().zip(&d).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
-        let rhs: f64 = w.iter().zip(&wd).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let lhs: f64 = fwd
+            .iter()
+            .zip(&d)
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        let rhs: f64 = w
+            .iter()
+            .zip(&wd)
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
         assert!(
             (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
             "adjoint identity violated: {lhs} vs {rhs}"

@@ -64,9 +64,7 @@ pub fn bench_layer(
         Direction::Fwd | Direction::BwdData => {
             bench_minibatch_parallel(arch, problem, direction, algorithm, mode, cores)
         }
-        Direction::BwdWeights => {
-            bench_bwdw_parallel(arch, problem, algorithm, mode, cores)
-        }
+        Direction::BwdWeights => bench_bwdw_parallel(arch, problem, algorithm, mode, cores),
     };
     finish(arch, problem, direction, algorithm, per_core_cycles)
 }
@@ -252,9 +250,19 @@ mod tests {
     fn bench_layer_produces_sane_numbers() {
         let arch = sx_aurora();
         let p = ConvProblem::new(32, 64, 64, 14, 14, 3, 3, 1, 1);
-        let perf = bench_layer(&arch, &p, Direction::Fwd, Algorithm::Bdc, ExecutionMode::TimingOnly);
+        let perf = bench_layer(
+            &arch,
+            &p,
+            Direction::Fwd,
+            Algorithm::Bdc,
+            ExecutionMode::TimingOnly,
+        );
         assert!(perf.gflops > 0.0);
-        assert!(perf.efficiency > 0.0 && perf.efficiency <= 1.0, "eff {}", perf.efficiency);
+        assert!(
+            perf.efficiency > 0.0 && perf.efficiency <= 1.0,
+            "eff {}",
+            perf.efficiency
+        );
         assert!(perf.time_ms > 0.0);
     }
 
@@ -262,7 +270,13 @@ mod tests {
     fn larger_minibatch_does_not_reduce_throughput() {
         let arch = sx_aurora();
         let base = ConvProblem::new(8, 128, 128, 14, 14, 3, 3, 1, 1);
-        let small = bench_layer(&arch, &base, Direction::Fwd, Algorithm::Bdc, ExecutionMode::TimingOnly);
+        let small = bench_layer(
+            &arch,
+            &base,
+            Direction::Fwd,
+            Algorithm::Bdc,
+            ExecutionMode::TimingOnly,
+        );
         let big = bench_layer(
             &arch,
             &base.with_minibatch(64),
@@ -282,7 +296,13 @@ mod tests {
     fn bwdw_bench_runs() {
         let arch = sx_aurora();
         let p = ConvProblem::new(16, 64, 128, 14, 14, 1, 1, 1, 0);
-        let perf = bench_layer(&arch, &p, Direction::BwdWeights, Algorithm::Dc, ExecutionMode::TimingOnly);
+        let perf = bench_layer(
+            &arch,
+            &p,
+            Direction::BwdWeights,
+            Algorithm::Dc,
+            ExecutionMode::TimingOnly,
+        );
         assert!(perf.gflops > 0.0 && perf.efficiency <= 1.0);
     }
 }

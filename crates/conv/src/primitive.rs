@@ -30,6 +30,12 @@ pub enum UnsupportedReason {
         /// Registers the architecture has.
         available: usize,
     },
+    /// An external validator (e.g. the `lsv-analyze` linter) rejected the
+    /// tuner's configuration.
+    Rejected {
+        /// The validator's explanation.
+        why: String,
+    },
 }
 
 impl fmt::Display for UnsupportedReason {
@@ -40,6 +46,9 @@ impl fmt::Display for UnsupportedReason {
                 "register pressure: configuration needs {needed} vector registers, \
                  architecture has {available}"
             ),
+            UnsupportedReason::Rejected { why } => {
+                write!(f, "configuration rejected by validator: {why}")
+            }
         }
     }
 }
@@ -172,6 +181,27 @@ impl ConvDesc {
             cfg,
             threads: threads.max(1),
         })
+    }
+
+    /// Like [`ConvDesc::create`], additionally passing the tuned
+    /// configuration through an external `validator` before committing to
+    /// it. A validator error becomes [`UnsupportedReason::Rejected`], so a
+    /// caller can treat "the linter denies this kernel" exactly like any
+    /// other unsupported-primitive condition.
+    ///
+    /// The validator hook keeps the dependency arrow pointing one way:
+    /// `lsv-analyze` depends on this crate and supplies the closure; this
+    /// crate never needs to know the linter exists.
+    pub fn create_validated(
+        &self,
+        arch: &ArchParams,
+        threads: usize,
+        validator: &dyn Fn(&ArchParams, &ConvProblem, &KernelConfig) -> Result<(), String>,
+    ) -> Result<ConvPrimitive, UnsupportedReason> {
+        let prim = self.create(arch, threads)?;
+        validator(arch, &self.problem, &prim.cfg)
+            .map_err(|why| UnsupportedReason::Rejected { why })?;
+        Ok(prim)
     }
 
     /// Create a primitive with an explicit configuration, bypassing the
@@ -322,9 +352,9 @@ impl ConvPrimitive {
             Direction::Fwd => {
                 kernels::fwd::run(&self.cfg, p, core, arena, &t.src, &t.wei, &t.dst, n_range)
             }
-            Direction::BwdData => kernels::bwd_data::run(
-                &self.cfg, p, core, arena, &t.src, &t.wei, &t.dst, n_range,
-            ),
+            Direction::BwdData => {
+                kernels::bwd_data::run(&self.cfg, p, core, arena, &t.src, &t.wei, &t.dst, n_range)
+            }
             Direction::BwdWeights => kernels::bwd_weights::run(
                 &self.cfg,
                 p,
@@ -408,7 +438,9 @@ mod tests {
     fn alloc_tensors_use_configured_layouts() {
         let arch = sx_aurora();
         for alg in Algorithm::ALL {
-            let prim = ConvDesc::new(problem(), Direction::Fwd, alg).create(&arch, 1).unwrap();
+            let prim = ConvDesc::new(problem(), Direction::Fwd, alg)
+                .create(&arch, 1)
+                .unwrap();
             let mut arena = lsv_vengine::Arena::new();
             let t = prim.alloc_tensors(&mut arena);
             assert_eq!(t.src.layout, prim.cfg().src_layout, "{alg}");
@@ -423,7 +455,9 @@ mod tests {
         // identity on the logical OIHW view.
         let arch = sx_aurora();
         let p = problem();
-        let prim = ConvDesc::new(p, Direction::BwdData, Algorithm::Dc).create(&arch, 1).unwrap();
+        let prim = ConvDesc::new(p, Direction::BwdData, Algorithm::Dc)
+            .create(&arch, 1)
+            .unwrap();
         assert!(prim.cfg().wei_swapped);
         let mut arena = lsv_vengine::Arena::new();
         let t = prim.alloc_tensors(&mut arena);
@@ -485,7 +519,9 @@ mod tests {
         let wei = vec![0.25f32; p.oc * p.ic * p.kh * p.kw];
         let dst = vec![1.0f32; p.n * p.oc * p.oh() * p.ow()];
         for dir in Direction::ALL {
-            let prim = ConvDesc::new(p, dir, Algorithm::Mbdc).create(&arch, 1).unwrap();
+            let prim = ConvDesc::new(p, dir, Algorithm::Mbdc)
+                .create(&arch, 1)
+                .unwrap();
             let (out, report) = prim.run_functional(&src, &wei, &dst);
             let expected_len = match dir {
                 Direction::Fwd => dst.len(),

@@ -166,12 +166,8 @@ impl ConvProblem {
     /// Number of independent output elements of a direction (Section 2.1).
     pub fn independent_outputs(&self, dir: Direction) -> u64 {
         match dir {
-            Direction::Fwd => {
-                self.n as u64 * self.oc as u64 * self.oh() as u64 * self.ow() as u64
-            }
-            Direction::BwdData => {
-                self.n as u64 * self.ic as u64 * self.ih as u64 * self.iw as u64
-            }
+            Direction::Fwd => self.n as u64 * self.oc as u64 * self.oh() as u64 * self.ow() as u64,
+            Direction::BwdData => self.n as u64 * self.ic as u64 * self.ih as u64 * self.iw as u64,
             Direction::BwdWeights => {
                 self.oc as u64 * self.ic as u64 * self.kh as u64 * self.kw as u64
             }

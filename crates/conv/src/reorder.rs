@@ -115,7 +115,12 @@ pub fn reorder_weights(
     );
     assert_eq!(
         (src_oihw.oc, src_oihw.ic, src_oihw.kh, src_oihw.kw),
-        (dst_blocked.oc, dst_blocked.ic, dst_blocked.kh, dst_blocked.kw),
+        (
+            dst_blocked.oc,
+            dst_blocked.ic,
+            dst_blocked.kh,
+            dst_blocked.kw
+        ),
         "shape mismatch"
     );
     let (oc, ic, kh, kw) = (src_oihw.oc, src_oihw.ic, src_oihw.kh, src_oihw.kw);
@@ -153,13 +158,27 @@ pub fn reorder_cost(
     let src_n = ActTensor::alloc(&mut arena, p.n, p.ic, p.ih, p.iw, ActivationLayout::nchw());
     let src_b = ActTensor::alloc(&mut arena, p.n, p.ic, p.ih, p.iw, cfg.src_layout);
     reorder_activations(&mut core, &mut arena, &src_n, &src_b);
-    let wei_n = WeiTensor::alloc(&mut arena, p.oc, p.ic, p.kh, p.kw, lsv_tensor::WeightLayout::oihw());
+    let wei_n = WeiTensor::alloc(
+        &mut arena,
+        p.oc,
+        p.ic,
+        p.kh,
+        p.kw,
+        lsv_tensor::WeightLayout::oihw(),
+    );
     if !cfg.wei_swapped {
         let wei_b = WeiTensor::alloc(&mut arena, p.oc, p.ic, p.kh, p.kw, cfg.wei_layout);
         reorder_weights(&mut core, &mut arena, &wei_n, &wei_b);
     }
     let dst_b = ActTensor::alloc(&mut arena, p.n, p.oc, p.oh(), p.ow(), cfg.dst_layout);
-    let dst_n = ActTensor::alloc(&mut arena, p.n, p.oc, p.oh(), p.ow(), ActivationLayout::nchw());
+    let dst_n = ActTensor::alloc(
+        &mut arena,
+        p.n,
+        p.oc,
+        p.oh(),
+        p.ow(),
+        ActivationLayout::nchw(),
+    );
     reorder_activations_back(&mut core, &mut arena, &dst_b, &dst_n);
     core.drain()
 }
@@ -207,8 +226,20 @@ mod tests {
         let arch = sx_aurora();
         let small = ConvProblem::new(1, 32, 32, 7, 7, 1, 1, 1, 0);
         let large = ConvProblem::new(1, 32, 32, 28, 28, 1, 1, 1, 0);
-        let cfg_s = crate::tuning::kernel_config(&arch, &small, crate::Direction::Fwd, crate::Algorithm::Bdc, 1);
-        let cfg_l = crate::tuning::kernel_config(&arch, &large, crate::Direction::Fwd, crate::Algorithm::Bdc, 1);
+        let cfg_s = crate::tuning::kernel_config(
+            &arch,
+            &small,
+            crate::Direction::Fwd,
+            crate::Algorithm::Bdc,
+            1,
+        );
+        let cfg_l = crate::tuning::kernel_config(
+            &arch,
+            &large,
+            crate::Direction::Fwd,
+            crate::Algorithm::Bdc,
+            1,
+        );
         let c_small = reorder_cost(&arch, &small, &cfg_s);
         let c_large = reorder_cost(&arch, &large, &cfg_l);
         assert!(

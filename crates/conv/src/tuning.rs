@@ -177,7 +177,8 @@ fn wei_inner_grain(arch: &ArchParams, algorithm: Algorithm, c: usize) -> usize {
 fn wbuf_depth(arch: &ArchParams, vl: usize, rb_combined: usize) -> usize {
     // One inner iteration issues rb * B_seq instructions through a
     // `scalar_issue_width`-wide frontend.
-    let per_iter = ((rb_combined * arch.b_seq).max(1) as u64).div_ceil(arch.scalar_issue_width as u64);
+    let per_iter =
+        ((rb_combined * arch.b_seq).max(1) as u64).div_ceil(arch.scalar_issue_width as u64);
     let lat = arch.lat.llc + arch.vector_occupancy(vl);
     (lat.div_ceil(per_iter.max(1)) as usize + 1).clamp(2, 12)
 }
@@ -248,12 +249,7 @@ pub fn kernel_config(
                 wei_swapped: false,
                 vec_over_ic: false,
                 wbuf: wbuf_depth(arch, vl, rb.combined()),
-                conflicts_predicted: formula3_predicts_conflicts(
-                    arch,
-                    ab,
-                    rb.combined(),
-                    p.stride,
-                ),
+                conflicts_predicted: formula3_predicts_conflicts(arch, ab, rb.combined(), p.stride),
             }
         }
         Direction::BwdData => {
@@ -276,7 +272,9 @@ pub fn kernel_config(
                     kw_i: p.kw,
                     c_i: p.oc.min(n_vlen),
                 },
-                _ => autotune_microkernel(arch, p.kh, p.kw, p.oc, p.ic, p.oh(), p.ow(), rb, threads),
+                _ => {
+                    autotune_microkernel(arch, p.kh, p.kw, p.oc, p.ic, p.oh(), p.ow(), rb, threads)
+                }
             };
             KernelConfig {
                 algorithm,
@@ -304,7 +302,11 @@ pub fn kernel_config(
             // Vectorize the larger feature-map dimension; register-block the
             // smaller one with RB_c (Section 4.1).
             let vec_over_ic = p.ic > p.oc;
-            let (c_vec, c_small) = if vec_over_ic { (p.ic, p.oc) } else { (p.oc, p.ic) };
+            let (c_vec, c_small) = if vec_over_ic {
+                (p.ic, p.oc)
+            } else {
+                (p.oc, p.ic)
+            };
             let vl = c_vec.min(n_vlen);
             // Scalar stream walks the *non*-vectorized activation tensor:
             // S when vectorizing OC (stride = conv stride), D when
@@ -454,17 +456,32 @@ mod tests {
     #[test]
     fn mbdc_uses_cline_blocked_activations() {
         let arch = sx_aurora();
-        let cfg = kernel_config(&arch, &layer(256, 512, 28, 1, 1, 0), Direction::Fwd, Algorithm::Mbdc, 8);
+        let cfg = kernel_config(
+            &arch,
+            &layer(256, 512, 28, 1, 1, 0),
+            Direction::Fwd,
+            Algorithm::Mbdc,
+            8,
+        );
         assert_eq!(cfg.src_layout.cb, 32);
         assert_eq!(cfg.dst_layout.cb, 32);
-        assert_eq!(cfg.wei_layout.ocb, 512, "weights keep the vector dim contiguous");
+        assert_eq!(
+            cfg.wei_layout.ocb, 512,
+            "weights keep the vector dim contiguous"
+        );
         assert_eq!(cfg.wei_layout.icb, 32);
     }
 
     #[test]
     fn dc_uses_vlen_blocked_activations() {
         let arch = sx_aurora();
-        let cfg = kernel_config(&arch, &layer(256, 512, 28, 1, 1, 0), Direction::Fwd, Algorithm::Dc, 8);
+        let cfg = kernel_config(
+            &arch,
+            &layer(256, 512, 28, 1, 1, 0),
+            Direction::Fwd,
+            Algorithm::Dc,
+            8,
+        );
         assert_eq!(cfg.src_layout.cb, 256, "dynamic C_b = min(IC, N_vlen)");
         assert_eq!(cfg.dst_layout.cb, 512);
         assert_eq!(cfg.vl, 512);
@@ -492,7 +509,10 @@ mod tests {
         let tile = autotune_microkernel(&arch, 3, 3, 512, 512, 7, 7, rb, 8);
         let w_bytes = 512.min(arch.n_vlen()) * tile.c_i * tile.kh_i * tile.kw_i * 4;
         assert!(w_bytes <= arch.llc.size, "tuned W sub-tensor fits the LLC");
-        assert!(tile.c_i >= arch.n_cline(), "loop resize floor is N_cline-ish");
+        assert!(
+            tile.c_i >= arch.n_cline(),
+            "loop resize floor is N_cline-ish"
+        );
     }
 
     #[test]
@@ -500,7 +520,14 @@ mod tests {
         let arch = sx_aurora();
         let rb = RegisterBlocking { rb_w: 24, rb_h: 1 };
         let tile = autotune_microkernel(&arch, 1, 1, 64, 64, 56, 56, rb, 8);
-        assert_eq!(tile, MicroTile { kh_i: 1, kw_i: 1, c_i: 64 });
+        assert_eq!(
+            tile,
+            MicroTile {
+                kh_i: 1,
+                kw_i: 1,
+                c_i: 64
+            }
+        );
     }
 
     #[test]
@@ -516,12 +543,24 @@ mod tests {
     fn bwdw_vectorizes_larger_dim() {
         let arch = sx_aurora();
         // OC > IC -> vectorize OC, register-block IC.
-        let cfg = kernel_config(&arch, &layer(64, 256, 56, 1, 1, 0), Direction::BwdWeights, Algorithm::Dc, 8);
+        let cfg = kernel_config(
+            &arch,
+            &layer(64, 256, 56, 1, 1, 0),
+            Direction::BwdWeights,
+            Algorithm::Dc,
+            8,
+        );
         assert!(!cfg.vec_over_ic);
         assert_eq!(cfg.vl, 256);
         assert_eq!(cfg.rb_c, 24);
         // IC > OC -> vectorize IC.
-        let cfg = kernel_config(&arch, &layer(256, 64, 56, 1, 1, 0), Direction::BwdWeights, Algorithm::Dc, 8);
+        let cfg = kernel_config(
+            &arch,
+            &layer(256, 64, 56, 1, 1, 0),
+            Direction::BwdWeights,
+            Algorithm::Dc,
+            8,
+        );
         assert!(cfg.vec_over_ic);
         assert_eq!(cfg.vl, 256);
         assert_eq!(cfg.rb_c, 24);
@@ -561,7 +600,9 @@ mod tests {
             (2048, 512, 7, 7, 1, 1, 0),
         ];
         rows.iter()
-            .map(|&(ic, oc, ihw, _ohw, k, s, pad)| ConvProblem::new(256, ic, oc, ihw, ihw, k, k, s, pad))
+            .map(|&(ic, oc, ihw, _ohw, k, s, pad)| {
+                ConvProblem::new(256, ic, oc, ihw, ihw, k, k, s, pad)
+            })
             .collect()
     }
 }

@@ -51,10 +51,7 @@ pub fn validate(
 
     let (reference, reduction_len) = match direction {
         Direction::Fwd => (naive::forward(&p, &src, &wei), p.ic * p.kh * p.kw),
-        Direction::BwdData => (
-            naive::backward_data(&p, &dst, &wei),
-            p.oc * p.kh * p.kw,
-        ),
+        Direction::BwdData => (naive::backward_data(&p, &dst, &wei), p.oc * p.kh * p.kw),
         Direction::BwdWeights => (
             naive::backward_weights(&p, &src, &dst),
             p.n * p.oh() * p.ow(),
@@ -62,7 +59,10 @@ pub fn validate(
     };
 
     let max_abs_err = naive::max_abs_diff(&got, &reference);
-    let scale = reference.iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1.0);
+    let scale = reference
+        .iter()
+        .fold(0.0f32, |m, v| m.max(v.abs()))
+        .max(1.0);
     let rel_err = max_abs_err / scale;
     ValidationReport {
         max_abs_err,

@@ -33,7 +33,7 @@ fn mean_fma_distance(trace: &[TraceEvent]) -> f64 {
     let idx: Vec<usize> = trace
         .iter()
         .enumerate()
-        .filter_map(|(i, e)| matches!(e, TraceEvent::VFma(_)).then_some(i))
+        .filter_map(|(i, e)| matches!(e, TraceEvent::VFma { .. }).then_some(i))
         .collect();
     assert!(idx.len() > 10, "kernel too small to measure");
     let total: usize = idx.windows(2).map(|w| w[1] - w[0]).sum();
@@ -54,11 +54,14 @@ fn fwd_kernels_have_bseq_three_structure() {
         // Each FMA is immediately preceded by its scalar load.
         let mut checked = 0;
         for w in trace.windows(2) {
-            if let [TraceEvent::ScalarLoad(_), TraceEvent::VFma(_)] = w {
+            if let [TraceEvent::ScalarLoad { .. }, TraceEvent::VFma { .. }] = w {
                 checked += 1;
             }
         }
-        let fmas = trace.iter().filter(|e| matches!(e, TraceEvent::VFma(_))).count();
+        let fmas = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::VFma { .. }))
+            .count();
         assert!(
             checked as f64 > 0.95 * fmas as f64,
             "{alg}: only {checked}/{fmas} FMAs fed by an adjacent scalar load"
@@ -72,12 +75,15 @@ fn mbdc_uses_gathers_dc_uses_unit_stride() {
     let mbdc = trace_of(Algorithm::Mbdc, Direction::Fwd);
     let count = |t: &[TraceEvent], f: fn(&TraceEvent) -> bool| t.iter().filter(|e| f(e)).count();
     assert_eq!(
-        count(&dc, |e| matches!(e, TraceEvent::VGather(_) | TraceEvent::VScatter(_))),
+        count(&dc, |e| matches!(
+            e,
+            TraceEvent::VGather { .. } | TraceEvent::VScatter { .. }
+        )),
         0,
         "DC never gathers"
     );
     assert!(
-        count(&mbdc, |e| matches!(e, TraceEvent::VScatter(_))) > 0,
+        count(&mbdc, |e| matches!(e, TraceEvent::VScatter { .. })) > 0,
         "MBDC stores D via block scatters"
     );
     // D *loads* (gathers) only appear once the channel reduction is split
@@ -95,7 +101,11 @@ fn mbdc_uses_gathers_dc_uses_unit_stride() {
     prim.execute_core(&mut core, &mut arena, &t, 0..1, 0..0);
     let chunked = core.trace().unwrap();
     assert!(
-        chunked.iter().filter(|e| matches!(e, TraceEvent::VGather(_))).count() > 0,
+        chunked
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::VGather { .. }))
+            .count()
+            > 0,
         "chunked MBDC reloads D via block gathers"
     );
 }
@@ -107,13 +117,15 @@ fn accumulator_rotation_matches_register_block() {
     // ~RB_h*RB_w FMAs.
     let arch = sx_aurora();
     let p = ConvProblem::new(1, 40, 48, 6, 6, 3, 3, 1, 1);
-    let prim = ConvDesc::new(p, Direction::Fwd, Algorithm::Dc).create(&arch, 1).unwrap();
+    let prim = ConvDesc::new(p, Direction::Fwd, Algorithm::Dc)
+        .create(&arch, 1)
+        .unwrap();
     let rb = prim.cfg().rb.combined();
     let trace = trace_of(Algorithm::Dc, Direction::Fwd);
     let accs: Vec<usize> = trace
         .iter()
         .filter_map(|e| match e {
-            TraceEvent::VFma(a) => Some(*a),
+            TraceEvent::VFma { acc, .. } => Some(*acc),
             _ => None,
         })
         .collect();
@@ -152,11 +164,15 @@ fn bwdw_stores_each_output_vector_once() {
     let trace = trace_of_problem(Algorithm::Dc, Direction::BwdWeights, p);
     let stores = trace
         .iter()
-        .filter(|e| matches!(e, TraceEvent::VStore(_)))
+        .filter(|e| matches!(e, TraceEvent::VStore { .. }))
         .count();
     // One store per (vec_block, small channel, kh, kw).
     let cfg = prim.cfg();
-    let (c_vec, c_small) = if cfg.vec_over_ic { (p.ic, p.oc) } else { (p.oc, p.ic) };
+    let (c_vec, c_small) = if cfg.vec_over_ic {
+        (p.ic, p.oc)
+    } else {
+        (p.oc, p.ic)
+    };
     let expected = c_vec.div_ceil(cfg.vl) * c_small * p.kh * p.kw;
     assert_eq!(stores, expected);
 }

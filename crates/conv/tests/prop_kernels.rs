@@ -8,21 +8,24 @@ use proptest::prelude::*;
 
 fn arb_problem() -> impl Strategy<Value = ConvProblem> {
     (
-        1usize..3,  // n
-        1usize..20, // ic
-        1usize..20, // oc
-        3usize..9,  // ih == iw
+        1usize..3,                                   // n
+        1usize..20,                                  // ic
+        1usize..20,                                  // oc
+        3usize..9,                                   // ih == iw
         prop_oneof![Just(1usize), Just(2), Just(3)], // k
         prop_oneof![Just(1usize), Just(2)],          // stride
-        0usize..2,  // pad
+        0usize..2,                                   // pad
     )
-        .prop_filter_map("kernel must fit padded input", |(n, ic, oc, hw, k, s, pad)| {
-            if hw + 2 * pad >= k {
-                Some(ConvProblem::new(n, ic, oc, hw, hw, k, k, s, pad))
-            } else {
-                None
-            }
-        })
+        .prop_filter_map(
+            "kernel must fit padded input",
+            |(n, ic, oc, hw, k, s, pad)| {
+                if hw + 2 * pad >= k {
+                    Some(ConvProblem::new(n, ic, oc, hw, hw, k, k, s, pad))
+                } else {
+                    None
+                }
+            },
+        )
 }
 
 proptest! {

@@ -2,9 +2,12 @@
 //! register-blocking policies: postconditions that must hold for *any*
 //! problem geometry.
 
-use lsv_arch::presets::{aurora_with_vlen_bits, sx_aurora};
 use lsv_arch::formula3_predicts_conflicts;
-use lsv_conv::tuning::{autotune_microkernel, kernel_config, split_register_block, split_register_block_capped, RegisterBlocking};
+use lsv_arch::presets::{aurora_with_vlen_bits, sx_aurora};
+use lsv_conv::tuning::{
+    autotune_microkernel, kernel_config, split_register_block, split_register_block_capped,
+    RegisterBlocking,
+};
 use lsv_conv::{Algorithm, ConvProblem, Direction};
 use proptest::prelude::*;
 

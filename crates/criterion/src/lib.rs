@@ -1,0 +1,224 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be resolved. This crate implements the small API subset the
+//! workspace's benches use — `criterion_group!`/`criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups with
+//! `bench_with_input`/`sample_size`/`throughput`, and
+//! `Bencher::iter`/`iter_batched` — as a plain wall-clock runner that
+//! prints a median time per iteration. There is no statistical analysis,
+//! no warm-up modelling and no HTML report; the point is that `cargo
+//! bench` keeps exercising every pipeline end to end.
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level bench context handed to every `criterion_group!` function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Record the per-iteration throughput (accepted, not reported).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Run one parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.param);
+        run_one(&name, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Close the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterised benchmark within a group.
+pub struct BenchmarkId {
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from the parameter's display form.
+    pub fn from_parameter<P: fmt::Display>(p: P) -> Self {
+        BenchmarkId {
+            param: p.to_string(),
+        }
+    }
+
+    /// Build an id from a function name and a parameter.
+    pub fn new<P: fmt::Display>(function: &str, p: P) -> Self {
+        BenchmarkId {
+            param: format!("{function}/{p}"),
+        }
+    }
+}
+
+/// Units of work per iteration (accepted, not reported).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output `iter_batched` keeps alive (irrelevant here).
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing handle passed to every benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    timings_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Time `f` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.timings_ns.push(t0.elapsed().as_nanos());
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup` (setup is untimed).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.timings_ns.push(t0.elapsed().as_nanos());
+        }
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        timings_ns: Vec::new(),
+    };
+    f(&mut b);
+    if b.timings_ns.is_empty() {
+        println!("bench {name}: no samples");
+        return;
+    }
+    b.timings_ns.sort_unstable();
+    let median = b.timings_ns[b.timings_ns.len() / 2];
+    println!(
+        "bench {name}: median {median} ns/iter over {} samples",
+        b.timings_ns.len()
+    );
+}
+
+/// Collect bench functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        c.bench_function("t", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 10);
+    }
+
+    #[test]
+    fn groups_run_with_inputs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).throughput(Throughput::Elements(1));
+        let mut seen = 0usize;
+        g.bench_with_input(BenchmarkId::from_parameter(7usize), &7usize, |b, &x| {
+            b.iter_batched(|| x, |v| seen += v, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(seen, 21);
+    }
+}

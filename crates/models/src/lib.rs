@@ -16,25 +16,25 @@ pub const NUM_LAYERS: usize = 19;
 
 /// Rows of Table 3: `(IC, OC, IH/IW, OH/OW, KH/KW, stride, pad)`.
 pub const TABLE3: [(usize, usize, usize, usize, usize, usize, usize); NUM_LAYERS] = [
-    (64, 256, 56, 56, 1, 1, 0),    // 0
-    (64, 64, 56, 56, 1, 1, 0),     // 1
-    (64, 64, 56, 56, 3, 1, 1),     // 2
-    (256, 64, 56, 56, 1, 1, 0),    // 3
-    (256, 512, 56, 28, 1, 2, 0),   // 4
-    (256, 128, 56, 28, 1, 2, 0),   // 5
-    (128, 128, 28, 28, 3, 1, 1),   // 6
-    (128, 512, 28, 28, 1, 1, 0),   // 7
-    (512, 128, 28, 28, 1, 1, 0),   // 8
-    (512, 1024, 28, 14, 1, 2, 0),  // 9
-    (512, 256, 28, 14, 1, 2, 0),   // 10
-    (256, 256, 14, 14, 3, 1, 1),   // 11
-    (256, 1024, 14, 14, 1, 1, 0),  // 12
-    (1024, 256, 14, 14, 1, 1, 0),  // 13
-    (1024, 2048, 14, 7, 1, 2, 0),  // 14
-    (1024, 512, 14, 7, 1, 2, 0),   // 15
-    (512, 512, 7, 7, 3, 1, 1),     // 16
-    (512, 2048, 7, 7, 1, 1, 0),    // 17
-    (2048, 512, 7, 7, 1, 1, 0),    // 18
+    (64, 256, 56, 56, 1, 1, 0),   // 0
+    (64, 64, 56, 56, 1, 1, 0),    // 1
+    (64, 64, 56, 56, 3, 1, 1),    // 2
+    (256, 64, 56, 56, 1, 1, 0),   // 3
+    (256, 512, 56, 28, 1, 2, 0),  // 4
+    (256, 128, 56, 28, 1, 2, 0),  // 5
+    (128, 128, 28, 28, 3, 1, 1),  // 6
+    (128, 512, 28, 28, 1, 1, 0),  // 7
+    (512, 128, 28, 28, 1, 1, 0),  // 8
+    (512, 1024, 28, 14, 1, 2, 0), // 9
+    (512, 256, 28, 14, 1, 2, 0),  // 10
+    (256, 256, 14, 14, 3, 1, 1),  // 11
+    (256, 1024, 14, 14, 1, 1, 0), // 12
+    (1024, 256, 14, 14, 1, 1, 0), // 13
+    (1024, 2048, 14, 7, 1, 2, 0), // 14
+    (1024, 512, 14, 7, 1, 2, 0),  // 15
+    (512, 512, 7, 7, 3, 1, 1),    // 16
+    (512, 2048, 7, 7, 1, 1, 0),   // 17
+    (2048, 512, 7, 7, 1, 1, 0),   // 18
 ];
 
 /// The Table 3 layer suite at a given minibatch size (the paper uses 256 for

@@ -1,0 +1,200 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! the real `rand` cannot be resolved. This crate re-implements the *small,
+//! deterministic* subset of its 0.8 API that the workspace actually uses —
+//! `rngs::StdRng::seed_from_u64`, `Rng::gen_range` over half-open ranges,
+//! and `distributions::Uniform` — on top of the SplitMix64 generator, so
+//! every existing call site compiles unchanged and test vectors stay
+//! reproducible across runs (all workspace RNG use is explicitly seeded).
+//!
+//! It is **not** a cryptographic or statistically rigorous generator; it
+//! exists to produce well-mixed deterministic operand data for validation
+//! and benchmarks.
+
+use std::ops::Range;
+
+/// Core pseudo-random source: one `u64` per step.
+pub trait RngCore {
+    /// Next 64 uniformly mixed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling helpers (the `rand::Rng` extension trait).
+pub trait Rng: RngCore {
+    /// Sample uniformly from a half-open range, e.g. `rng.gen_range(-1.0..1.0)`.
+    ///
+    /// The output type drives inference (like real rand's `SampleRange<T>`),
+    /// so float literals resolve against the expected element type.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seedable construction (the `rand::SeedableRng` trait, `seed_from_u64` only).
+pub trait SeedableRng: Sized {
+    /// Build a generator whose whole state derives from one `u64`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Range types [`Rng::gen_range`] accepts, producing `T`.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform f64 in `[0, 1)` from 53 high bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + (self.end - self.start) * unit_f64(rng) as f32
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + (self.end - self.start) * unit_f64(rng)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(usize, u64, u32, u16, u8);
+
+impl SampleRange<i32> for Range<i32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> i32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let span = (self.end as i64 - self.start as i64) as u64;
+        self.start + (rng.next_u64() % span) as i32
+    }
+}
+
+/// Concrete generators (`rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+}
+
+/// Distribution objects (`rand::distributions`).
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution that can be sampled with any generator.
+    pub trait Distribution<T> {
+        /// Draw one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[low, high)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: Copy + PartialOrd> Uniform<T> {
+        /// Uniform over the half-open interval `[low, high)`.
+        pub fn new(low: T, high: T) -> Self {
+            assert!(low < high, "Uniform::new: low must be < high");
+            Uniform { low, high }
+        }
+    }
+
+    impl Distribution<f32> for Uniform<f32> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            self.low + (self.high - self.low) * super::unit_f64(rng) as f32
+        }
+    }
+
+    impl Distribution<f64> for Uniform<f64> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            self.low + (self.high - self.low) * super::unit_f64(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f32 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_covers_the_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = Uniform::new(-1.0f32, 1.0);
+        let xs: Vec<f32> = (0..10_000).map(|_| dist.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|x| (-1.0..1.0).contains(x)));
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean} far from 0");
+        assert!(xs.iter().any(|&x| x < -0.9) && xs.iter().any(|&x| x > 0.9));
+    }
+
+    #[test]
+    fn integer_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -31,12 +31,16 @@ pub struct ActivationLayout {
 impl ActivationLayout {
     /// The state-of-the-art layout: `C_b = min(C, N_vlen)` (Section 4.2).
     pub fn vlen_blocked(c: usize, n_vlen: usize) -> Self {
-        Self { cb: c.min(n_vlen).max(1) }
+        Self {
+            cb: c.min(n_vlen).max(1),
+        }
     }
 
     /// The MBDC multi-block layout: `C_b = N_cline` (Section 6.3).
     pub fn cline_blocked(c: usize, n_cline: usize) -> Self {
-        Self { cb: c.min(n_cline).max(1) }
+        Self {
+            cb: c.min(n_cline).max(1),
+        }
     }
 
     /// Plain NCHW (`C_b = 1`), used by the vednn baseline.
@@ -97,7 +101,14 @@ pub struct ActTensor {
 
 impl ActTensor {
     /// Allocate a zero-initialized activation tensor.
-    pub fn alloc(arena: &mut Arena, n: usize, c: usize, h: usize, w: usize, layout: ActivationLayout) -> Self {
+    pub fn alloc(
+        arena: &mut Arena,
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        layout: ActivationLayout,
+    ) -> Self {
         let t = Self {
             n,
             c,
@@ -107,7 +118,10 @@ impl ActTensor {
             base: 0,
         };
         let mut t = t;
-        t.base = arena.alloc(t.elems_padded());
+        t.base = arena.alloc_labeled(
+            t.elems_padded(),
+            &format!("act {n}x{c}x{h}x{w} cb={}", layout.cb),
+        );
         t
     }
 
@@ -214,7 +228,14 @@ pub struct WeiTensor {
 
 impl WeiTensor {
     /// Allocate a zero-initialized weight tensor.
-    pub fn alloc(arena: &mut Arena, oc: usize, ic: usize, kh: usize, kw: usize, layout: WeightLayout) -> Self {
+    pub fn alloc(
+        arena: &mut Arena,
+        oc: usize,
+        ic: usize,
+        kh: usize,
+        kw: usize,
+        layout: WeightLayout,
+    ) -> Self {
         let mut t = Self {
             oc,
             ic,
@@ -223,7 +244,13 @@ impl WeiTensor {
             layout,
             base: 0,
         };
-        t.base = arena.alloc(t.elems_padded());
+        t.base = arena.alloc_labeled(
+            t.elems_padded(),
+            &format!(
+                "wei {oc}x{ic}x{kh}x{kw} icb={} ocb={}",
+                layout.icb, layout.ocb
+            ),
+        );
         t
     }
 
@@ -256,7 +283,8 @@ impl WeiTensor {
     pub fn at(&self, oc: usize, ic: usize, kh: usize, kw: usize) -> u64 {
         debug_assert!(oc < self.oc && ic < self.ic && kh < self.kh && kw < self.kw);
         let (icb, ocb) = (self.layout.icb, self.layout.ocb);
-        let idx = ((((oc / ocb * self.ic_blocks() + ic / icb) * self.kh + kh) * self.kw + kw) * icb
+        let idx = ((((oc / ocb * self.ic_blocks() + ic / icb) * self.kh + kh) * self.kw + kw)
+            * icb
             + ic % icb)
             * ocb
             + oc % ocb;
@@ -334,7 +362,10 @@ mod tests {
         // channel 0..31 at (0,0,0) are contiguous
         assert_eq!(t.at(0, 1, 0, 0), t.at(0, 0, 0, 0) + 4);
         // channel 32 starts a new block: whole H*W*cb plane away
-        assert_eq!(t.at(0, 32, 0, 0), t.at(0, 0, 0, 0) + (4 * 4 * 32 * 4) as u64);
+        assert_eq!(
+            t.at(0, 32, 0, 0),
+            t.at(0, 0, 0, 0) + (4 * 4 * 32 * 4) as u64
+        );
         // next spatial point is cb elements away (the Figure 3 stride!)
         assert_eq!(t.at(0, 0, 0, 1), t.at(0, 0, 0, 0) + (32 * 4) as u64);
         assert_eq!(t.block_at(0, 0, 0, 1), t.at(0, 0, 0, 1));
@@ -417,6 +448,10 @@ mod tests {
         let t2 = ActTensor::alloc(&mut a2, 1, 4, 3, 3, ActivationLayout::nchw());
         t1.fill_random(&mut a1, 42);
         t2.fill_random(&mut a2, 42);
-        assert_eq!(t1.load_nchw(&a1), t2.load_nchw(&a2), "layout-independent content");
+        assert_eq!(
+            t1.load_nchw(&a1),
+            t2.load_nchw(&a2),
+            "layout-independent content"
+        );
     }
 }

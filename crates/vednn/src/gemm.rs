@@ -103,7 +103,14 @@ fn im2col(
                         let iw0 = x0 * p.stride + kw - p.pad;
                         let from = t.src.at(n, ic, ihy, iw0);
                         if p.stride == 1 {
-                            copy_chunked(core, arena, from, dst_row + (x0 * 4) as u64, x1 - x0, creg);
+                            copy_chunked(
+                                core,
+                                arena,
+                                from,
+                                dst_row + (x0 * 4) as u64,
+                                x1 - x0,
+                                creg,
+                            );
                         } else {
                             // Strided row: gather with a strided vector load.
                             let mut off = 0usize;
@@ -172,7 +179,11 @@ fn gemm_fwd_image(
                 let vin = vin0 + k % VBUFS;
                 for j in 0..u {
                     core.scalar_op();
-                    let w = core.scalar_load(arena, t.wei.at(ocb + j, k / (p.kh * p.kw), (k / p.kw) % p.kh, k % p.kw));
+                    let w = core.scalar_load(
+                        arena,
+                        t.wei
+                            .at(ocb + j, k / (p.kh * p.kw), (k / p.kw) % p.kh, k % p.kw),
+                    );
                     core.vfma_bcast(j, vin, w, vl);
                 }
             }
@@ -253,7 +264,12 @@ pub fn run_bwd_data(
                 for oc in 0..p.oc {
                     if oc + lookahead < p.oc {
                         core.scalar_op();
-                        core.vload(arena, vin0 + (oc + lookahead) % VBUFS, d_row(oc + lookahead), vl);
+                        core.vload(
+                            arena,
+                            vin0 + (oc + lookahead) % VBUFS,
+                            d_row(oc + lookahead),
+                            vl,
+                        );
                     }
                     let vin = vin0 + oc % VBUFS;
                     for j in 0..u {
@@ -368,7 +384,12 @@ pub fn run_bwd_weights(
                 for i in 0..lookahead {
                     let (mb, vl, j) = coord(i);
                     core.scalar_op();
-                    core.vload(arena, creg0 + i % VBUFS_BWDW, col.row(kb + j) + (mb * 4) as u64, vl);
+                    core.vload(
+                        arena,
+                        creg0 + i % VBUFS_BWDW,
+                        col.row(kb + j) + (mb * 4) as u64,
+                        vl,
+                    );
                 }
                 for i in 0..total {
                     if i + lookahead < total {
@@ -446,7 +467,10 @@ mod tests {
                     let pr = p(10, k, s, pad);
                     for kw in 0..k {
                         let (x0, x1) = valid_x_range(&pr, kw);
-                        assert!(x0 <= x1 && x1 <= pr.ow(), "k{k} s{s} p{pad} kw{kw}: {x0}..{x1}");
+                        assert!(
+                            x0 <= x1 && x1 <= pr.ow(),
+                            "k{k} s{s} p{pad} kw{kw}: {x0}..{x1}"
+                        );
                         // Every x in range must index inside the image.
                         for x in x0..x1 {
                             let iw = (x * s + kw) as isize - pad as isize;
@@ -460,7 +484,11 @@ mod tests {
 
     #[test]
     fn colref_row_addressing() {
-        let c = ColRef { base: 4096, k: 4, m: 100 };
+        let c = ColRef {
+            base: 4096,
+            k: 4,
+            m: 100,
+        };
         assert_eq!(c.row(0), 4096);
         assert_eq!(c.row(1), 4096 + 400);
         assert_eq!(c.row(3), 4096 + 1200);

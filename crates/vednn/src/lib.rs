@@ -27,8 +27,8 @@ pub mod perf;
 pub use perf::bench_layer_vednn;
 
 use lsv_arch::ArchParams;
-use lsv_conv::{Direction, ExecutionMode};
 use lsv_conv::{ConvProblem, ExecReport};
+use lsv_conv::{Direction, ExecutionMode};
 use lsv_tensor::{ActTensor, ActivationLayout, WeiTensor, WeightLayout};
 use lsv_vengine::{Arena, VCore};
 use std::ops::Range;
@@ -166,10 +166,10 @@ impl VednnConv {
         let c_max = p.ic.max(p.oc);
         let h_max = p.ih.max(p.oh()) + 2 * pad;
         let w_max = p.iw.max(p.ow()) + 2 * pad;
-        let pad_buf = arena.alloc(c_max * h_max * w_max);
+        let pad_buf = arena.alloc_labeled(c_max * h_max * w_max, "vednn pad_buf");
         let k = p.ic * p.kh * p.kw;
         let m = p.oh() * p.ow();
-        let col_buf = arena.alloc(k * m);
+        let col_buf = arena.alloc_labeled(k * m, "vednn col_buf");
         VednnTensors {
             src,
             wei,
@@ -282,8 +282,16 @@ mod tests {
 
     #[test]
     fn direct_spatial_fwd_matches_reference() {
-        check(ConvProblem::new(2, 3, 5, 9, 9, 3, 3, 1, 1), Direction::Fwd, VednnAlgo::DirectSpatial);
-        check(ConvProblem::new(1, 4, 4, 7, 7, 1, 1, 1, 0), Direction::Fwd, VednnAlgo::DirectSpatial);
+        check(
+            ConvProblem::new(2, 3, 5, 9, 9, 3, 3, 1, 1),
+            Direction::Fwd,
+            VednnAlgo::DirectSpatial,
+        );
+        check(
+            ConvProblem::new(1, 4, 4, 7, 7, 1, 1, 1, 0),
+            Direction::Fwd,
+            VednnAlgo::DirectSpatial,
+        );
     }
 
     #[test]
@@ -303,15 +311,27 @@ mod tests {
     #[test]
     fn gemm_all_directions_match_reference() {
         for dir in Direction::ALL {
-            check(ConvProblem::new(2, 3, 5, 8, 8, 3, 3, 1, 1), dir, VednnAlgo::Im2colGemm);
+            check(
+                ConvProblem::new(2, 3, 5, 8, 8, 3, 3, 1, 1),
+                dir,
+                VednnAlgo::Im2colGemm,
+            );
         }
     }
 
     #[test]
     fn gemm_strided_matches_reference() {
         for dir in Direction::ALL {
-            check(ConvProblem::new(2, 4, 6, 8, 8, 1, 1, 2, 0), dir, VednnAlgo::Im2colGemm);
-            check(ConvProblem::new(1, 3, 5, 9, 9, 3, 3, 2, 1), dir, VednnAlgo::Im2colGemm);
+            check(
+                ConvProblem::new(2, 4, 6, 8, 8, 1, 1, 2, 0),
+                dir,
+                VednnAlgo::Im2colGemm,
+            );
+            check(
+                ConvProblem::new(1, 3, 5, 9, 9, 3, 3, 2, 1),
+                dir,
+                VednnAlgo::Im2colGemm,
+            );
         }
     }
 
@@ -362,7 +382,11 @@ mod support_tests {
         let arch = lsv_arch::presets::sx_aurora();
         let big = ConvProblem::new(1, 8, 8, 28, 28, 3, 3, 1, 1);
         let c = VednnConv::best(&arch, big, Direction::Fwd);
-        assert_eq!(c.algo(), VednnAlgo::DirectSpatial, "multi-row vectorization wins");
+        assert_eq!(
+            c.algo(),
+            VednnAlgo::DirectSpatial,
+            "multi-row vectorization wins"
+        );
     }
 
     #[test]

@@ -5,9 +5,36 @@
 //! the byte distance between consecutive scalar accesses, which is a property
 //! of the blocked tensor layouts. Allocations are page-aligned to keep base
 //! addresses realistic and reproducible.
+//!
+//! Every allocation is recorded as a [`Region`] so the trace facility and
+//! the `lsv-analyze` bounds sanitizer can map any address back to the tensor
+//! it belongs to (or prove it belongs to none).
 
 /// Alignment of every allocation (a 4 KiB page).
 pub const PAGE_BYTES: u64 = 4096;
+
+/// One recorded allocation: the extent a tensor occupies in the arena.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// First byte address of the allocation.
+    pub base: u64,
+    /// Allocated size in bytes.
+    pub bytes: u64,
+    /// Human-readable tag (e.g. `"act 2x128x28x28 cb=32"`).
+    pub label: String,
+}
+
+impl Region {
+    /// One past the last allocated byte.
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes
+    }
+
+    /// Whether `addr` lies inside this region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
 
 /// Byte-addressed f32 memory.
 ///
@@ -18,6 +45,7 @@ pub const PAGE_BYTES: u64 = 4096;
 pub struct Arena {
     data: Vec<f32>,
     next: u64,
+    regions: Vec<Region>,
 }
 
 impl Arena {
@@ -29,12 +57,23 @@ impl Arena {
     /// Allocate `elems` f32 elements, zero-initialized; returns the base byte
     /// address (page aligned).
     pub fn alloc(&mut self, elems: usize) -> u64 {
+        self.alloc_labeled(elems, "anon")
+    }
+
+    /// Like [`Arena::alloc`], tagging the allocation so diagnostics can name
+    /// the tensor an address belongs to.
+    pub fn alloc_labeled(&mut self, elems: usize, label: &str) -> u64 {
         let base = self.next.next_multiple_of(PAGE_BYTES);
         let end_elems = base as usize / 4 + elems;
         if self.data.len() < end_elems {
             self.data.resize(end_elems, 0.0);
         }
         self.next = (end_elems as u64) * 4;
+        self.regions.push(Region {
+            base,
+            bytes: (elems * 4) as u64,
+            label: label.to_string(),
+        });
         base
     }
 
@@ -43,33 +82,101 @@ impl Arena {
         self.data.len() as u64 * 4
     }
 
+    /// All recorded allocations, in allocation (= ascending base) order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Index of the allocation containing `addr`, if any. Addresses in the
+    /// page-alignment gap between two allocations belong to none.
+    pub fn region_of(&self, addr: u64) -> Option<u32> {
+        // Regions are sorted by base: find the last region starting at or
+        // before `addr` and check containment.
+        let i = self.regions.partition_point(|r| r.base <= addr);
+        if i == 0 {
+            return None;
+        }
+        let r = &self.regions[i - 1];
+        r.contains(addr).then_some((i - 1) as u32)
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn bad_access(&self, what: &str, addr: u64, bytes: u64) -> ! {
+        let where_ = match self.region_of(addr) {
+            Some(i) => {
+                let r = &self.regions[i as usize];
+                format!(
+                    "inside region #{i} `{}` [{:#x}, {:#x}) but overrunning it",
+                    r.label,
+                    r.base,
+                    r.end()
+                )
+            }
+            None => "outside every allocation".to_string(),
+        };
+        panic!(
+            "arena {what} of {bytes} bytes at address {addr:#x} is out of bounds: \
+             arena holds {} bytes across {} allocations; the access is {where_}",
+            self.len_bytes(),
+            self.regions.len()
+        );
+    }
+
+    #[inline]
+    fn check(&self, what: &str, addr: u64, len: usize) {
+        assert!(
+            addr.is_multiple_of(4),
+            "unaligned arena {what}: address {addr:#x} is not 4-byte aligned"
+        );
+        let end = (addr / 4) as usize + len;
+        if end > self.data.len() {
+            self.bad_access(what, addr, (len * 4) as u64);
+        }
+    }
+
     /// Read one element at byte address `addr`.
     ///
     /// # Panics
-    /// Panics if `addr` is not 4-byte aligned or out of bounds.
+    /// Panics with the address and the surrounding allocation if `addr` is
+    /// not 4-byte aligned or out of bounds.
     #[inline]
     pub fn read(&self, addr: u64) -> f32 {
-        debug_assert!(addr.is_multiple_of(4), "unaligned f32 read at {addr:#x}");
+        self.check("read", addr, 1);
         self.data[(addr / 4) as usize]
     }
 
     /// Write one element at byte address `addr`.
+    ///
+    /// # Panics
+    /// Panics with the address and the surrounding allocation if `addr` is
+    /// not 4-byte aligned or out of bounds.
     #[inline]
     pub fn write(&mut self, addr: u64, v: f32) {
-        debug_assert!(addr.is_multiple_of(4), "unaligned f32 write at {addr:#x}");
+        self.check("write", addr, 1);
         self.data[(addr / 4) as usize] = v;
     }
 
     /// Borrow `len` elements starting at byte address `addr`.
+    ///
+    /// # Panics
+    /// Panics with the address, length and surrounding allocation if the
+    /// range is unaligned or out of bounds.
     #[inline]
     pub fn slice(&self, addr: u64, len: usize) -> &[f32] {
+        self.check("slice", addr, len);
         let i = (addr / 4) as usize;
         &self.data[i..i + len]
     }
 
     /// Mutably borrow `len` elements starting at byte address `addr`.
+    ///
+    /// # Panics
+    /// Panics with the address, length and surrounding allocation if the
+    /// range is unaligned or out of bounds.
     #[inline]
     pub fn slice_mut(&mut self, addr: u64, len: usize) -> &mut [f32] {
+        self.check("slice_mut", addr, len);
         let i = (addr / 4) as usize;
         &mut self.data[i..i + len]
     }
@@ -124,5 +231,35 @@ mod tests {
         assert_eq!(a.load_vec(base + 4, 2), vec![2.0, 3.0]);
         a.fill(base, 3, 9.0);
         assert_eq!(a.load_vec(base, 4), vec![9.0, 9.0, 9.0, 4.0]);
+    }
+
+    #[test]
+    fn regions_map_addresses_back_to_allocations() {
+        let mut a = Arena::new();
+        let x = a.alloc_labeled(16, "src");
+        let y = a.alloc_labeled(8, "dst");
+        assert_eq!(a.regions().len(), 2);
+        assert_eq!(a.region_of(x), Some(0));
+        assert_eq!(a.region_of(x + 63), Some(0), "within the 16-elem extent");
+        assert_eq!(a.region_of(x + 64), None, "first byte past the extent");
+        assert_eq!(a.region_of(y + 4), Some(1));
+        assert_eq!(a.region_of(y + 8 * 4), None);
+        assert_eq!(a.regions()[1].label, "dst");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_read_names_the_allocation_state() {
+        let mut a = Arena::new();
+        let base = a.alloc_labeled(4, "tiny");
+        a.read(base + 10 * PAGE_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "not 4-byte aligned")]
+    fn unaligned_read_is_described() {
+        let mut a = Arena::new();
+        let base = a.alloc(4);
+        a.read(base + 2);
     }
 }

@@ -102,24 +102,92 @@ impl InstCounters {
 }
 
 /// One retired instruction in the optional trace (see [`VCore::enable_trace`]).
+///
+/// Memory events carry the base address, the byte `span` of the whole access
+/// footprint (`[addr, addr + span)`, including any internal stride gaps), and
+/// the arena [`Region`](crate::Region) index the base address falls in —
+/// `None` when the address lies outside every recorded allocation. The
+/// `lsv-analyze` bounds sanitizer replays kernels with tracing on and checks
+/// each footprint against the owning tensor's extent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// Scalar ALU / address instruction.
     ScalarOp,
     /// Scalar load from `addr`.
-    ScalarLoad(u64),
+    ScalarLoad {
+        /// Byte address read.
+        addr: u64,
+        /// Arena region containing `addr`, if any.
+        region: Option<u32>,
+    },
     /// Scalar store to `addr`.
-    ScalarStore(u64),
+    ScalarStore {
+        /// Byte address written.
+        addr: u64,
+        /// Arena region containing `addr`, if any.
+        region: Option<u32>,
+    },
     /// Unit-stride / 2-D / strided vector load into `vr`.
-    VLoad(usize),
+    VLoad {
+        /// Destination vector register.
+        vr: usize,
+        /// First byte address of the footprint.
+        addr: u64,
+        /// Footprint size in bytes (stride gaps included).
+        span: u64,
+        /// Arena region containing `addr`, if any.
+        region: Option<u32>,
+    },
     /// Vector store from `vr`.
-    VStore(usize),
-    /// Vector FMA writing accumulator `vr`.
-    VFma(usize),
+    VStore {
+        /// Source vector register.
+        vr: usize,
+        /// First byte address of the footprint.
+        addr: u64,
+        /// Footprint size in bytes (stride gaps included).
+        span: u64,
+        /// Arena region containing `addr`, if any.
+        region: Option<u32>,
+    },
+    /// Register `vr` zeroed (accumulator init, no memory access).
+    VZero {
+        /// Zeroed vector register.
+        vr: usize,
+    },
+    /// Vector FMA writing accumulator `acc` from weights register `w`.
+    VFma {
+        /// Accumulator register (read-modify-write).
+        acc: usize,
+        /// Vector multiplicand register.
+        w: usize,
+    },
+    /// Horizontal reduction of `vr` to a scalar (drains the accumulator).
+    VReduce {
+        /// Reduced vector register.
+        vr: usize,
+    },
     /// Block gather into `vr`.
-    VGather(usize),
+    VGather {
+        /// Destination vector register.
+        vr: usize,
+        /// Lowest block base address.
+        addr: u64,
+        /// Bytes from the lowest block base to the end of the highest block.
+        span: u64,
+        /// Arena region containing `addr`, if any.
+        region: Option<u32>,
+    },
     /// Block scatter from `vr`.
-    VScatter(usize),
+    VScatter {
+        /// Source vector register.
+        vr: usize,
+        /// Lowest block base address.
+        addr: u64,
+        /// Bytes from the lowest block base to the end of the highest block.
+        span: u64,
+        /// Arena region containing `addr`, if any.
+        region: Option<u32>,
+    },
 }
 
 /// Aggregate result of a simulated kernel execution on one core.
@@ -237,6 +305,17 @@ impl VCore {
         }
     }
 
+    /// Region lookup for trace tagging; skipped entirely when tracing is off
+    /// so the hot path pays nothing for the richer events.
+    #[inline]
+    fn trace_region(&self, arena: &Arena, addr: u64) -> Option<u32> {
+        if self.trace.is_some() {
+            arena.region_of(addr)
+        } else {
+            None
+        }
+    }
+
     // ---------------------------------------------------------------- frontend
 
     /// Claim one frontend issue slot, returning the issue cycle.
@@ -284,7 +363,8 @@ impl VCore {
     pub fn scalar_load(&mut self, arena: &Arena, addr: u64) -> ScalarValue {
         let t = self.issue_slot();
         self.counters.scalar_loads += 1;
-        self.record(TraceEvent::ScalarLoad(addr));
+        let region = self.trace_region(arena, addr);
+        self.record(TraceEvent::ScalarLoad { addr, region });
         let out = self.hier.access_line(addr, false);
         let value = match self.mode {
             ExecutionMode::Functional => arena.read(addr),
@@ -301,7 +381,8 @@ impl VCore {
     pub fn scalar_store(&mut self, arena: &mut Arena, addr: u64, value: f32) {
         self.issue_slot();
         self.counters.scalar_ops += 1;
-        self.record(TraceEvent::ScalarStore(addr));
+        let region = self.trace_region(arena, addr);
+        self.record(TraceEvent::ScalarStore { addr, region });
         self.hier.access_line(addr, true);
         if matches!(self.mode, ExecutionMode::Functional) {
             arena.write(addr, value);
@@ -381,7 +462,13 @@ impl VCore {
         self.assert_vr(vr, vl);
         let dispatch = self.issue_slot();
         self.counters.vloads += 1;
-        self.record(TraceEvent::VLoad(vr));
+        let region = self.trace_region(arena, addr);
+        self.record(TraceEvent::VLoad {
+            vr,
+            addr,
+            span: (vl * 4) as u64,
+            region,
+        });
         let (worst, mem_lines) = self.touch_llc_range(addr, (vl * 4) as u64, false);
         let (start, _) = self.vpipe_start(dispatch, 0, false);
         let occ = self.arch.vector_occupancy(vl);
@@ -398,7 +485,13 @@ impl VCore {
         self.assert_vr(vr, vl);
         let dispatch = self.issue_slot();
         self.counters.vstores += 1;
-        self.record(TraceEvent::VStore(vr));
+        let region = self.trace_region(arena, addr);
+        self.record(TraceEvent::VStore {
+            vr,
+            addr,
+            span: (vl * 4) as u64,
+            region,
+        });
         let (_worst, mem_lines) = self.touch_llc_range(addr, (vl * 4) as u64, true);
         let srcs = self.vreg_ready[vr];
         let (start, _) = self.vpipe_start(dispatch, srcs, false);
@@ -426,7 +519,13 @@ impl VCore {
         self.assert_vr(vr, vl);
         let dispatch = self.issue_slot();
         self.counters.vloads += 1;
-        self.record(TraceEvent::VLoad(vr));
+        let region = self.trace_region(arena, addr);
+        self.record(TraceEvent::VLoad {
+            vr,
+            addr,
+            span: (rows as u64 - 1) * row_stride_bytes + (row_elems * 4) as u64,
+            region,
+        });
         let mut worst = 0u64;
         let mut mem_lines = 0u64;
         for r in 0..rows {
@@ -462,7 +561,13 @@ impl VCore {
         self.assert_vr(vr, vl);
         let dispatch = self.issue_slot();
         self.counters.vstores += 1;
-        self.record(TraceEvent::VStore(vr));
+        let region = self.trace_region(arena, addr);
+        self.record(TraceEvent::VStore {
+            vr,
+            addr,
+            span: (rows as u64 - 1) * row_stride_bytes + (row_elems * 4) as u64,
+            region,
+        });
         let mut mem_lines = 0u64;
         for r in 0..rows {
             let base = addr + r as u64 * row_stride_bytes;
@@ -496,7 +601,13 @@ impl VCore {
         self.assert_vr(vr, count);
         let dispatch = self.issue_slot();
         self.counters.vloads += 1;
-        self.record(TraceEvent::VLoad(vr));
+        let region = self.trace_region(arena, addr);
+        self.record(TraceEvent::VLoad {
+            vr,
+            addr,
+            span: (count as u64 - 1) * stride_bytes + 4,
+            region,
+        });
         let line = self.hier.line_bytes() as u64;
         let mut worst = 0u64;
         let mut mem_lines = 0u64;
@@ -538,7 +649,13 @@ impl VCore {
         self.assert_vr(vr, count);
         let dispatch = self.issue_slot();
         self.counters.vstores += 1;
-        self.record(TraceEvent::VStore(vr));
+        let region = self.trace_region(arena, addr);
+        self.record(TraceEvent::VStore {
+            vr,
+            addr,
+            span: (count as u64 - 1) * stride_bytes + 4,
+            region,
+        });
         let line = self.hier.line_bytes() as u64;
         let mut mem_lines = 0u64;
         let mut last_line = u64::MAX;
@@ -568,6 +685,7 @@ impl VCore {
         self.assert_vr(vr, vl);
         let dispatch = self.issue_slot();
         self.counters.scalar_ops += 1; // modelled as a cheap vector-mask op
+        self.record(TraceEvent::VZero { vr });
         let (start, _) = self.vpipe_start(dispatch, 0, false);
         self.vreg_ready[vr] = start + 1;
         if matches!(self.mode, ExecutionMode::Functional) {
@@ -591,7 +709,7 @@ impl VCore {
             dispatch = self.frontier;
         }
         self.counters.vfmas += 1;
-        self.record(TraceEvent::VFma(acc));
+        self.record(TraceEvent::VFma { acc, w });
         self.counters.fma_elems += vl as u64;
         let srcs = self.vreg_ready[acc].max(self.vreg_ready[w]);
         let (start, port) = self.vpipe_start(dispatch, srcs, true);
@@ -624,7 +742,7 @@ impl VCore {
         self.assert_vr(y, vl);
         let dispatch = self.issue_slot();
         self.counters.vfmas += 1;
-        self.record(TraceEvent::VFma(acc));
+        self.record(TraceEvent::VFma { acc, w: x });
         self.counters.fma_elems += vl as u64;
         let srcs = self.vreg_ready[acc]
             .max(self.vreg_ready[x])
@@ -650,6 +768,7 @@ impl VCore {
         self.assert_vr(vr, vl);
         let dispatch = self.issue_slot();
         self.counters.vfmas += 1;
+        self.record(TraceEvent::VReduce { vr });
         let srcs = self.vreg_ready[vr];
         let (start, port) = self.vpipe_start(dispatch, srcs, true);
         let occ = self.arch.vector_occupancy(vl);
@@ -673,7 +792,16 @@ impl VCore {
         self.assert_vr(vr, vl);
         let dispatch = self.issue_slot();
         self.counters.gathers += 1;
-        self.record(TraceEvent::VGather(vr));
+        if self.trace.is_some() {
+            let lo = blocks.iter().copied().min().unwrap_or(0);
+            let hi = blocks.iter().copied().max().unwrap_or(0);
+            self.record(TraceEvent::VGather {
+                vr,
+                addr: lo,
+                span: hi - lo + (block_elems * 4) as u64,
+                region: arena.region_of(lo),
+            });
+        }
         let line = self.hier.line_bytes() as u64;
         let mut worst = 0u64;
         let mut mem_lines = 0u64;
@@ -727,7 +855,16 @@ impl VCore {
         self.assert_vr(vr, vl);
         let dispatch = self.issue_slot();
         self.counters.scatters += 1;
-        self.record(TraceEvent::VScatter(vr));
+        if self.trace.is_some() {
+            let lo = blocks.iter().copied().min().unwrap_or(0);
+            let hi = blocks.iter().copied().max().unwrap_or(0);
+            self.record(TraceEvent::VScatter {
+                vr,
+                addr: lo,
+                span: hi - lo + (block_elems * 4) as u64,
+                region: arena.region_of(lo),
+            });
+        }
         let line = self.hier.line_bytes() as u64;
         let mut mem_lines = 0u64;
         let mut line_addrs = Vec::with_capacity(blocks.len() * 2);
@@ -768,7 +905,23 @@ impl VCore {
     // ------------------------------------------------------------- accounting
 
     /// Read a functional register (tests only).
+    ///
+    /// # Panics
+    /// Panics with a description of the failing condition if `vr` is outside
+    /// the architected register file or the core was built in
+    /// [`ExecutionMode::TimingOnly`] (which keeps no register data).
     pub fn vreg(&self, vr: usize) -> &[f32] {
+        assert!(
+            vr < self.arch.n_vregs,
+            "VCore::vreg({vr}): register index out of range, \
+             the architecture has {} vector registers",
+            self.arch.n_vregs
+        );
+        assert!(
+            matches!(self.mode, ExecutionMode::Functional),
+            "VCore::vreg({vr}): register data is only kept in Functional mode, \
+             this core runs in TimingOnly mode"
+        );
         &self.vregs[vr]
     }
 
@@ -953,7 +1106,8 @@ mod tests {
         c.vgather_blocks(&a, 2, &blocks, 32);
         let serial = c.drain();
         assert!(
-            serial.bank_serial_cycles >= 15 * arch.llc_banking.service_cycles - arch.llc_banking.service_cycles,
+            serial.bank_serial_cycles
+                >= 15 * arch.llc_banking.service_cycles - arch.llc_banking.service_cycles,
             "same-bank gather must be serialized, got {}",
             serial.bank_serial_cycles
         );
@@ -973,7 +1127,10 @@ mod tests {
         let blocks: Vec<u64> = (0..16).map(|i| base + i * stride_bytes).collect();
         c.vgather_blocks(&a, 2, &blocks, 32);
         let s = c.drain();
-        assert_eq!(s.bank_serial_cycles, 0, "bijective mapping: no serialization");
+        assert_eq!(
+            s.bank_serial_cycles, 0,
+            "bijective mapping: no serialization"
+        );
     }
 
     #[test]
@@ -1027,7 +1184,10 @@ mod tests {
         c.scalar_load(&a, base);
         c.reset_timing();
         let sv = c.scalar_load(&a, base);
-        assert!(sv.ready <= sx_aurora().lat.l1 + 2, "warm line stays resident");
+        assert!(
+            sv.ready <= sx_aurora().lat.l1 + 2,
+            "warm line stays resident"
+        );
         let s = c.drain();
         assert_eq!(s.insts.scalar_loads, 1, "counters were reset");
     }
@@ -1097,17 +1257,90 @@ mod tests {
         c.vstore(&mut a, 0, x, 64);
         c.scalar_store(&mut a, x, 1.0);
         let t = c.trace().unwrap();
+        let r = Some(0); // the single allocation is region #0
         assert_eq!(
             t,
             &[
                 TraceEvent::ScalarOp,
-                TraceEvent::ScalarLoad(x),
-                TraceEvent::VLoad(1),
-                TraceEvent::VFma(0),
-                TraceEvent::VStore(0),
-                TraceEvent::ScalarStore(x),
+                TraceEvent::ScalarLoad { addr: x, region: r },
+                TraceEvent::VLoad {
+                    vr: 1,
+                    addr: x,
+                    span: 256,
+                    region: r
+                },
+                TraceEvent::VFma { acc: 0, w: 1 },
+                TraceEvent::VStore {
+                    vr: 0,
+                    addr: x,
+                    span: 256,
+                    region: r
+                },
+                TraceEvent::ScalarStore { addr: x, region: r },
             ]
         );
+    }
+
+    #[test]
+    fn trace_tags_regions_and_footprints() {
+        let arch = sx_aurora();
+        let mut c = VCore::new(&arch, ExecutionMode::TimingOnly, 1);
+        c.enable_trace();
+        let mut a = Arena::new();
+        let src = a.alloc_labeled(4096, "src");
+        let dst = a.alloc_labeled(4096, "dst");
+        c.vbroadcast_zero(0, 64);
+        // 4 rows of 8 elems, stride 400 bytes: span = 3*400 + 32.
+        c.vload_rows(&a, 0, src, 8, 400, 4);
+        // stride-8 load of 16 elems: span = 15*8 + 4.
+        c.vload_strided(&a, 1, src + 64, 8, 16);
+        c.vreduce_sum(0, 64);
+        let blocks: Vec<u64> = (0..4).map(|i| dst + i * 512).collect();
+        c.vgather_blocks(&a, 2, &blocks, 32);
+        let t = c.trace().unwrap();
+        assert_eq!(t[0], TraceEvent::VZero { vr: 0 });
+        assert_eq!(
+            t[1],
+            TraceEvent::VLoad {
+                vr: 0,
+                addr: src,
+                span: 1232,
+                region: Some(0)
+            }
+        );
+        assert_eq!(
+            t[2],
+            TraceEvent::VLoad {
+                vr: 1,
+                addr: src + 64,
+                span: 124,
+                region: Some(0)
+            }
+        );
+        assert_eq!(t[3], TraceEvent::VReduce { vr: 0 });
+        assert_eq!(
+            t[4],
+            TraceEvent::VGather {
+                vr: 2,
+                addr: dst,
+                span: 3 * 512 + 128,
+                region: Some(1)
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "only kept in Functional mode")]
+    fn vreg_in_timing_only_mode_panics_descriptively() {
+        let c = VCore::new(&sx_aurora(), ExecutionMode::TimingOnly, 1);
+        let _ = c.vreg(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn vreg_out_of_range_panics_descriptively() {
+        let (c, _a) = functional_core();
+        let _ = c.vreg(10_000);
     }
 
     #[test]

@@ -40,4 +40,4 @@ pub mod arena;
 pub mod core;
 
 pub use crate::core::{CoreStats, ExecutionMode, InstCounters, ScalarValue, TraceEvent, VCore};
-pub use arena::Arena;
+pub use arena::{Arena, Region, PAGE_BYTES};

@@ -20,7 +20,10 @@ fn main() {
     // --- the analytical model's verdict ---
     let ab = p.ic.min(arch.n_vlen());
     let rb_dc = formula2_rb_min(&arch);
-    println!("\nFormula 2: DC needs RB >= {rb_dc} to keep {} FMA pipelines busy", arch.n_fma);
+    println!(
+        "\nFormula 2: DC needs RB >= {rb_dc} to keep {} FMA pipelines busy",
+        arch.n_fma
+    );
     println!(
         "Formula 3: with A_b = {ab} elements, conflicts appear beyond RB = {}",
         formula4_rb_upper_bound(&arch, ab, p.stride)
@@ -53,7 +56,10 @@ fn main() {
             perf.conflict_fraction
         );
     }
-    println!("\nDC's scalar source stream strides by A_b*4 = {} bytes; at RB = {rb_dc} the", ab * 4);
+    println!(
+        "\nDC's scalar source stream strides by A_b*4 = {} bytes; at RB = {rb_dc} the",
+        ab * 4
+    );
     println!("sweep wraps the 32 KB L1's set space and every load conflict-misses.");
     println!("BDC stays under the Formula 4 bound and turns those misses into hits.");
 }

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example layout_explorer`
 
-use lsvconv::arch::presets::{aurora_with_vlen_bits, sx_aurora};
 use lsvconv::arch::formula2_rb_min;
+use lsvconv::arch::presets::{aurora_with_vlen_bits, sx_aurora};
 use lsvconv::conv::footprint::microkernel_footprint;
 use lsvconv::conv::tuning::split_register_block;
 use lsvconv::conv::ConvProblem;
@@ -20,8 +20,14 @@ fn main() {
 
     println!("activation tensor (1, {c}, {h}, {w}) under three layouts:\n");
     for (name, layout) in [
-        ("state-of-the-art (C_b = min(C, N_vlen))", ActivationLayout::vlen_blocked(c, arch.n_vlen())),
-        ("MBDC multi-block (C_b = N_cline)", ActivationLayout::cline_blocked(c, arch.n_cline())),
+        (
+            "state-of-the-art (C_b = min(C, N_vlen))",
+            ActivationLayout::vlen_blocked(c, arch.n_vlen()),
+        ),
+        (
+            "MBDC multi-block (C_b = N_cline)",
+            ActivationLayout::cline_blocked(c, arch.n_cline()),
+        ),
         ("plain NCHW (C_b = 1)", ActivationLayout::nchw()),
     ] {
         let t = ActTensor::alloc(&mut arena, 1, c, h, w, layout);
@@ -30,7 +36,10 @@ fn main() {
         let c1 = t.at(0, 1, 0, 0);
         println!("{name}: C_b = {}", layout.cb);
         println!("  channel stride (c -> c+1):        {:>7} bytes", c1 - p00);
-        println!("  spatial stride  (w -> w+1):       {:>7} bytes  <- the Figure 3 scalar stride", p01 - p00);
+        println!(
+            "  spatial stride  (w -> w+1):       {:>7} bytes  <- the Figure 3 scalar stride",
+            p01 - p00
+        );
         println!(
             "  L1 sets touched by 24-point sweep: {:>6} of {}",
             distinct_sets(&arch, p00, p01 - p00, 24),
@@ -47,7 +56,11 @@ fn main() {
         let fp = microkernel_footprint(&a, &p, rb);
         println!(
             "  {:>6}-bit vectors: W {:>9} B + S {:>8} B + D {:>7} B = {:>6.2} MiB",
-            bits, fp.weights, fp.source, fp.destination, fp.total_mib()
+            bits,
+            fp.weights,
+            fp.source,
+            fp.destination,
+            fp.total_mib()
         );
     }
 }

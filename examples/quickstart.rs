@@ -36,8 +36,12 @@ fn main() {
 
     // Step 2 (kernel execution): functional run on the simulated core.
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let src: Vec<f32> = (0..p.n * p.ic * p.ih * p.iw).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    let wei: Vec<f32> = (0..p.oc * p.ic * p.kh * p.kw).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let src: Vec<f32> = (0..p.n * p.ic * p.ih * p.iw)
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
+    let wei: Vec<f32> = (0..p.oc * p.ic * p.kh * p.kw)
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
     let (out, report) = prim.run_functional(&src, &wei, &[]);
 
     // Validate against Algorithm 1.

@@ -5,10 +5,10 @@
 //!
 //! Run with: `cargo run --release --example resnet_training_step [minibatch]`
 
+use lsv_bench_shim::*;
 use lsvconv::conv::ExecutionMode;
 use lsvconv::models::ResNetModel;
 use lsvconv::prelude::sx_aurora;
-use lsv_bench_shim::*;
 
 // The bench crate is not a dependency of the facade; inline the tiny amount
 // of aggregation logic the example needs.

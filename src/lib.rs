@@ -19,9 +19,12 @@
 //! * [`tensor`] — rank-4 tensors and blocked memory layouts.
 //! * [`conv`] — the paper's contribution: DC, BDC, MBDC, the auto-tuner and
 //!   the oneDNN-style primitive API.
+//! * [`analyze`] — static kernel verifier + lint framework (Formula 3/4
+//!   lints, layout contracts, trace sanitizers).
 //! * [`vednn`] — the baseline proprietary-library stand-in.
 //! * [`models`] — ResNet workloads (Table 3 layer suite, model frequencies).
 
+pub use lsv_analyze as analyze;
 pub use lsv_arch as arch;
 pub use lsv_cache as cache;
 pub use lsv_conv as conv;

@@ -21,16 +21,32 @@ fn clean_layer() -> ConvProblem {
 #[test]
 fn dc_thrashes_exactly_where_formula3_says() {
     let arch = sx_aurora();
-    let hot = bench_layer(&arch, &conflict_layer(), Direction::Fwd, Algorithm::Dc, ExecutionMode::TimingOnly);
+    let hot = bench_layer(
+        &arch,
+        &conflict_layer(),
+        Direction::Fwd,
+        Algorithm::Dc,
+        ExecutionMode::TimingOnly,
+    );
     assert!(hot.conflicts_predicted, "Formula 3 predicts conflicts");
     assert!(
         hot.conflict_fraction > 0.5,
         "most L1 misses are conflict-classified, got {}",
         hot.conflict_fraction
     );
-    assert!(hot.mpki_l1 > 50.0, "thrash shows in MPKI, got {}", hot.mpki_l1);
+    assert!(
+        hot.mpki_l1 > 50.0,
+        "thrash shows in MPKI, got {}",
+        hot.mpki_l1
+    );
 
-    let cold = bench_layer(&arch, &clean_layer(), Direction::Fwd, Algorithm::Dc, ExecutionMode::TimingOnly);
+    let cold = bench_layer(
+        &arch,
+        &clean_layer(),
+        Direction::Fwd,
+        Algorithm::Dc,
+        ExecutionMode::TimingOnly,
+    );
     assert!(!cold.conflicts_predicted);
     assert!(
         cold.mpki_l1 < 5.0,
@@ -43,8 +59,20 @@ fn dc_thrashes_exactly_where_formula3_says() {
 fn bdc_removes_the_conflicts_dc_suffers() {
     let arch = sx_aurora();
     let p = conflict_layer();
-    let dc = bench_layer(&arch, &p, Direction::Fwd, Algorithm::Dc, ExecutionMode::TimingOnly);
-    let bdc = bench_layer(&arch, &p, Direction::Fwd, Algorithm::Bdc, ExecutionMode::TimingOnly);
+    let dc = bench_layer(
+        &arch,
+        &p,
+        Direction::Fwd,
+        Algorithm::Dc,
+        ExecutionMode::TimingOnly,
+    );
+    let bdc = bench_layer(
+        &arch,
+        &p,
+        Direction::Fwd,
+        Algorithm::Bdc,
+        ExecutionMode::TimingOnly,
+    );
     assert!(
         bdc.mpki_l1 < dc.mpki_l1 / 10.0,
         "BDC MPKI {} vs DC {}",
@@ -63,7 +91,13 @@ fn bdc_removes_the_conflicts_dc_suffers() {
 fn mbdc_layout_eliminates_conflicts_entirely() {
     let arch = sx_aurora();
     let p = conflict_layer();
-    let mbdc = bench_layer(&arch, &p, Direction::Fwd, Algorithm::Mbdc, ExecutionMode::TimingOnly);
+    let mbdc = bench_layer(
+        &arch,
+        &p,
+        Direction::Fwd,
+        Algorithm::Mbdc,
+        ExecutionMode::TimingOnly,
+    );
     assert!(!mbdc.conflicts_predicted);
     assert!(
         mbdc.mpki_l1 < 5.0,

@@ -10,7 +10,13 @@ use lsvconv::prelude::sx_aurora;
 fn csv_rows_have_the_artifact_schema() {
     let arch = sx_aurora();
     let p = ConvProblem::new(8, 32, 32, 14, 14, 1, 1, 1, 0);
-    let perf = bench_engine(&arch, &p, Direction::Fwd, Engine::Direct(Algorithm::Bdc), ExecutionMode::TimingOnly);
+    let perf = bench_engine(
+        &arch,
+        &p,
+        Direction::Fwd,
+        Engine::Direct(Algorithm::Bdc),
+        ExecutionMode::TimingOnly,
+    );
     let row = Row {
         layer_id: 3,
         direction: Direction::Fwd,
@@ -60,7 +66,12 @@ fn vednn_engine_runs_through_the_harness() {
 #[ignore = "simulates every full-size layer; run with --ignored in release builds"]
 fn layer_time_table_is_dense_and_positive() {
     let arch = sx_aurora().with_max_vlen_bits(2048);
-    let table = layer_time_table(&arch, 8, Engine::Direct(Algorithm::Bdc), ExecutionMode::TimingOnly);
+    let table = layer_time_table(
+        &arch,
+        8,
+        Engine::Direct(Algorithm::Bdc),
+        ExecutionMode::TimingOnly,
+    );
     assert_eq!(table.len(), 19);
     for (id, t) in table.iter().enumerate() {
         for (d, &ms) in t.iter().enumerate() {

@@ -35,7 +35,13 @@ fn dc_reaches_high_efficiency_on_skylake() {
     // prior work's "up to 90% of peak" regime.
     let arch = skylake_avx512();
     let p = ConvProblem::new(16, 128, 128, 14, 14, 3, 3, 1, 1);
-    let perf = bench_layer(&arch, &p, Direction::Fwd, Algorithm::Dc, ExecutionMode::TimingOnly);
+    let perf = bench_layer(
+        &arch,
+        &p,
+        Direction::Fwd,
+        Algorithm::Dc,
+        ExecutionMode::TimingOnly,
+    );
     assert!(
         perf.efficiency > 0.4,
         "DC on Skylake should be healthy, got {:.3}",
@@ -49,7 +55,13 @@ fn measured_conflict_fraction_is_negligible_on_skylake() {
     let arch = skylake_avx512();
     // The long-SIMD poster-child conflict layer (Table 3 id 8 shape).
     let p = ConvProblem::new(8, 512, 128, 14, 14, 1, 1, 1, 0);
-    let perf = bench_layer(&arch, &p, Direction::Fwd, Algorithm::Dc, ExecutionMode::TimingOnly);
+    let perf = bench_layer(
+        &arch,
+        &p,
+        Direction::Fwd,
+        Algorithm::Dc,
+        ExecutionMode::TimingOnly,
+    );
     assert!(
         perf.conflict_fraction < 0.3,
         "short vectors keep the stride small: conflict fraction {:.2}",
