@@ -19,4 +19,10 @@ cargo test --workspace -q
 echo "== lint-kernels (deny findings are errors)"
 cargo run --release -p lsv-bench --bin lint-kernels -- --deny-as-error
 
+echo "== bench-simulator (smoke)"
+cargo run --release -p lsv-bench --bin bench-simulator -- --smoke
+
+echo "== cargo bench (smoke mode: 1 sample per benchmark)"
+LSV_BENCH_SMOKE=1 cargo bench --workspace -q
+
 echo "CI OK"

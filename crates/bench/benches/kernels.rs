@@ -5,7 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lsv_arch::presets::sx_aurora;
-use lsv_cache::Hierarchy;
+use lsv_arch::CacheGeometry;
+use lsv_cache::{Hierarchy, SetAssocCache, ShadowLru};
 use lsv_conv::{Algorithm, ConvDesc, ConvProblem, Direction};
 use lsv_tensor::{ActTensor, ActivationLayout};
 use lsv_vengine::{Arena, ExecutionMode, ScalarValue, VCore};
@@ -39,6 +40,72 @@ fn bench_cache_hierarchy(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_set_assoc(c: &mut Criterion) {
+    // LLC-shaped single cache, exercised directly (no hierarchy walk):
+    // tracks the cost of `SetAssocCache::access_line` itself, including the
+    // MRU fast path (sequential re-touches) and the LRU shifting slow path.
+    let geom = CacheGeometry {
+        size: 16 << 20,
+        line: 128,
+        ways: 16,
+    };
+    let mut g = c.benchmark_group("substrate/set_assoc_access");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("mru_repeat_100k", |b| {
+        b.iter_batched(
+            || SetAssocCache::new(geom, false),
+            |mut cache| {
+                for i in 0..100_000u64 {
+                    std::hint::black_box(cache.access_line((i % 8) * 128, false));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("streaming_100k", |b| {
+        b.iter_batched(
+            || SetAssocCache::new(geom, false),
+            |mut cache| {
+                for i in 0..100_000u64 {
+                    std::hint::black_box(cache.access_line(i * 128, true));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_shadow_lru(c: &mut Criterion) {
+    // Fully-associative shadow at LLC capacity (131072 lines), the structure
+    // the O(1) open-addressing rewrite targets. The mixed stream alternates
+    // re-touches (head moves) with cold lines (evictions + node recycling).
+    let capacity = (16 << 20) / 128;
+    let mut g = c.benchmark_group("substrate/shadow_lru");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("mixed_stream_100k", |b| {
+        b.iter_batched(
+            || ShadowLru::new(capacity),
+            |mut shadow| {
+                let mut x = 0x2545_f491_4f6c_dd1du64;
+                for i in 0..100_000u64 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let line = if i % 3 == 0 {
+                        x % 1024
+                    } else {
+                        x % (capacity as u64 * 2)
+                    };
+                    std::hint::black_box(shadow.access(line));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
 fn bench_scoreboard(c: &mut Criterion) {
     let arch = sx_aurora();
     let mut g = c.benchmark_group("substrate/vfma_issue");
@@ -46,6 +113,18 @@ fn bench_scoreboard(c: &mut Criterion) {
     g.bench_function("timing_only_10k", |b| {
         b.iter_batched(
             || VCore::new(&arch, ExecutionMode::TimingOnly, 1),
+            |mut core| {
+                for i in 0..10_000usize {
+                    core.vfma_bcast(i % 16, 30, ScalarValue::constant(1.0), 512);
+                }
+                std::hint::black_box(core.drain())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("functional_10k", |b| {
+        b.iter_batched(
+            || VCore::new(&arch, ExecutionMode::Functional, 1),
             |mut core| {
                 for i in 0..10_000usize {
                     core.vfma_bcast(i % 16, 30, ScalarValue::constant(1.0), 512);
@@ -97,6 +176,8 @@ fn bench_layout_conversion(c: &mut Criterion) {
 criterion_group!(
     kernels,
     bench_cache_hierarchy,
+    bench_set_assoc,
+    bench_shadow_lru,
     bench_scoreboard,
     bench_functional_kernels,
     bench_layout_conversion,

@@ -1,0 +1,200 @@
+//! Host-performance meter for the simulator itself: runs representative
+//! sweeps in-process and reports wall time, total *simulated* cycles and
+//! the headline "simulated cycles per host second" ratio as JSON
+//! (`BENCH_simulator.json`).
+//!
+//! This measures the host cost of simulation — the quantity the hot-path
+//! overhaul (allocation-free `VCore`, O(1) shadow LRU, line-coalesced
+//! traffic) optimises — and is the before/after evidence artefact for that
+//! work. Simulated cycle counts are pinned bit-identical by the golden
+//! fixture in `tests/golden_cycles.rs`; this tool only tracks how fast the
+//! host produces them.
+//!
+//! Usage: `bench-simulator [--smoke] [--out PATH]
+//!                         [--regen-before PATH] [--regen-after PATH]`
+//!
+//! `--smoke` shrinks every sweep so CI can run the tool in seconds.
+//! `--out` writes the JSON to a file instead of stdout. The optional
+//! `--regen-before`/`--regen-after` files hold per-bin wall times of a full
+//! `regen_results.sh` run, one `<bin> <ms>ms ...` line each (the format the
+//! regen harness logs); they are embedded verbatim so the committed JSON
+//! carries the end-to-end regeneration speedup.
+
+use lsv_arch::presets::sx_aurora;
+use lsv_bench::{bench_engine, Engine};
+use lsv_conv::{Algorithm, Direction, ExecutionMode};
+use lsv_models::resnet_layer;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Sweep {
+    name: &'static str,
+    wall_s: f64,
+    sim_cycles: u64,
+}
+
+/// Run one named batch of layer simulations and record its totals.
+fn run_sweep(
+    name: &'static str,
+    layers: &[usize],
+    minibatch: usize,
+    directions: &[Direction],
+    mode: ExecutionMode,
+) -> Sweep {
+    let arch = sx_aurora();
+    let engines = [
+        Engine::Direct(Algorithm::Dc),
+        Engine::Direct(Algorithm::Bdc),
+        Engine::Direct(Algorithm::Mbdc),
+    ];
+    let t0 = Instant::now();
+    let mut sim_cycles = 0u64;
+    for &id in layers {
+        let p = resnet_layer(id, minibatch);
+        for &dir in directions {
+            for &e in &engines {
+                let perf = bench_engine(&arch, &p, dir, e, mode);
+                sim_cycles += perf.cycles;
+            }
+        }
+    }
+    Sweep {
+        name,
+        wall_s: t0.elapsed().as_secs_f64(),
+        sim_cycles,
+    }
+}
+
+/// Parse `<bin> <ms>ms ...` lines (the regen harness timing format) into
+/// `(bin, ms)` pairs, ignoring lines that don't match.
+fn parse_timings(path: &str) -> Vec<(String, u64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench-simulator: cannot read {path}: {e}"));
+    text.lines()
+        .filter_map(|l| {
+            let mut it = l.split_whitespace();
+            let name = it.next()?;
+            let ms = it.next()?.strip_suffix("ms")?.parse::<u64>().ok()?;
+            Some((name.to_string(), ms))
+        })
+        .collect()
+}
+
+fn timings_json(pairs: &[(String, u64)]) -> String {
+    let mut s = String::from("{");
+    for (i, (name, ms)) in pairs.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "\"{name}\": {ms}");
+    }
+    s.push('}');
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut before: Option<String> = None;
+    let mut after: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = it.next().cloned(),
+            "--regen-before" => before = it.next().cloned(),
+            "--regen-after" => after = it.next().cloned(),
+            other => {
+                eprintln!("bench-simulator: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sweeps = if smoke {
+        vec![run_sweep(
+            "smoke_layer4_fwdd",
+            &[4],
+            4,
+            &[Direction::Fwd],
+            ExecutionMode::TimingOnly,
+        )]
+    } else {
+        vec![
+            run_sweep(
+                "table3_fwdd_timing",
+                &[2, 4, 6, 8, 11, 16],
+                16,
+                &[Direction::Fwd],
+                ExecutionMode::TimingOnly,
+            ),
+            run_sweep(
+                "table3_bwd_timing",
+                &[4, 8, 16],
+                16,
+                &[Direction::BwdData, Direction::BwdWeights],
+                ExecutionMode::TimingOnly,
+            ),
+            run_sweep(
+                "layer3_fwdd_functional",
+                &[3],
+                8,
+                &[Direction::Fwd],
+                ExecutionMode::Functional,
+            ),
+        ]
+    };
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"tool\": \"bench-simulator\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    json.push_str("  \"sweeps\": [\n");
+    for (i, s) in sweeps.iter().enumerate() {
+        let rate = s.sim_cycles as f64 / s.wall_s.max(1e-9);
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"sim_cycles\": {}, \"sim_cycles_per_host_s\": {:.3e}}}",
+            s.name, s.wall_s, s.sim_cycles, rate
+        );
+        json.push_str(if i + 1 < sweeps.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]");
+
+    if let (Some(b), Some(a)) = (&before, &after) {
+        let b = parse_timings(b);
+        let a = parse_timings(a);
+        let total_b: u64 = b.iter().map(|&(_, ms)| ms).sum();
+        let total_a: u64 = a.iter().map(|&(_, ms)| ms).sum();
+        json.push_str(",\n  \"regen\": {\n");
+        let _ = writeln!(json, "    \"before_ms\": {},", timings_json(&b));
+        let _ = writeln!(json, "    \"after_ms\": {},", timings_json(&a));
+        let _ = writeln!(json, "    \"total_before_ms\": {total_b},");
+        let _ = writeln!(json, "    \"total_after_ms\": {total_a},");
+        let _ = writeln!(
+            json,
+            "    \"speedup_total\": {:.2}",
+            total_b as f64 / (total_a as f64).max(1.0)
+        );
+        json.push_str("  }");
+    }
+    json.push_str("\n}\n");
+
+    match out {
+        Some(path) => {
+            std::fs::write(&path, json)
+                .unwrap_or_else(|e| panic!("bench-simulator: cannot write {path}: {e}"));
+            eprintln!("bench-simulator: wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -26,16 +26,38 @@ fn main() {
         Engine::Direct(Algorithm::Bdc),
         Engine::Direct(Algorithm::Mbdc),
     ];
+    // One flat job pool over machine x engine x layer: the short-vector
+    // machines' cheap layers backfill host threads while SX-Aurora simulates.
+    let layers = resnet_layers(minibatch);
+    let jobs: Vec<(usize, usize, usize)> = (0..machines.len())
+        .flat_map(|m| {
+            let n = layers.len();
+            (0..engines.len()).flat_map(move |e| (0..n).map(move |l| (m, e, l)))
+        })
+        .collect();
+    let gflops: Vec<(usize, usize, f64)> = lsv_bench::par::par_map(jobs, |(m, e, l)| {
+        let perf = bench_engine(
+            &machines[m],
+            &layers[l],
+            Direction::Fwd,
+            engines[e],
+            ExecutionMode::TimingOnly,
+        );
+        (m, e, perf.gflops)
+    });
     println!("architecture,n_vlen,algorithm,geomean_gflops_fwdd,geomean_efficiency,speedup_vs_dc");
-    for arch in &machines {
-        let layers = resnet_layers(minibatch);
-        let mut means = Vec::new();
-        for &e in &engines {
-            let gfs: Vec<f64> = lsv_bench::par::par_map(layers.clone(), |p| {
-                bench_engine(arch, &p, Direction::Fwd, e, ExecutionMode::TimingOnly).gflops
-            });
-            means.push((e, geomean(gfs)));
-        }
+    for (m, arch) in machines.iter().enumerate() {
+        let means: Vec<(Engine, f64)> = engines
+            .iter()
+            .enumerate()
+            .map(|(e, &eng)| {
+                let gfs = gflops
+                    .iter()
+                    .filter(|&&(jm, je, _)| jm == m && je == e)
+                    .map(|&(_, _, g)| g);
+                (eng, geomean(gfs))
+            })
+            .collect();
         let dc = means[0].1;
         for (e, g) in &means {
             println!(

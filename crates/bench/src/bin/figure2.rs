@@ -24,19 +24,28 @@ fn main() {
         (7, 512),
     ];
     let vlens = [512usize, 2048, 4096, 8192, 16384];
+    // Footprints are analytic but the bin still routes through the shared
+    // pool so every sweep binary parallelizes the same way.
+    let jobs: Vec<(usize, usize)> = (0..shapes.len())
+        .flat_map(|s| (0..vlens.len()).map(move |v| (s, v)))
+        .collect();
+    let cells = lsv_bench::par::par_map(jobs, |(s, v)| {
+        let (hw, c) = shapes[s];
+        let arch = aurora_with_vlen_bits(vlens[v]);
+        let p = ConvProblem::new(256, c, c, hw, hw, 3, 3, 1, 1);
+        let rb = split_register_block(formula2_rb_min(&arch), p.ow(), p.oh());
+        let fp = microkernel_footprint(&arch, &p, rb);
+        format!(",{:.3}", fp.total_mib())
+    });
     print!("layer");
     for v in vlens {
         print!(",{}b_MiB", v);
     }
     println!();
-    for &(hw, c) in shapes {
+    for (s, &(hw, c)) in shapes.iter().enumerate() {
         print!("{}x{}_{}ch", hw, hw, c);
-        for v in vlens {
-            let arch = aurora_with_vlen_bits(v);
-            let p = ConvProblem::new(256, c, c, hw, hw, 3, 3, 1, 1);
-            let rb = split_register_block(formula2_rb_min(&arch), p.ow(), p.oh());
-            let fp = microkernel_footprint(&arch, &p, rb);
-            print!(",{:.3}", fp.total_mib());
+        for cell in &cells[s * vlens.len()..(s + 1) * vlens.len()] {
+            print!("{cell}");
         }
         println!();
     }

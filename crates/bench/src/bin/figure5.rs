@@ -9,7 +9,7 @@
 //! Usage: `figure5 [minibatch]` (default 256).
 
 use lsv_arch::presets::aurora_with_vlen_bits;
-use lsv_bench::{layer_time_table, model_time_from_table, Engine};
+use lsv_bench::{layer_time_tables, model_time_from_table, Engine};
 use lsv_conv::{Algorithm, ExecutionMode};
 use lsv_models::ResNetModel;
 use std::collections::HashMap;
@@ -25,15 +25,23 @@ fn main() {
         Engine::Direct(Algorithm::Bdc),
         Engine::Direct(Algorithm::Mbdc),
     ];
+    // All vlen x engine sweeps simulate in one flat job pool; results print
+    // in the fixed row order below.
+    let configs: Vec<_> = vlens
+        .iter()
+        .flat_map(|&v| {
+            engines
+                .iter()
+                .map(move |&e| (aurora_with_vlen_bits(v), minibatch, e))
+        })
+        .collect();
+    let tables = layer_time_tables(&configs, ExecutionMode::TimingOnly);
     // time[(vlen, engine_name, model)] in ms
     let mut times: HashMap<(usize, &'static str, &'static str), f64> = HashMap::new();
-    for &v in &vlens {
-        let arch = aurora_with_vlen_bits(v);
-        for &e in &engines {
-            let table = layer_time_table(&arch, minibatch, e, ExecutionMode::TimingOnly);
-            for m in ResNetModel::ALL {
-                times.insert((v, e.name(), m.name()), model_time_from_table(&table, m));
-            }
+    for (ci, (&(_, _, e), table)) in configs.iter().zip(&tables).enumerate() {
+        let v = vlens[ci / engines.len()];
+        for m in ResNetModel::ALL {
+            times.insert((v, e.name(), m.name()), model_time_from_table(table, m));
         }
     }
     println!("model,vlen_bits,algorithm,step_ms,speedup_vs_dc512");

@@ -8,7 +8,7 @@
 //! Usage: `figure6 [minibatches...]` (default 8 16 32 64 128 256).
 
 use lsv_arch::presets::sx_aurora;
-use lsv_bench::{layer_time_table, model_time_from_table, Engine};
+use lsv_bench::{layer_time_tables, model_time_from_table, Engine};
 use lsv_conv::ExecutionMode;
 use lsv_models::ResNetModel;
 
@@ -21,15 +21,22 @@ fn main() {
     };
     let arch = sx_aurora();
     let model = ResNetModel::R101;
+    // Every minibatch x engine sweep simulates in one flat job pool; rows
+    // print in the fixed order below.
+    let configs: Vec<_> = minibatches
+        .iter()
+        .flat_map(|&mb| {
+            let arch = &arch;
+            Engine::ALL.iter().map(move |&e| (arch.clone(), mb, e))
+        })
+        .collect();
+    let tables = layer_time_tables(&configs, ExecutionMode::TimingOnly);
     println!("minibatch,algorithm,step_ms,gflops");
-    for &mb in &minibatches {
+    for (ci, &(_, mb, e)) in configs.iter().enumerate() {
         let flops = 3.0 * model.total_flops(mb) as f64;
-        for e in Engine::ALL {
-            let table = layer_time_table(&arch, mb, e, ExecutionMode::TimingOnly);
-            let ms = model_time_from_table(&table, model);
-            let gflops = flops / (ms / 1e3) / 1e9;
-            println!("{},{},{:.2},{:.1}", mb, e.name(), ms, gflops);
-        }
+        let ms = model_time_from_table(&tables[ci], model);
+        let gflops = flops / (ms / 1e3) / 1e9;
+        println!("{},{},{:.2},{:.1}", mb, e.name(), ms, gflops);
     }
     println!();
     println!("# Paper Figure 6: BDC best everywhere; vednn competitive at small minibatch,");

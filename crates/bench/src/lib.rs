@@ -170,6 +170,42 @@ pub fn layer_time_table(
     table
 }
 
+/// [`layer_time_table`] for several (arch, minibatch, engine) configurations
+/// at once: every configuration's layer x direction jobs go into one flat
+/// pool, so a sweep bin (Figures 5/6) exposes all of its parallelism to the
+/// host instead of running configurations back to back, each with a mostly
+/// idle pool tail. Returns one table per configuration, in input order.
+pub fn layer_time_tables(
+    configs: &[(ArchParams, usize, Engine)],
+    mode: ExecutionMode,
+) -> Vec<Vec<[f64; 3]>> {
+    let layer_sets: Vec<Vec<ConvProblem>> = configs
+        .iter()
+        .map(|&(_, mb, _)| resnet_layers(mb))
+        .collect();
+    let jobs: Vec<(usize, usize, usize)> = configs
+        .iter()
+        .enumerate()
+        .flat_map(|(c, _)| {
+            let n = layer_sets[c].len();
+            (0..n).flat_map(move |id| (0..3).map(move |d| (c, id, d)))
+        })
+        .collect();
+    let times: Vec<(usize, usize, usize, f64)> = par::par_map(jobs, |(c, id, d)| {
+        let (ref arch, _, engine) = configs[c];
+        let perf = bench_engine(arch, &layer_sets[c][id], Direction::ALL[d], engine, mode);
+        (c, id, d, perf.time_ms)
+    });
+    let mut tables: Vec<Vec<[f64; 3]>> = layer_sets
+        .iter()
+        .map(|ls| vec![[0.0f64; 3]; ls.len()])
+        .collect();
+    for (c, id, d, t) in times {
+        tables[c][id][d] = t;
+    }
+    tables
+}
+
 /// Aggregate a [`layer_time_table`] into one training step of a model.
 pub fn model_time_from_table(table: &[[f64; 3]], model: ResNetModel) -> f64 {
     let counts = model.layer_counts();

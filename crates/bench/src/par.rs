@@ -3,12 +3,43 @@
 //! Replaces the rayon dependency (unavailable offline) with a scoped
 //! worker pool: jobs are claimed by atomic index so an expensive layer
 //! doesn't serialize behind a cheap one, and results keep input order.
+//!
+//! A job that panics does not poison the pool: the panic payload is caught
+//! in the worker, the surviving workers finish their claimed jobs, and the
+//! first failure is re-raised on the caller's thread annotated with the
+//! failing job index — so a sweep that dies points at *which* layer/config
+//! killed it instead of an opaque "poisoned lock".
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Lock a mutex, ignoring poison: every slot value is only ever taken or
+/// stored whole, so a panic between operations cannot leave it half-updated.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Re-raise a caught job panic on the calling thread, prefixing the payload
+/// (when it is a string) with the failing job index.
+fn repanic(index: usize, payload: Box<dyn std::any::Any + Send>) -> ! {
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        Some((*s).to_string())
+    } else {
+        payload.downcast_ref::<String>().cloned()
+    };
+    match msg {
+        Some(m) => panic!("par_map: job {index} panicked: {m}"),
+        None => resume_unwind(payload),
+    }
+}
+
 /// Apply `f` to every item, using up to `available_parallelism` worker
 /// threads, and return the results in input order.
+///
+/// # Panics
+/// If any job panics, panics with `par_map: job {i} panicked: ...` for the
+/// lowest-indexed failing job (after letting in-flight jobs finish).
 pub fn par_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
 where
     I: Send,
@@ -21,10 +52,23 @@ where
         .unwrap_or(1)
         .min(n.max(1));
     if threads <= 1 {
-        return items.into_iter().map(f).collect();
+        // Serial path: same panic annotation as the pooled path, so callers
+        // (and tests) observe identical failure behaviour on 1-core hosts.
+        return items
+            .into_iter()
+            .enumerate()
+            .map(
+                |(i, item)| match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(out) => out,
+                    Err(payload) => repanic(i, payload),
+                },
+            )
+            .collect();
     }
     let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
     let results: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    type Failure = Box<dyn std::any::Any + Send>;
+    let failures: Mutex<Vec<(usize, Failure)>> = Mutex::new(Vec::new());
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..threads {
@@ -33,22 +77,28 @@ where
                 if i >= n {
                     break;
                 }
-                let item = slots[i]
-                    .lock()
-                    .expect("par_map: poisoned job slot")
+                let item = lock_unpoisoned(&slots[i])
                     .take()
                     .expect("par_map: job claimed twice");
-                let out = f(item);
-                *results[i].lock().expect("par_map: poisoned result slot") = Some(out);
+                match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(out) => *lock_unpoisoned(&results[i]) = Some(out),
+                    Err(payload) => lock_unpoisoned(&failures).push((i, payload)),
+                }
             });
         }
     });
+    let mut failed = failures.into_inner().unwrap_or_else(|e| e.into_inner());
+    if !failed.is_empty() {
+        failed.sort_by_key(|&(i, _)| i);
+        let (i, payload) = failed.remove(0);
+        repanic(i, payload);
+    }
     results
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("par_map: poisoned result slot")
-                .expect("par_map: worker panicked before storing its result")
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("par_map: worker exited without storing a result")
         })
         .collect()
 }
@@ -68,5 +118,53 @@ mod tests {
     fn empty_input_is_fine() {
         let ys: Vec<u32> = par_map(Vec::<u32>::new(), |x| x);
         assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn panicking_job_reports_its_index() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map((0..16).collect::<Vec<u32>>(), |x| {
+                if x == 11 {
+                    panic!("layer exploded");
+                }
+                x
+            })
+        })
+        .expect_err("a panicking job must fail the map");
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("annotated panic carries a String payload");
+        assert!(msg.contains("job 11"), "panic names the job index: {msg}");
+        assert!(
+            msg.contains("layer exploded"),
+            "original message kept: {msg}"
+        );
+    }
+
+    #[test]
+    fn lowest_failing_index_wins_and_survivors_complete() {
+        // Two failing jobs: the report must name the lowest index regardless
+        // of completion order.
+        let caught = std::panic::catch_unwind(|| {
+            par_map((0..32).collect::<Vec<u32>>(), |x| {
+                if x == 7 || x == 23 {
+                    panic!("boom {x}");
+                }
+                x
+            })
+        })
+        .expect_err("failing jobs must fail the map");
+        let msg = caught.downcast_ref::<String>().cloned().unwrap();
+        assert!(msg.contains("job 7"), "lowest failing job reported: {msg}");
+    }
+
+    #[test]
+    fn non_string_panic_payloads_propagate() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map(vec![0u32], |_| -> u32 { std::panic::panic_any(42i32) })
+        })
+        .expect_err("panic must propagate");
+        assert_eq!(caught.downcast_ref::<i32>(), Some(&42));
     }
 }

@@ -192,6 +192,145 @@ impl Hierarchy {
         }
     }
 
+    /// Access every line overlapped by `[addr, addr + bytes)` against the
+    /// LLC (vector-traffic path, same semantics as calling
+    /// [`Hierarchy::access_line_llc`] per line) and return the worst
+    /// single-line latency plus the number of lines that missed to memory.
+    ///
+    /// Borrows the shared LLC cell once for the whole range instead of once
+    /// per line — on unit-stride vector loads this is the hottest loop in
+    /// the simulator.
+    pub fn access_range_llc(&mut self, addr: u64, bytes: u64, write: bool) -> (u64, u64) {
+        if bytes == 0 {
+            return (0, 0);
+        }
+        let mut llc = self.llc.borrow_mut();
+        let mut worst = 0u64;
+        let mut mem_lines = 0u64;
+        self.walk_range(
+            &mut llc,
+            addr,
+            bytes,
+            write,
+            &mut worst,
+            &mut mem_lines,
+            None,
+        );
+        (worst, mem_lines)
+    }
+
+    /// Strided LLC walk: touch the line under each of `count` elements spaced
+    /// `stride_bytes` apart, skipping an element whose line equals the
+    /// immediately preceding element's line (sub-line strides touch each line
+    /// once per run, matching a per-element walk with consecutive-line
+    /// deduplication). Returns the worst latency and memory line count.
+    pub fn access_strided_llc(
+        &mut self,
+        addr: u64,
+        stride_bytes: u64,
+        count: usize,
+        write: bool,
+    ) -> (u64, u64) {
+        let line = self.line;
+        let mut llc = self.llc.borrow_mut();
+        let mut worst = 0u64;
+        let mut mem_lines = 0u64;
+        let mut last_line = u64::MAX;
+        for i in 0..count {
+            let a = (addr + i as u64 * stride_bytes) & !(line - 1);
+            if a != last_line {
+                let r = llc.access_line(a, write);
+                worst = worst.max(if r.hit { self.lat.llc } else { self.lat.mem });
+                if !r.hit {
+                    mem_lines += 1;
+                }
+                last_line = a;
+            }
+        }
+        (worst, mem_lines)
+    }
+
+    /// Gather/scatter LLC walk: touch every line of each `[b, b + block_bytes)`
+    /// block, appending each touched line address to `lines` (the caller feeds
+    /// them to the bank-serialization model). Returns the worst latency and
+    /// memory line count.
+    pub fn access_blocks_llc(
+        &mut self,
+        blocks: &[u64],
+        block_bytes: u64,
+        write: bool,
+        lines: &mut Vec<u64>,
+    ) -> (u64, u64) {
+        let mut llc = self.llc.borrow_mut();
+        let mut worst = 0u64;
+        let mut mem_lines = 0u64;
+        for &b in blocks {
+            self.walk_range(
+                &mut llc,
+                b,
+                block_bytes,
+                write,
+                &mut worst,
+                &mut mem_lines,
+                Some(lines),
+            );
+        }
+        (worst, mem_lines)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk_range(
+        &self,
+        llc: &mut SetAssocCache,
+        addr: u64,
+        bytes: u64,
+        write: bool,
+        worst: &mut u64,
+        mem_lines: &mut u64,
+        mut lines: Option<&mut Vec<u64>>,
+    ) {
+        if bytes == 0 {
+            return;
+        }
+        let line = self.line;
+        let first = addr & !(line - 1);
+        let last = (addr + bytes - 1) & !(line - 1);
+        let mut a = first;
+        loop {
+            let r = llc.access_line(a, write);
+            *worst = (*worst).max(if r.hit { self.lat.llc } else { self.lat.mem });
+            if !r.hit {
+                *mem_lines += 1;
+            }
+            if let Some(ls) = lines.as_deref_mut() {
+                ls.push(a);
+            }
+            if a == last {
+                break;
+            }
+            a += line;
+        }
+    }
+
+    /// Silently fill every line of `[addr, addr + bytes)` into the LLC
+    /// (benchmark warm-up), borrowing the shared cell once.
+    pub fn warm_llc_range(&mut self, addr: u64, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let line = self.line;
+        let mut llc = self.llc.borrow_mut();
+        let mut a = addr & !(line - 1);
+        let last = (addr + bytes - 1) & !(line - 1);
+        loop {
+            llc.insert_silent(a);
+            if a == last {
+                break;
+            }
+            a += line;
+        }
+    }
+
     /// Snapshot of per-level statistics.
     pub fn stats(&self) -> HierarchyStats {
         let llc = self.llc.borrow().stats();
@@ -305,6 +444,44 @@ mod tests {
             h2.access_line(0x100_0000 + i * 3 * 128, false);
         }
         assert_eq!(h2.stats().l1.misses, 50);
+    }
+
+    #[test]
+    fn range_llc_matches_per_line_walk() {
+        let arch = sx_aurora();
+        let mut bulk = Hierarchy::for_core(&arch, 1);
+        let mut step = Hierarchy::for_core(&arch, 1);
+        // Mixed unaligned ranges, re-touches and a write pass.
+        let ranges = [
+            (0x2000u64, 1024u64, false),
+            (0x2040, 300, false), // re-hits, unaligned start
+            (0x9f00, 33, true),   // straddles a line boundary
+            (0x2000, 4096, false),
+            (0x2000, 0, false), // empty range is free
+        ];
+        for &(addr, bytes, write) in &ranges {
+            let (worst, mem_lines) = bulk.access_range_llc(addr, bytes, write);
+            let mut want_worst = 0;
+            let mut want_mem = 0;
+            if bytes > 0 {
+                let line = arch.l1d.line as u64;
+                let mut a = addr & !(line - 1);
+                let last = (addr + bytes - 1) & !(line - 1);
+                loop {
+                    let o = step.access_line_llc(a, write);
+                    want_worst = want_worst.max(o.latency);
+                    if o.level == Level::Mem {
+                        want_mem += 1;
+                    }
+                    if a == last {
+                        break;
+                    }
+                    a += line;
+                }
+            }
+            assert_eq!((worst, mem_lines), (want_worst, want_mem));
+        }
+        assert_eq!(bulk.stats(), step.stats());
     }
 
     #[test]

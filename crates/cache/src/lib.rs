@@ -30,5 +30,5 @@ pub mod stats;
 
 pub use banks::bank_of_line;
 pub use hierarchy::{shared_llc, AccessOutcome, Hierarchy, Level, SharedLlc};
-pub use set_assoc::SetAssocCache;
+pub use set_assoc::{SetAssocCache, ShadowLru};
 pub use stats::{HierarchyStats, LevelStats};

@@ -1,9 +1,31 @@
 //! A single set-associative, write-back/write-allocate, LRU cache level with
 //! optional fully-associative shadow for conflict-miss classification.
+//!
+//! This module sits on the simulator's hottest path — every simulated scalar
+//! load and every vector-touched cache line goes through
+//! [`SetAssocCache::access_line`] — so the data structures are built for
+//! constant-time, allocation-free accesses:
+//!
+//! * the ways of all sets live in one flat array (no per-set `Vec` pointer
+//!   chase; LRU order is maintained by shifting at most `ways` copies of a
+//!   16-byte `Way`),
+//! * set lookup is shift/mask (all practical geometries have power-of-two
+//!   set counts; a modulo fallback keeps odd geometries correct),
+//! * the conflict-classification shadow is an exact fully-associative LRU in
+//!   O(1) per access: a fixed-capacity open-addressing table over an
+//!   intrusive doubly-linked recency list (no `HashMap`, no `BTreeMap`),
+//! * repeated accesses to the most-recently-used line take an early-out that
+//!   skips the set scan and the shadow probe entirely while updating the
+//!   same statistics — the common case inside a register block, where a
+//!   kernel reads several consecutive scalars from one line.
+//!
+//! None of this changes a single simulated outcome: hit/miss/conflict
+//! classification, writebacks and LRU victims are bit-identical to the
+//! straightforward implementation (pinned by `tests/golden_cycles.rs` at the
+//! workspace root and by the equivalence tests below).
 
 use crate::stats::LevelStats;
 use lsv_arch::CacheGeometry;
-use std::collections::HashMap;
 
 /// One way of a set: the line tag plus dirty/prefetch flags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,50 +36,181 @@ struct Way {
     prefetched: bool,
 }
 
-/// Fully-associative LRU model of the same capacity as the main array.
+const NO_NODE: u32 = u32::MAX;
+const NO_LINE: u64 = u64::MAX;
+
+/// Fully-associative exact-LRU model of the same capacity as the main array.
 ///
-/// Used only for miss classification: a line that the shadow retains but the
-/// set-associative array evicted was lost to a *conflict*, not capacity.
-/// Implemented as a timestamp map plus an ordered recency index; both
-/// operations are `O(log n)` which is irrelevant next to the simulated
-/// kernels' cost.
-#[derive(Debug, Default)]
-struct ShadowLru {
+/// Used for miss classification (Hill & Smith): a line that the shadow
+/// retains but the set-associative array evicted was lost to a *conflict*,
+/// not capacity. Every operation is O(1): residency is tracked by a
+/// fixed-capacity open-addressing hash table (linear probing with
+/// backward-shift deletion, ≤50% load factor) whose entries index an
+/// intrusive doubly-linked recency list. The structure never allocates
+/// after construction.
+#[derive(Debug)]
+pub struct ShadowLru {
     capacity: usize,
-    clock: u64,
-    /// line address -> last-use timestamp
-    stamp: HashMap<u64, u64>,
-    /// last-use timestamp -> line address (timestamps are unique)
-    order: std::collections::BTreeMap<u64, u64>,
+    /// slot -> node index, `NO_NODE` = empty. Power-of-two length.
+    table: Box<[u32]>,
+    /// `table.len() - 1` (for masking probe positions).
+    slot_mask: usize,
+    /// `64 - log2(table.len())` (Fibonacci-hash shift).
+    hash_shift: u32,
+    /// node -> line address.
+    line: Box<[u64]>,
+    /// node -> more-recent neighbour (towards MRU).
+    prev: Box<[u32]>,
+    /// node -> less-recent neighbour (towards LRU).
+    next: Box<[u32]>,
+    head: u32,
+    tail: u32,
+    len: usize,
 }
 
 impl ShadowLru {
-    fn new(capacity: usize) -> Self {
+    /// A shadow retaining the `capacity` most recently used lines.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "shadow capacity must be at least 1");
+        let slots = (capacity * 2).next_power_of_two();
         Self {
             capacity,
-            clock: 0,
-            stamp: HashMap::with_capacity(capacity),
-            order: Default::default(),
+            table: vec![NO_NODE; slots].into_boxed_slice(),
+            slot_mask: slots - 1,
+            hash_shift: 64 - slots.trailing_zeros(),
+            line: vec![NO_LINE; capacity].into_boxed_slice(),
+            prev: vec![NO_NODE; capacity].into_boxed_slice(),
+            next: vec![NO_NODE; capacity].into_boxed_slice(),
+            head: NO_NODE,
+            tail: NO_NODE,
+            len: 0,
         }
     }
 
-    /// Touch a line; returns whether it was resident.
-    fn access(&mut self, line_addr: u64) -> bool {
-        self.clock += 1;
-        let hit = if let Some(old) = self.stamp.insert(line_addr, self.clock) {
-            self.order.remove(&old);
-            true
-        } else {
-            false
-        };
-        self.order.insert(self.clock, line_addr);
-        if self.stamp.len() > self.capacity {
-            // Evict the least-recently used entry.
-            let (&oldest, &victim) = self.order.iter().next().expect("shadow non-empty");
-            self.order.remove(&oldest);
-            self.stamp.remove(&victim);
+    /// Lines currently retained.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the shadow holds no lines yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn home_slot(&self, line_addr: u64) -> usize {
+        // Fibonacci hashing; line addresses are line-aligned, the
+        // multiplication spreads the high-entropy middle bits into the top.
+        (line_addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.hash_shift) as usize
+    }
+
+    /// Slot currently holding `line_addr`, if resident.
+    #[inline]
+    fn find_slot(&self, line_addr: u64) -> Option<usize> {
+        let mut s = self.home_slot(line_addr);
+        loop {
+            let node = self.table[s];
+            if node == NO_NODE {
+                return None;
+            }
+            if self.line[node as usize] == line_addr {
+                return Some(s);
+            }
+            s = (s + 1) & self.slot_mask;
         }
-        hit
+    }
+
+    /// Insert `node` for `line_addr` into the first free probe slot.
+    #[inline]
+    fn insert_slot(&mut self, line_addr: u64, node: u32) {
+        let mut s = self.home_slot(line_addr);
+        while self.table[s] != NO_NODE {
+            s = (s + 1) & self.slot_mask;
+        }
+        self.table[s] = node;
+    }
+
+    /// Backward-shift deletion: empty `slot` and compact the probe chain
+    /// behind it so lookups never need tombstones.
+    fn remove_slot(&mut self, slot: usize) {
+        let mut i = slot;
+        let mut j = slot;
+        loop {
+            j = (j + 1) & self.slot_mask;
+            let node = self.table[j];
+            if node == NO_NODE {
+                break;
+            }
+            let home = self.home_slot(self.line[node as usize]);
+            // `j`'s occupant may move into `i` iff its home slot is not in
+            // the cyclic interval (i, j] — i.e. the probe chain still passes
+            // through `i`.
+            if (j.wrapping_sub(home) & self.slot_mask) >= (j.wrapping_sub(i) & self.slot_mask) {
+                self.table[i] = self.table[j];
+                i = j;
+            }
+        }
+        self.table[i] = NO_NODE;
+    }
+
+    #[inline]
+    fn unlink(&mut self, node: u32) {
+        let (p, n) = (self.prev[node as usize], self.next[node as usize]);
+        if p == NO_NODE {
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NO_NODE {
+            self.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+    }
+
+    #[inline]
+    fn push_head(&mut self, node: u32) {
+        self.prev[node as usize] = NO_NODE;
+        self.next[node as usize] = self.head;
+        if self.head != NO_NODE {
+            self.prev[self.head as usize] = node;
+        }
+        self.head = node;
+        if self.tail == NO_NODE {
+            self.tail = node;
+        }
+    }
+
+    /// Touch a line; returns whether it was resident. Evicts the
+    /// least-recently-used line when inserting into a full shadow.
+    pub fn access(&mut self, line_addr: u64) -> bool {
+        if let Some(slot) = self.find_slot(line_addr) {
+            let node = self.table[slot];
+            if self.head != node {
+                self.unlink(node);
+                self.push_head(node);
+            }
+            return true;
+        }
+        let node = if self.len == self.capacity {
+            // Recycle the LRU node for the incoming line.
+            let victim = self.tail;
+            let victim_line = self.line[victim as usize];
+            let slot = self
+                .find_slot(victim_line)
+                .expect("shadow LRU victim must be in the table");
+            self.remove_slot(slot);
+            self.unlink(victim);
+            victim
+        } else {
+            let n = self.len as u32;
+            self.len += 1;
+            n
+        };
+        self.line[node as usize] = line_addr;
+        self.insert_slot(line_addr, node);
+        self.push_head(node);
+        false
     }
 }
 
@@ -76,16 +229,38 @@ pub struct LineAccess {
     pub first_hit_on_prefetch: bool,
 }
 
+const HIT_MRU: LineAccess = LineAccess {
+    hit: true,
+    conflict: false,
+    writeback: false,
+    first_hit_on_prefetch: false,
+};
+
 /// An LRU set-associative cache over line-aligned addresses.
 ///
 /// The cache stores no data — the simulated memory lives in
 /// `lsv_vengine::Arena` — only residency metadata. Ways within a set are
-/// kept in LRU order (index 0 = most recently used); associativities in this
-/// workload are small (2-16), so a `Vec` scan beats pointer chasing.
+/// kept in LRU order (index 0 = most recently used) in one flat array;
+/// associativities in this workload are small (2-16), so shifting a few
+/// `Way`s beats pointer chasing.
 #[derive(Debug)]
 pub struct SetAssocCache {
     geom: CacheGeometry,
-    sets: Vec<Vec<Way>>,
+    /// `log2(line)` — line offsets strip with one shift.
+    line_shift: u32,
+    /// `sets - 1` when the set count is a power of two (the practical case).
+    set_mask: u64,
+    /// Whether `set_mask` is usable; otherwise fall back to a modulo.
+    sets_po2: bool,
+    ways: usize,
+    /// `sets * ways` ways; set `s` owns `[s*ways, s*ways + len[s])`.
+    entries: Box<[Way]>,
+    /// Occupancy per set.
+    lens: Box<[u8]>,
+    /// Most-recently-accessed line (fast path), `NO_LINE` when invalid.
+    mru_line: u64,
+    /// Set index of `mru_line` (its way is at position 0 of that set).
+    mru_set: usize,
     shadow: Option<ShadowLru>,
     stats: LevelStats,
 }
@@ -96,11 +271,27 @@ impl SetAssocCache {
     /// for L1 where the paper's conflict phenomenon lives, and for the MPKI
     /// study).
     pub fn new(geom: CacheGeometry, classify_conflicts: bool) -> Self {
-        let sets = vec![Vec::with_capacity(geom.ways); geom.sets()];
+        let sets = geom.sets();
+        assert!(geom.ways <= u8::MAX as usize, "associativity fits a u8");
         let shadow = classify_conflicts.then(|| ShadowLru::new(geom.lines()));
         Self {
             geom,
-            sets,
+            line_shift: geom.line.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            sets_po2: sets.is_power_of_two(),
+            ways: geom.ways,
+            entries: vec![
+                Way {
+                    line_addr: NO_LINE,
+                    dirty: false,
+                    prefetched: false,
+                };
+                sets * geom.ways
+            ]
+            .into_boxed_slice(),
+            lens: vec![0; sets].into_boxed_slice(),
+            mru_line: NO_LINE,
+            mru_set: 0,
             shadow,
             stats: LevelStats::default(),
         }
@@ -124,35 +315,67 @@ impl SetAssocCache {
 
     /// Drop all contents and counters.
     pub fn flush(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.entries.fill(Way {
+            line_addr: NO_LINE,
+            dirty: false,
+            prefetched: false,
+        });
+        self.lens.fill(0);
+        self.mru_line = NO_LINE;
         if let Some(sh) = &mut self.shadow {
             *sh = ShadowLru::new(self.geom.lines());
         }
         self.stats = LevelStats::default();
     }
 
+    #[inline]
+    fn set_of(&self, addr: u64) -> usize {
+        let line_idx = addr >> self.line_shift;
+        if self.sets_po2 {
+            (line_idx & self.set_mask) as usize
+        } else {
+            (line_idx % (self.lens.len() as u64)) as usize
+        }
+    }
+
     /// Access one cache line (the address may be anywhere inside the line).
     /// `write` marks the line dirty. Missing lines are allocated
     /// (write-allocate), evicting the set's LRU way.
     pub fn access_line(&mut self, addr: u64, write: bool) -> LineAccess {
-        let line_addr = self.geom.line_addr(addr);
-        let set_idx = self.geom.set_of(addr);
+        let line_addr = (addr >> self.line_shift) << self.line_shift;
+
+        // Fast path: the immediately preceding access touched this line, so
+        // it is resident at MRU position with its prefetch flag cleared, and
+        // it is also at the head of the shadow's recency list — re-touching
+        // changes no LRU state anywhere. Only the counters move.
+        if line_addr == self.mru_line {
+            self.stats.hits += 1;
+            if write {
+                self.entries[self.mru_set * self.ways].dirty = true;
+            }
+            return HIT_MRU;
+        }
+
+        let set_idx = self.set_of(addr);
         let shadow_hit = self
             .shadow
             .as_mut()
             .map(|s| s.access(line_addr))
             .unwrap_or(false);
 
-        let set = &mut self.sets[set_idx];
+        let base = set_idx * self.ways;
+        let len = self.lens[set_idx] as usize;
+        let set = &mut self.entries[base..base + len];
         if let Some(pos) = set.iter().position(|w| w.line_addr == line_addr) {
-            let mut way = set.remove(pos);
+            let mut way = set[pos];
             way.dirty |= write;
             let first_hit_on_prefetch = way.prefetched;
             way.prefetched = false;
-            set.insert(0, way);
+            set.copy_within(0..pos, 1);
+            set[0] = way;
             self.stats.hits += 1;
+            self.mru_line = line_addr;
+            self.mru_set = set_idx;
             return LineAccess {
                 hit: true,
                 conflict: false,
@@ -168,21 +391,25 @@ impl SetAssocCache {
             self.stats.conflict_misses += 1;
         }
         let mut writeback = false;
-        if set.len() == self.geom.ways {
-            let victim = set.pop().expect("full set has a victim");
+        if len == self.ways {
+            let victim = set[len - 1];
             if victim.dirty {
                 writeback = true;
                 self.stats.writebacks += 1;
             }
+        } else {
+            self.lens[set_idx] = len as u8 + 1;
         }
-        set.insert(
-            0,
-            Way {
-                line_addr,
-                dirty: write,
-                prefetched: false,
-            },
-        );
+        let shift = len.min(self.ways - 1);
+        let set = &mut self.entries[base..base + self.ways];
+        set.copy_within(0..shift, 1);
+        set[0] = Way {
+            line_addr,
+            dirty: write,
+            prefetched: false,
+        };
+        self.mru_line = line_addr;
+        self.mru_set = set_idx;
         LineAccess {
             hit: false,
             conflict,
@@ -195,34 +422,49 @@ impl SetAssocCache {
     /// The shadow is updated too: the fully-associative reference sees the
     /// same (demand + prefetch) stream.
     pub fn insert_silent(&mut self, addr: u64) {
-        let line_addr = self.geom.line_addr(addr);
-        let set_idx = self.geom.set_of(addr);
+        let line_addr = (addr >> self.line_shift) << self.line_shift;
         if let Some(sh) = self.shadow.as_mut() {
             sh.access(line_addr);
         }
-        let set = &mut self.sets[set_idx];
+        let set_idx = self.set_of(addr);
+        // A silent fill reshuffles its set (and can even evict a one-way
+        // set's resident line). It also moves a line to the head of the
+        // fully-associative shadow, so when a shadow exists the previous MRU
+        // line is no longer the shadow's most recent entry — the fast path's
+        // "re-touch changes no LRU state" argument breaks and the shortcut
+        // must be dropped unconditionally.
+        if self.shadow.is_some() || set_idx == self.mru_set {
+            self.mru_line = NO_LINE;
+        }
+        let base = set_idx * self.ways;
+        let len = self.lens[set_idx] as usize;
+        let set = &mut self.entries[base..base + len];
         if let Some(pos) = set.iter().position(|w| w.line_addr == line_addr) {
-            let way = set.remove(pos);
-            set.insert(0, way);
+            let way = set[pos];
+            set.copy_within(0..pos, 1);
+            set[0] = way;
             return;
         }
-        if set.len() == self.geom.ways {
-            set.pop();
+        if len < self.ways {
+            self.lens[set_idx] = len as u8 + 1;
         }
-        set.insert(
-            0,
-            Way {
-                line_addr,
-                dirty: false,
-                prefetched: true,
-            },
-        );
+        let shift = len.min(self.ways - 1);
+        let set = &mut self.entries[base..base + self.ways];
+        set.copy_within(0..shift, 1);
+        set[0] = Way {
+            line_addr,
+            dirty: false,
+            prefetched: true,
+        };
     }
 
     /// Whether a line is currently resident (no LRU update, no stats).
     pub fn probe(&self, addr: u64) -> bool {
-        let line_addr = self.geom.line_addr(addr);
-        self.sets[self.geom.set_of(addr)]
+        let line_addr = (addr >> self.line_shift) << self.line_shift;
+        let set_idx = self.set_of(addr);
+        let base = set_idx * self.ways;
+        let len = self.lens[set_idx] as usize;
+        self.entries[base..base + len]
             .iter()
             .any(|w| w.line_addr == line_addr)
     }
@@ -314,5 +556,116 @@ mod tests {
         c.flush();
         assert!(!c.probe(0));
         assert_eq!(c.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn repeated_same_line_accesses_count_hits() {
+        // The MRU fast path must update statistics exactly like the slow
+        // path: n accesses = 1 miss + (n-1) hits, and a write through the
+        // fast path still marks the line dirty (visible as a writeback).
+        let mut c = tiny();
+        c.access_line(128, false);
+        for _ in 0..9 {
+            c.access_line(130, false);
+        }
+        c.access_line(132, true); // fast-path write: marks dirty
+        assert_eq!(c.stats().hits, 10);
+        assert_eq!(c.stats().misses, 1);
+        // Force line 128's eviction (set 2 on this geometry: lines 128+256k).
+        c.access_line(128 + 256, false);
+        let r = c.access_line(128 + 512, false);
+        assert!(r.writeback, "dirty bit set through the fast path");
+    }
+
+    #[test]
+    fn insert_silent_invalidates_mru_shortcut_in_same_set() {
+        // One-way cache: a silent fill replaces the set's only line, so a
+        // following access to the old line must be a miss.
+        let mut c = SetAssocCache::new(CacheGeometry::new(256, 64, 1), false);
+        c.access_line(0, false);
+        assert!(c.access_line(0, false).hit);
+        c.insert_silent(1024); // same set (4 sets: 1024 = set 0), evicts line 0
+        assert!(!c.access_line(0, false).hit, "old line was evicted");
+    }
+
+    /// Reference fully-associative LRU (the data structure the O(1) shadow
+    /// replaced), used to prove behavioural equivalence.
+    struct NaiveLru {
+        capacity: usize,
+        order: Vec<u64>, // front = MRU
+    }
+
+    impl NaiveLru {
+        fn access(&mut self, line: u64) -> bool {
+            let hit = if let Some(p) = self.order.iter().position(|&l| l == line) {
+                self.order.remove(p);
+                true
+            } else {
+                false
+            };
+            self.order.insert(0, line);
+            if self.order.len() > self.capacity {
+                self.order.pop();
+            }
+            hit
+        }
+    }
+
+    #[test]
+    fn shadow_matches_naive_lru_on_adversarial_streams() {
+        for capacity in [1usize, 2, 3, 8, 64] {
+            let mut fast = ShadowLru::new(capacity);
+            let mut slow = NaiveLru {
+                capacity,
+                order: Vec::new(),
+            };
+            // Deterministic mixed stream: sequential runs, strided sweeps,
+            // hot-line re-touches, and pseudo-random jumps — enough churn to
+            // exercise eviction, backward-shift deletion and re-insertion.
+            let mut x = 0x243F_6A88_85A3_08D3u64;
+            for i in 0..20_000u64 {
+                let line = match i % 4 {
+                    0 => (i / 4 % 97) * 64,
+                    1 => (i % 7) * 64,
+                    2 => ((i * 37) % 256) * 64,
+                    _ => {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        (x % 211) * 64
+                    }
+                };
+                assert_eq!(
+                    fast.access(line),
+                    slow.access(line),
+                    "capacity {capacity}, step {i}, line {line:#x}"
+                );
+            }
+            assert_eq!(fast.len(), slow.order.len());
+        }
+    }
+
+    #[test]
+    fn shadow_capacity_one() {
+        let mut s = ShadowLru::new(1);
+        assert!(!s.access(0));
+        assert!(s.access(0));
+        assert!(!s.access(64));
+        assert!(!s.access(0), "capacity-1 shadow keeps only the last line");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_stays_correct() {
+        // 3 sets x 2 ways x 64B = 384B: the modulo fallback path.
+        let mut c = SetAssocCache::new(CacheGeometry::new(384, 64, 2), false);
+        assert_eq!(c.geometry().sets(), 3);
+        c.access_line(0, false); // set 0
+        c.access_line(3 * 64, false); // set 0 again (wraps)
+        c.access_line(6 * 64, false); // set 0: evicts line 0
+        assert!(!c.probe(0));
+        assert!(c.probe(3 * 64));
+        assert!(c.probe(6 * 64));
+        assert!(!c.access_line(64, false).hit, "set 1 cold");
     }
 }

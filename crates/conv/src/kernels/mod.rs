@@ -15,6 +15,13 @@ pub mod fwd;
 use lsv_tensor::ActTensor;
 use lsv_vengine::{Arena, VCore};
 
+/// Blocks per vector access that fit the stack buffer in
+/// [`load_act_vec`]/[`store_act_vec`] (covers every practical `vl / cb`
+/// combination; larger gathers fall back to a heap buffer). These helpers run
+/// once per micro-kernel vector access, so the former per-call `Vec` was one
+/// of the hottest allocation sites in the simulator.
+const MAX_BLOCKS_INLINE: usize = 64;
+
 /// Number of stored lanes a vector access of `vl` logical channels starting
 /// at channel `c0` touches in tensor `t`: `vl` itself for a `C_b >= vl`
 /// layout (unit-stride), or `ceil(vl / C_b) * C_b` for a multi-block layout
@@ -58,8 +65,16 @@ pub(crate) fn load_act_vec(
     } else {
         debug_assert_eq!(c0 % cb, 0, "gather must start on a block boundary");
         let bpv = vl.div_ceil(cb);
-        let blocks: Vec<u64> = (0..bpv).map(|j| t.block_at(n, c0 / cb + j, y, x)).collect();
-        core.vgather_blocks(arena, reg, &blocks, cb);
+        let mut inline = [0u64; MAX_BLOCKS_INLINE];
+        if bpv <= MAX_BLOCKS_INLINE {
+            for (j, slot) in inline[..bpv].iter_mut().enumerate() {
+                *slot = t.block_at(n, c0 / cb + j, y, x);
+            }
+            core.vgather_blocks(arena, reg, &inline[..bpv], cb);
+        } else {
+            let blocks: Vec<u64> = (0..bpv).map(|j| t.block_at(n, c0 / cb + j, y, x)).collect();
+            core.vgather_blocks(arena, reg, &blocks, cb);
+        }
     }
 }
 
@@ -88,8 +103,16 @@ pub(crate) fn store_act_vec(
     } else {
         debug_assert_eq!(c0 % cb, 0, "scatter must start on a block boundary");
         let bpv = vl.div_ceil(cb);
-        let blocks: Vec<u64> = (0..bpv).map(|j| t.block_at(n, c0 / cb + j, y, x)).collect();
-        core.vscatter_blocks(arena, reg, &blocks, cb);
+        let mut inline = [0u64; MAX_BLOCKS_INLINE];
+        if bpv <= MAX_BLOCKS_INLINE {
+            for (j, slot) in inline[..bpv].iter_mut().enumerate() {
+                *slot = t.block_at(n, c0 / cb + j, y, x);
+            }
+            core.vscatter_blocks(arena, reg, &inline[..bpv], cb);
+        } else {
+            let blocks: Vec<u64> = (0..bpv).map(|j| t.block_at(n, c0 / cb + j, y, x)).collect();
+            core.vscatter_blocks(arena, reg, &blocks, cb);
+        }
     }
 }
 

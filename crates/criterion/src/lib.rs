@@ -15,6 +15,23 @@ use std::time::Instant;
 
 pub use std::hint::black_box;
 
+/// Cap applied to every sample count when `LSV_BENCH_SMOKE` is set in the
+/// environment. CI runs benches in this mode: one timed sample per
+/// benchmark proves the pipeline still compiles and runs without paying
+/// for statistically meaningful timings.
+fn smoke_cap() -> Option<usize> {
+    std::env::var("LSV_BENCH_SMOKE")
+        .ok()
+        .map(|v| v.parse::<usize>().ok().filter(|&n| n > 0).unwrap_or(1))
+}
+
+fn effective_samples(requested: usize) -> usize {
+    match smoke_cap() {
+        Some(cap) => requested.min(cap),
+        None => requested,
+    }
+}
+
 /// Top-level bench context handed to every `criterion_group!` function.
 pub struct Criterion {
     sample_size: usize,
@@ -160,7 +177,7 @@ impl Bencher {
 
 fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher {
-        samples,
+        samples: effective_samples(samples),
         timings_ns: Vec::new(),
     };
     f(&mut b);

@@ -224,7 +224,15 @@ pub struct VCore {
     ports: Vec<u64>,
     vpipe_last_start: u64,
     // --- functional register file ---
-    vregs: Vec<Vec<f32>>,
+    /// Architected vector length (elements per register).
+    vlen: usize,
+    /// Flat register arena: register `vr` owns `[vr * vlen, (vr + 1) * vlen)`.
+    /// Empty in [`ExecutionMode::TimingOnly`]. One allocation for the whole
+    /// file — per-instruction paths only ever borrow slices of it.
+    vregs: Vec<f32>,
+    /// Reusable line-address buffer for the gather/scatter banking model
+    /// (grown once, then recycled via `mem::take` on every call).
+    line_scratch: Vec<u64>,
     // --- accounting ---
     trace: Option<Vec<TraceEvent>>,
     counters: InstCounters,
@@ -255,7 +263,7 @@ impl VCore {
     fn with_hierarchy(arch: &ArchParams, mode: ExecutionMode, hier: Hierarchy) -> Self {
         let n_vlen = arch.n_vlen();
         let vregs = match mode {
-            ExecutionMode::Functional => vec![vec![0.0; n_vlen]; arch.n_vregs],
+            ExecutionMode::Functional => vec![0.0; n_vlen * arch.n_vregs],
             ExecutionMode::TimingOnly => Vec::new(),
         };
         Self {
@@ -264,7 +272,9 @@ impl VCore {
             vreg_ready: vec![0; arch.n_vregs],
             ports: vec![0; arch.n_fma],
             vpipe_last_start: 0,
+            vlen: n_vlen,
             vregs,
+            line_scratch: Vec::new(),
             frontier: 0,
             slots_used: 0,
             counters: InstCounters::default(),
@@ -421,20 +431,21 @@ impl VCore {
 
     /// Touch every line of `[addr, addr+bytes)` at the LLC; returns the
     /// worst serviced latency and the number of lines that went to memory.
+    #[inline]
     fn touch_llc_range(&mut self, addr: u64, bytes: u64, write: bool) -> (u64, u64) {
-        let line = self.hier.line_bytes() as u64;
-        let mut worst = 0u64;
-        let mut mem_lines = 0u64;
-        let mut a = addr & !(line - 1);
-        while a < addr + bytes {
-            let out = self.hier.access_line_llc(a, write);
-            worst = worst.max(out.latency);
-            if matches!(out.level, Level::Mem) {
-                mem_lines += 1;
-            }
-            a += line;
-        }
-        (worst, mem_lines)
+        self.hier.access_range_llc(addr, bytes, write)
+    }
+
+    /// Borrow register `vr`'s live prefix (functional mode only).
+    #[inline]
+    fn reg(&self, vr: usize, vl: usize) -> &[f32] {
+        &self.vregs[vr * self.vlen..vr * self.vlen + vl]
+    }
+
+    /// Mutably borrow register `vr`'s live prefix (functional mode only).
+    #[inline]
+    fn reg_mut(&mut self, vr: usize, vl: usize) -> &mut [f32] {
+        &mut self.vregs[vr * self.vlen..vr * self.vlen + vl]
     }
 
     /// Charge main-memory bandwidth: vector transfers of lines that missed
@@ -476,7 +487,7 @@ impl VCore {
         self.vreg_ready[vr] = start + worst + occ + bw;
         if matches!(self.mode, ExecutionMode::Functional) {
             let src = arena.slice(addr, vl);
-            self.vregs[vr][..vl].copy_from_slice(src);
+            self.reg_mut(vr, vl).copy_from_slice(src);
         }
     }
 
@@ -497,8 +508,9 @@ impl VCore {
         let (start, _) = self.vpipe_start(dispatch, srcs, false);
         self.charge_mem_bw(start, mem_lines);
         if matches!(self.mode, ExecutionMode::Functional) {
-            let data = self.vregs[vr][..vl].to_vec();
-            arena.store_slice(addr, &data);
+            // `vregs` and the arena are distinct objects: the register file
+            // is borrowed in place, no staging copy.
+            arena.store_slice(addr, &self.vregs[vr * self.vlen..vr * self.vlen + vl]);
         }
     }
 
@@ -539,10 +551,11 @@ impl VCore {
         let bw = self.charge_mem_bw(start, mem_lines);
         self.vreg_ready[vr] = start + worst + occ + bw;
         if matches!(self.mode, ExecutionMode::Functional) {
+            let dst = self.reg_mut(vr, vl);
             for r in 0..rows {
                 let base = addr + r as u64 * row_stride_bytes;
                 let src = arena.slice(base, row_elems);
-                self.vregs[vr][r * row_elems..(r + 1) * row_elems].copy_from_slice(src);
+                dst[r * row_elems..(r + 1) * row_elems].copy_from_slice(src);
             }
         }
     }
@@ -578,10 +591,10 @@ impl VCore {
         let (start, _) = self.vpipe_start(dispatch, srcs, false);
         self.charge_mem_bw(start, mem_lines);
         if matches!(self.mode, ExecutionMode::Functional) {
+            let src = &self.vregs[vr * self.vlen..vr * self.vlen + vl];
             for r in 0..rows {
                 let base = addr + r as u64 * row_stride_bytes;
-                let data = self.vregs[vr][r * row_elems..(r + 1) * row_elems].to_vec();
-                arena.store_slice(base, &data);
+                arena.store_slice(base, &src[r * row_elems..(r + 1) * row_elems]);
             }
         }
     }
@@ -608,21 +621,9 @@ impl VCore {
             span: (count as u64 - 1) * stride_bytes + 4,
             region,
         });
-        let line = self.hier.line_bytes() as u64;
-        let mut worst = 0u64;
-        let mut mem_lines = 0u64;
-        let mut last_line = u64::MAX;
-        for i in 0..count {
-            let a = (addr + i as u64 * stride_bytes) & !(line - 1);
-            if a != last_line {
-                let out = self.hier.access_line_llc(a, false);
-                worst = worst.max(out.latency);
-                if matches!(out.level, Level::Mem) {
-                    mem_lines += 1;
-                }
-                last_line = a;
-            }
-        }
+        let (worst, mem_lines) = self
+            .hier
+            .access_strided_llc(addr, stride_bytes, count, false);
         let (start, _) = self.vpipe_start(dispatch, 0, false);
         let occ = self.arch.vector_occupancy(count);
         let bw = self.charge_mem_bw(start, mem_lines);
@@ -631,8 +632,9 @@ impl VCore {
         let expansion = (stride_bytes / 4).clamp(1, 4);
         self.vreg_ready[vr] = start + worst + occ * expansion + bw;
         if matches!(self.mode, ExecutionMode::Functional) {
-            for i in 0..count {
-                self.vregs[vr][i] = arena.read(addr + i as u64 * stride_bytes);
+            let dst = &mut self.vregs[vr * self.vlen..vr * self.vlen + count];
+            for (i, d) in dst.iter_mut().enumerate() {
+                *d = arena.read(addr + i as u64 * stride_bytes);
             }
         }
     }
@@ -656,25 +658,15 @@ impl VCore {
             span: (count as u64 - 1) * stride_bytes + 4,
             region,
         });
-        let line = self.hier.line_bytes() as u64;
-        let mut mem_lines = 0u64;
-        let mut last_line = u64::MAX;
-        for i in 0..count {
-            let a = (addr + i as u64 * stride_bytes) & !(line - 1);
-            if a != last_line {
-                let out = self.hier.access_line_llc(a, true);
-                if matches!(out.level, Level::Mem) {
-                    mem_lines += 1;
-                }
-                last_line = a;
-            }
-        }
+        let (_worst, mem_lines) = self
+            .hier
+            .access_strided_llc(addr, stride_bytes, count, true);
         let srcs = self.vreg_ready[vr];
         let (start, _) = self.vpipe_start(dispatch, srcs, false);
         self.charge_mem_bw(start, mem_lines);
         if matches!(self.mode, ExecutionMode::Functional) {
-            for i in 0..count {
-                let v = self.vregs[vr][i];
+            let src = &self.vregs[vr * self.vlen..vr * self.vlen + count];
+            for (i, &v) in src.iter().enumerate() {
                 arena.write(addr + i as u64 * stride_bytes, v);
             }
         }
@@ -689,7 +681,7 @@ impl VCore {
         let (start, _) = self.vpipe_start(dispatch, 0, false);
         self.vreg_ready[vr] = start + 1;
         if matches!(self.mode, ExecutionMode::Functional) {
-            self.vregs[vr][..vl].fill(0.0);
+            self.reg_mut(vr, vl).fill(0.0);
         }
     }
 
@@ -720,12 +712,13 @@ impl VCore {
             let s = scalar.value;
             // Split borrows: `acc` and `w` are distinct registers.
             debug_assert_ne!(acc, w, "FMA accumulator aliases weights register");
+            let vlen = self.vlen;
             let (a_slice, w_slice) = if acc < w {
-                let (lo, hi) = self.vregs.split_at_mut(w);
-                (&mut lo[acc][..vl], &hi[0][..vl])
+                let (lo, hi) = self.vregs.split_at_mut(w * vlen);
+                (&mut lo[acc * vlen..acc * vlen + vl], &hi[..vl])
             } else {
-                let (lo, hi) = self.vregs.split_at_mut(acc);
-                (&mut hi[0][..vl], &lo[w][..vl])
+                let (lo, hi) = self.vregs.split_at_mut(acc * vlen);
+                (&mut hi[..vl], &lo[w * vlen..w * vlen + vl])
             };
             for (a, &b) in a_slice.iter_mut().zip(w_slice.iter()) {
                 *a += b * s;
@@ -752,10 +745,24 @@ impl VCore {
         self.ports[port] = start + occ;
         self.vreg_ready[acc] = start + occ + self.arch.l_fma as u64;
         if matches!(self.mode, ExecutionMode::Functional) {
+            // Disjoint borrows around the accumulator's block: the sources may
+            // alias each other (`x == y` squares a register) but never the
+            // accumulator.
             debug_assert!(acc != x && acc != y, "FMA accumulator aliases a source");
-            let xv = self.vregs[x][..vl].to_vec();
-            let yv = self.vregs[y][..vl].to_vec();
-            for ((a, b), c) in self.vregs[acc][..vl].iter_mut().zip(xv).zip(yv) {
+            let vlen = self.vlen;
+            let (below, rest) = self.vregs.split_at_mut(acc * vlen);
+            let (a_slice, above) = rest.split_at_mut(vlen);
+            let a_slice = &mut a_slice[..vl];
+            let side = |r: usize| -> &[f32] {
+                if r < acc {
+                    &below[r * vlen..r * vlen + vl]
+                } else {
+                    let off = (r - acc - 1) * vlen;
+                    &above[off..off + vl]
+                }
+            };
+            let (xs, ys) = (side(x), side(y));
+            for ((a, &b), &c) in a_slice.iter_mut().zip(xs).zip(ys) {
                 *a += b * c;
             }
         }
@@ -776,7 +783,7 @@ impl VCore {
         let tail = (usize::BITS - (vl.max(2) - 1).leading_zeros()) as u64;
         let ready = start + occ + self.arch.l_fma as u64 + tail;
         let value = match self.mode {
-            ExecutionMode::Functional => self.vregs[vr][..vl].iter().sum(),
+            ExecutionMode::Functional => self.reg(vr, vl).iter().sum(),
             ExecutionMode::TimingOnly => 0.0,
         };
         ScalarValue { value, ready }
@@ -803,27 +810,17 @@ impl VCore {
             });
         }
         let line = self.hier.line_bytes() as u64;
-        let mut worst = 0u64;
-        let mut mem_lines = 0u64;
-        let mut line_addrs = Vec::with_capacity(blocks.len() * 2);
-        for &b in blocks {
-            let bytes = (block_elems * 4) as u64;
-            let mut a = b & !(line - 1);
-            while a < b + bytes {
-                let out = self.hier.access_line_llc(a, false);
-                worst = worst.max(out.latency);
-                if matches!(out.level, Level::Mem) {
-                    mem_lines += 1;
-                }
-                line_addrs.push(a);
-                a += line;
-            }
-        }
+        let mut line_addrs = std::mem::take(&mut self.line_scratch);
+        line_addrs.clear();
+        let (worst, mem_lines) =
+            self.hier
+                .access_blocks_llc(blocks, (block_elems * 4) as u64, false, &mut line_addrs);
         let serial = banks::gather_service_cycles(
             line_addrs.iter().copied(),
             line as usize,
             &self.arch.llc_banking,
         );
+        self.line_scratch = line_addrs;
         let parallel_floor = self.arch.llc_banking.service_cycles;
         let extra = serial.saturating_sub(parallel_floor);
         self.bank_serial_cycles += extra;
@@ -835,9 +832,10 @@ impl VCore {
         self.vpipe_last_start = self.vpipe_last_start.max(start + extra);
         self.vreg_ready[vr] = start + worst + occ + extra + bw;
         if matches!(self.mode, ExecutionMode::Functional) {
+            let dst = self.reg_mut(vr, vl);
             for (i, &b) in blocks.iter().enumerate() {
                 let src = arena.slice(b, block_elems);
-                self.vregs[vr][i * block_elems..(i + 1) * block_elems].copy_from_slice(src);
+                dst[i * block_elems..(i + 1) * block_elems].copy_from_slice(src);
             }
         }
     }
@@ -866,38 +864,28 @@ impl VCore {
             });
         }
         let line = self.hier.line_bytes() as u64;
-        let mut mem_lines = 0u64;
-        let mut line_addrs = Vec::with_capacity(blocks.len() * 2);
-        for &b in blocks {
-            let bytes = (block_elems * 4) as u64;
-            let mut a = b & !(line - 1);
-            while a < b + bytes {
-                let out = self.hier.access_line_llc(a, true);
-                if matches!(out.level, Level::Mem) {
-                    mem_lines += 1;
-                }
-                line_addrs.push(a);
-                a += line;
-            }
-        }
+        let mut line_addrs = std::mem::take(&mut self.line_scratch);
+        line_addrs.clear();
+        let (_worst, mem_lines) =
+            self.hier
+                .access_blocks_llc(blocks, (block_elems * 4) as u64, true, &mut line_addrs);
         let serial = banks::gather_service_cycles(
             line_addrs.iter().copied(),
             line as usize,
             &self.arch.llc_banking,
         );
+        self.line_scratch = line_addrs;
         let extra = serial.saturating_sub(self.arch.llc_banking.service_cycles);
         self.bank_serial_cycles += extra;
         let srcs = self.vreg_ready[vr];
-        let occ = self.arch.vector_occupancy(vl);
         let (start, _) = self.vpipe_start(dispatch, srcs, false);
         // The scatter holds the vector pipe for the serialized portion.
         self.vpipe_last_start = start + extra;
         self.charge_mem_bw(start, mem_lines);
-        let _ = occ;
         if matches!(self.mode, ExecutionMode::Functional) {
+            let src = &self.vregs[vr * self.vlen..vr * self.vlen + vl];
             for (i, &b) in blocks.iter().enumerate() {
-                let data = self.vregs[vr][i * block_elems..(i + 1) * block_elems].to_vec();
-                arena.store_slice(b, &data);
+                arena.store_slice(b, &src[i * block_elems..(i + 1) * block_elems]);
             }
         }
     }
@@ -922,7 +910,7 @@ impl VCore {
             "VCore::vreg({vr}): register data is only kept in Functional mode, \
              this core runs in TimingOnly mode"
         );
-        &self.vregs[vr]
+        &self.vregs[vr * self.vlen..(vr + 1) * self.vlen]
     }
 
     /// Wait for all in-flight work and return the final statistics.
@@ -977,12 +965,7 @@ impl VCore {
     /// operand buffers: inputs are LLC-resident when the measured iteration
     /// starts (the artifact's benchdnn loop).
     pub fn warm_llc(&mut self, addr: u64, bytes: u64) {
-        let line = self.hier.line_bytes() as u64;
-        let mut a = addr & !(line - 1);
-        while a < addr + bytes {
-            self.hier.warm_llc_line(a);
-            a += line;
-        }
+        self.hier.warm_llc_range(addr, bytes);
     }
 
     /// Latency the hierarchy charges for `level` (re-exported for models).

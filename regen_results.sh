@@ -1,18 +1,65 @@
 #!/bin/sh
-set -x
+# Regenerate every artifact under results/ from the release binaries.
+#
+# Independent bins run concurrently (the binaries also parallelize
+# internally over host threads, so total wall time is bounded by the
+# heaviest bin, not the sum). Each bin writes to a .tmp file that is only
+# moved into place on success, and stderr goes to results/logs/<bin>.log —
+# a failing bin can neither leave a truncated CSV nor pollute one with
+# diagnostics. The report runs last, over the finished artifacts.
+set -eu
+cd "$(dirname "$0")"
 B=./target/release
-$B/table1 > results/table1.csv 2>&1
-$B/table2 > results/table2.csv 2>&1
-$B/table3 > results/table3.csv 2>&1
-$B/figure2 > results/figure2.csv 2>&1
-$B/figure4 > results/figure4.csv 2>&1
-$B/figure5 > results/figure5.csv 2>&1
-$B/figure6 > results/figure6.csv 2>&1
-$B/mpki 32 > results/mpki.csv 2>&1
-$B/ablation > results/ablation.csv 2>&1
-$B/performance 256 > results/performance.csv 2>&1
-$B/figure3 8 > results/figure3.txt 2>&1
-$B/crossisa 32 > results/crossisa.csv 2>&1
-$B/validate 1 > results/validate.csv 2>&1
-$B/report results > results/report.txt 2>&1
+mkdir -p results results/logs
+
+run() {
+    # run <bin> <artifact> [args...]
+    bin=$1
+    out=$2
+    shift 2
+    if "$B/$bin" "$@" >"results/$out.tmp" 2>"results/logs/$bin.log"; then
+        mv "results/$out.tmp" "results/$out"
+    else
+        rc=$?
+        rm -f "results/$out.tmp"
+        echo "regen: $bin failed (rc=$rc), stderr in results/logs/$bin.log" >&2
+        return "$rc"
+    fi
+}
+
+pids=""
+names=""
+spawn() {
+    run "$@" &
+    pids="$pids $!"
+    names="$names $1"
+}
+
+spawn table1 table1.csv
+spawn table2 table2.csv
+spawn table3 table3.csv
+spawn figure2 figure2.csv
+spawn figure4 figure4.csv
+spawn figure5 figure5.csv
+spawn figure6 figure6.csv
+spawn mpki mpki.csv 32
+spawn ablation ablation.csv
+spawn performance performance.csv 256
+spawn figure3 figure3.txt 8
+spawn crossisa crossisa.csv 32
+spawn validate validate.csv 1
+
+fail=0
+i=0
+for pid in $pids; do
+    i=$((i + 1))
+    name=$(echo "$names" | tr ' ' '\n' | sed -n "$((i + 1))p")
+    if ! wait "$pid"; then
+        echo "regen: bin '$name' did not produce its artifact" >&2
+        fail=1
+    fi
+done
+[ "$fail" -eq 0 ] || exit 1
+
+run report report.txt results
 echo ALL_DONE
