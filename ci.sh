@@ -19,6 +19,9 @@ cargo test --workspace -q
 echo "== lint-kernels (deny findings are errors)"
 cargo run --release -p lsv-bench --bin lint-kernels -- --deny-as-error
 
+echo "== differential fuzz (smoke: seed corpus + bounded randomized sweep)"
+cargo run --release -p lsv-bench --bin lsvconv-cli -- fuzz --smoke
+
 echo "== bench-simulator (smoke)"
 cargo run --release -p lsv-bench --bin bench-simulator -- --smoke
 

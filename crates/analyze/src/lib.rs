@@ -62,7 +62,7 @@ pub fn analyze_kernel(arch: &ArchParams, p: &ConvProblem, cfg: &KernelConfig) ->
     if report.has_deny() {
         return report;
     }
-    let p1 = ConvProblem::new(1, p.ic, p.oc, p.ih, p.iw, p.kh, p.kw, p.stride, p.pad);
+    let p1 = p.with_minibatch(1);
     let desc = ConvDesc::new(p1, cfg.direction, cfg.algorithm);
     let prim = desc.create_with_config(arch, *cfg, 1);
     let mut arena = Arena::new();

@@ -45,11 +45,11 @@ fn registers_needed(cfg: &KernelConfig) -> usize {
 /// construction, so a conflicting configuration broke its contract and is
 /// denied.
 fn check_l1_conflicts(arch: &ArchParams, p: &ConvProblem, cfg: &KernelConfig, report: &mut Report) {
-    let prof = scalar_stream_profile(arch, cfg, p.stride);
+    let prof = scalar_stream_profile(arch, cfg, p.stride_w);
     if !prof.thrashes {
         return;
     }
-    let hist = set_pressure_histogram(arch, cfg, p.stride);
+    let hist = set_pressure_histogram(arch, cfg, p.stride_w);
     let ways = arch.l1d.ways;
     let overloaded: Vec<usize> = hist
         .iter()
@@ -106,7 +106,7 @@ fn check_bseq_range(arch: &ArchParams, p: &ConvProblem, cfg: &KernelConfig, repo
     }
     // The conflict-free upper bound, via the same per-direction scalar-stream
     // parameters the profile uses: stride_bytes = A_b * C_str_eff * 4.
-    let prof = scalar_stream_profile(arch, cfg, p.stride);
+    let prof = scalar_stream_profile(arch, cfg, p.stride_w);
     if let Some(upper) = (arch.l1d.size as u64).checked_div(prof.stride_bytes) {
         let upper = upper as usize;
         if rb > upper {

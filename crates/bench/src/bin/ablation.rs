@@ -130,7 +130,15 @@ fn main() {
         }
         Job::Pad { name, oc } => {
             let padded = ConvProblem::new(
-                p3.n, p3.ic, oc, p3.ih, p3.iw, p3.kh, p3.kw, p3.stride, p3.pad,
+                p3.n,
+                p3.ic,
+                oc,
+                p3.ih,
+                p3.iw,
+                p3.kh,
+                p3.kw,
+                p3.stride_w,
+                p3.pad_w,
             );
             let perf = lsv_conv::bench_layer(
                 &arch,

@@ -34,8 +34,8 @@ fn main() {
     );
     for alg in Algorithm::ALL {
         let cfg = kernel_config(&arch, &p, Direction::Fwd, alg, arch.cores);
-        let prof = scalar_stream_profile(&arch, &cfg, p.stride);
-        let hist = set_pressure_histogram(&arch, &cfg, p.stride);
+        let prof = scalar_stream_profile(&arch, &cfg, p.stride_w);
+        let hist = set_pressure_histogram(&arch, &cfg, p.stride_w);
         println!(
             "{:5}: stride {:>5} B, sweep {:>2} points -> {:>3} lines over {:>3} sets (capacity {} lines){}",
             alg.short_name(),

@@ -6,11 +6,13 @@
 //! lsvconv bench  --ic 512 --oc 128 --hw 28 --k 1 --stride 1 --pad 0 ...
 //! lsvconv verify --layer 8 --dir fwdd --alg MBDC [--minibatch 2]
 //! lsvconv tune   --layer 16 --dir fwdd --alg BDC  # show the generated config
+//! lsvconv fuzz   [--cases 500] [--seed 1] [--smoke]  # differential fuzzing
 //! ```
 
 use lsv_arch::presets::{a64fx_sve, rvv_longvector, skylake_avx512, sx_aurora};
 use lsv_arch::ArchParams;
 use lsv_bench::{bench_engine, Engine};
+use lsv_conv::fuzz::{self, FuzzOutcome};
 use lsv_conv::{validate, Algorithm, ConvDesc, ConvProblem, Direction, ExecutionMode};
 use lsv_models::resnet_layer;
 use std::collections::HashMap;
@@ -100,13 +102,26 @@ fn problem_from_flags(flags: &HashMap<String, String>, default_mb: usize) -> Con
     )
 }
 
+fn report_fuzz(label: &str, out: &FuzzOutcome) {
+    println!(
+        "  {label}: {} cases, {} skipped (register pressure), {} failures",
+        out.cases_run,
+        out.skipped,
+        out.failures.len()
+    );
+    for f in &out.failures {
+        println!("    FAIL {}: {}", f.case, f.why);
+    }
+}
+
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!();
-    eprintln!("usage: lsvconv <info|bench|verify|tune> [flags]");
+    eprintln!("usage: lsvconv <info|bench|verify|tune|fuzz> [flags]");
     eprintln!("  common flags: --arch <sx-aurora|skylake|rvv|a64fx|aurora-vl<bits>>");
     eprintln!("                --layer <0..18> | --ic N --oc N --hw N --k N --stride N --pad N");
     eprintln!("                --dir <fwdd|bwdd|bwdw>  --alg <DC|BDC|MBDC|vednn>  --minibatch N");
+    eprintln!("  fuzz flags:   --cases N (default 500)  --seed N  --smoke (corpus + 50 cases)");
     exit(2);
 }
 
@@ -248,6 +263,30 @@ fn main() {
                     eprintln!("cannot create primitive: {e}");
                     exit(1);
                 }
+            }
+        }
+        "fuzz" => {
+            let smoke = argv.iter().any(|a| a == "--smoke");
+            let cases: usize = flags
+                .get("cases")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(if smoke { 50 } else { 500 });
+            let seed: u64 = flags.get("seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+            let validator = lsv_analyze::deny_validator;
+
+            println!(
+                "replaying seed corpus ({} cases)...",
+                fuzz::seed_corpus().len()
+            );
+            let corpus = fuzz::run_corpus(&validator);
+            report_fuzz("corpus", &corpus);
+
+            println!("fuzzing {cases} randomized cases (seed {seed})...");
+            let random = fuzz::run_fuzz(cases, seed, &validator);
+            report_fuzz("random", &random);
+
+            if !corpus.clean() || !random.clean() {
+                exit(1);
             }
         }
         _ => usage("missing or unknown command"),

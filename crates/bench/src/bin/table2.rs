@@ -24,7 +24,7 @@ fn main() {
         let range = match alg {
             Algorithm::Dc => format!(">= {}", formula2_rb_min(&arch)),
             Algorithm::Bdc => {
-                let r = bdc_register_block_range(&arch, cfg.src_layout.cb, p.stride);
+                let r = bdc_register_block_range(&arch, cfg.src_layout.cb, p.stride_w);
                 format!("[{}, {}]", r.min, r.max)
             }
             Algorithm::Mbdc => format!(">= {}", formula2_rb_min(&arch)),

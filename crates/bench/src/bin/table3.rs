@@ -23,8 +23,8 @@ fn main() {
             p.ih,
             ohw,
             p.kh,
-            p.stride,
-            p.pad,
+            p.stride_w,
+            p.pad_w,
             p.flops() as f64 / 1e9,
             f.conflicts_predicted,
             b.conflicts_predicted,

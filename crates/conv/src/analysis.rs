@@ -147,7 +147,7 @@ mod tests {
         let arch = sx_aurora();
         let p = ConvProblem::new(8, 512, 128, 28, 28, 1, 1, 1, 0);
         let cfg = kernel_config(&arch, &p, Direction::Fwd, Algorithm::Dc, 8);
-        let prof = scalar_stream_profile(&arch, &cfg, p.stride);
+        let prof = scalar_stream_profile(&arch, &cfg, p.stride_w);
         assert_eq!(prof.stride_bytes, 2048);
         assert_eq!(prof.sweep_len, 24);
         assert_eq!(prof.distinct_sets, 8);
@@ -160,7 +160,7 @@ mod tests {
         let arch = sx_aurora();
         let p = ConvProblem::new(8, 512, 128, 28, 28, 1, 1, 1, 0);
         let cfg = kernel_config(&arch, &p, Direction::Fwd, Algorithm::Bdc, 8);
-        let prof = scalar_stream_profile(&arch, &cfg, p.stride);
+        let prof = scalar_stream_profile(&arch, &cfg, p.stride_w);
         assert!(!prof.thrashes, "{prof:?}");
         assert!(prof.footprint_lines <= prof.capacity_lines);
     }
@@ -170,7 +170,7 @@ mod tests {
         let arch = sx_aurora();
         let p = ConvProblem::new(8, 512, 512, 28, 28, 1, 1, 1, 0);
         let cfg = kernel_config(&arch, &p, Direction::Fwd, Algorithm::Mbdc, 8);
-        let prof = scalar_stream_profile(&arch, &cfg, p.stride);
+        let prof = scalar_stream_profile(&arch, &cfg, p.stride_w);
         assert_eq!(prof.stride_bytes, 128, "one line per point");
         assert!(!prof.thrashes);
         assert_eq!(prof.distinct_sets, prof.sweep_len.min(arch.l1d.sets()));
@@ -185,7 +185,7 @@ mod tests {
             let p = ConvProblem::new(8, ic, oc, ihw, ihw, k, k, s, pad);
             for dir in [Direction::Fwd, Direction::BwdData] {
                 let cfg = kernel_config(&arch, &p, dir, Algorithm::Dc, 8);
-                let prof = scalar_stream_profile(&arch, &cfg, p.stride);
+                let prof = scalar_stream_profile(&arch, &cfg, p.stride_w);
                 assert_eq!(
                     prof.thrashes, cfg.conflicts_predicted,
                     "{p} {dir}: profile {prof:?} vs formula {}",

@@ -46,8 +46,8 @@ pub fn microkernel_footprint(
 ) -> MicroKernelFootprint {
     let icb = p.ic.min(arch.n_vlen());
     let ocb = p.oc.min(arch.n_vlen());
-    let nih = p.ih.min(rb.rb_h + p.kh - 1);
-    let niw = p.iw.min(rb.rb_w + p.kw - 1);
+    let nih = p.ih.min((rb.rb_h - 1) * p.stride_h + p.kh);
+    let niw = p.iw.min((rb.rb_w - 1) * p.stride_w + p.kw);
     let e = arch.elem_bytes();
     MicroKernelFootprint {
         weights: ocb * icb * p.kh * p.kw * e,

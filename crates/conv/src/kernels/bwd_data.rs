@@ -198,11 +198,11 @@ fn micro_kernel(
         let kh = kh0 + r / kw_cnt;
         let oc = oc0 + o;
         for h in 0..rbh_cur {
-            let Some(oy) = producer(ih0 + h, kh, p.pad, p.stride, oh) else {
+            let Some(oy) = producer(ih0 + h, kh, p.pad_h, p.stride_h, oh) else {
                 continue;
             };
             for w in 0..rbw_cur {
-                let Some(ox) = producer(iw0 + w, kw, p.pad, p.stride, ow) else {
+                let Some(ox) = producer(iw0 + w, kw, p.pad_w, p.stride_w, ow) else {
                     continue;
                 };
                 let reg = h * rbw_cur + w;

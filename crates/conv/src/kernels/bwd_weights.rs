@@ -135,12 +135,12 @@ fn sweep_spatial(
     // software-pipelined one step ahead (the JIT peels padding rows).
     let mut points: Vec<(usize, usize, usize, usize)> = Vec::with_capacity(oh * ow);
     for oy in 0..oh {
-        let ih = (oy * p.stride + kh) as isize - p.pad as isize;
+        let ih = (oy * p.stride_h + kh) as isize - p.pad_h as isize;
         if ih < 0 || ih >= p.ih as isize {
             continue;
         }
         for ox in 0..ow {
-            let iw = (ox * p.stride + kw) as isize - p.pad as isize;
+            let iw = (ox * p.stride_w + kw) as isize - p.pad_w as isize;
             if iw < 0 || iw >= p.iw as isize {
                 continue;
             }

@@ -157,7 +157,6 @@ fn micro_kernel(a: MicroArgs<'_, '_>) {
         wslot0,
         wbuf,
     } = a;
-    let n_acc = rbh_cur * rbw_cur;
 
     // --- accumulator init: zero on the first accumulation pass, otherwise
     //     reload the partial sums from D.
@@ -203,9 +202,9 @@ fn micro_kernel(a: MicroArgs<'_, '_>) {
         let kh = kh0 + r / kw_cnt;
         let ic = ic0 + i;
         for h in 0..rbh_cur {
-            let ih = ((oh0 + h) * p.stride + kh) as isize - p.pad as isize;
+            let ih = ((oh0 + h) * p.stride_h + kh) as isize - p.pad_h as isize;
             for w in 0..rbw_cur {
-                let iw = ((ow0 + w) * p.stride + kw) as isize - p.pad as isize;
+                let iw = ((ow0 + w) * p.stride_w + kw) as isize - p.pad_w as isize;
                 if ih < 0 || ih >= p.ih as isize || iw < 0 || iw >= p.iw as isize {
                     continue; // zero-padding tap: the JIT emits no code here
                 }
@@ -217,7 +216,6 @@ fn micro_kernel(a: MicroArgs<'_, '_>) {
             }
         }
     }
-    let _ = n_acc;
 
     // --- write the partial sums back (Algorithm 2 line 19).
     for h in 0..rbh_cur {

@@ -25,6 +25,7 @@
 
 pub mod analysis;
 pub mod footprint;
+pub mod fuzz;
 pub mod kernels;
 pub mod multicore;
 pub mod naive;

@@ -32,12 +32,12 @@ pub fn forward(p: &ConvProblem, src: &[f32], wei: &[f32]) -> Vec<f32> {
                     for x in 0..ow {
                         let mut acc = dst[((n * p.oc + oc) * oh + y) * ow + x];
                         for kh in 0..p.kh {
-                            let ih = (y * p.stride + kh) as isize - p.pad as isize;
+                            let ih = (y * p.stride_h + kh) as isize - p.pad_h as isize;
                             if ih < 0 || ih >= p.ih as isize {
                                 continue;
                             }
                             for kw in 0..p.kw {
-                                let iw = (x * p.stride + kw) as isize - p.pad as isize;
+                                let iw = (x * p.stride_w + kw) as isize - p.pad_w as isize;
                                 if iw < 0 || iw >= p.iw as isize {
                                     continue;
                                 }
@@ -74,12 +74,12 @@ pub fn backward_data(p: &ConvProblem, dst_diff: &[f32], wei: &[f32]) -> Vec<f32>
                     for x in 0..ow {
                         let d = dst_diff[((n * p.oc + oc) * oh + y) * ow + x];
                         for kh in 0..p.kh {
-                            let ih = (y * p.stride + kh) as isize - p.pad as isize;
+                            let ih = (y * p.stride_h + kh) as isize - p.pad_h as isize;
                             if ih < 0 || ih >= p.ih as isize {
                                 continue;
                             }
                             for kw in 0..p.kw {
-                                let iw = (x * p.stride + kw) as isize - p.pad as isize;
+                                let iw = (x * p.stride_w + kw) as isize - p.pad_w as isize;
                                 if iw < 0 || iw >= p.iw as isize {
                                     continue;
                                 }
@@ -113,12 +113,12 @@ pub fn backward_weights(p: &ConvProblem, src: &[f32], dst_diff: &[f32]) -> Vec<f
                     for kw in 0..p.kw {
                         let mut acc = 0.0f32;
                         for y in 0..oh {
-                            let ih = (y * p.stride + kh) as isize - p.pad as isize;
+                            let ih = (y * p.stride_h + kh) as isize - p.pad_h as isize;
                             if ih < 0 || ih >= p.ih as isize {
                                 continue;
                             }
                             for x in 0..ow {
-                                let iw = (x * p.stride + kw) as isize - p.pad as isize;
+                                let iw = (x * p.stride_w + kw) as isize - p.pad_w as isize;
                                 if iw < 0 || iw >= p.iw as isize {
                                     continue;
                                 }

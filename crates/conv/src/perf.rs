@@ -141,7 +141,6 @@ pub fn bench_minibatch_parallel_with(
     let n_sim = images_per_core.min(2);
     let p_sim = problem.with_minibatch(n_sim);
     let prim = make_prim(p_sim);
-    let _ = arch;
     let mut arena = Arena::new();
     let t = prim.alloc_tensors(&mut arena);
     if matches!(mode, ExecutionMode::Functional) {

@@ -66,7 +66,7 @@ impl fmt::Display for Algorithm {
 }
 
 /// A 2-D convolution problem: `S (N, IC, IH, IW)` * `W (OC, IC, KH, KW)`
-/// -> `D (N, OC, OH, OW)` with symmetric stride and padding.
+/// -> `D (N, OC, OH, OW)` with per-axis stride and padding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConvProblem {
     /// Minibatch size `N`.
@@ -83,14 +83,19 @@ pub struct ConvProblem {
     pub kh: usize,
     /// Kernel width `KW`.
     pub kw: usize,
-    /// Stride `C_str` (both dimensions).
-    pub stride: usize,
-    /// Zero padding `C_pad` (both dimensions).
-    pub pad: usize,
+    /// Vertical stride `C_str,h`.
+    pub stride_h: usize,
+    /// Horizontal stride `C_str,w`.
+    pub stride_w: usize,
+    /// Vertical zero padding `C_pad,h`.
+    pub pad_h: usize,
+    /// Horizontal zero padding `C_pad,w`.
+    pub pad_w: usize,
 }
 
 impl ConvProblem {
-    /// Construct a problem; validates that the output shape is non-empty.
+    /// Construct a problem with symmetric stride and padding (the paper's
+    /// geometry domain); validates that the output shape is non-empty.
     ///
     /// # Panics
     /// Panics if the geometry is degenerate (zero dims, stride 0, or the
@@ -107,10 +112,34 @@ impl ConvProblem {
         stride: usize,
         pad: usize,
     ) -> Self {
+        Self::new_asym(n, ic, oc, ih, iw, kh, kw, stride, stride, pad, pad)
+    }
+
+    /// Construct a problem with independent per-axis stride and padding
+    /// (rectangular geometries: `1x7` kernels, `2x1` strides, one-sided-axis
+    /// padding).
+    ///
+    /// # Panics
+    /// Panics if the geometry is degenerate (zero dims, a zero stride, or a
+    /// padded input axis smaller than the kernel axis).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_asym(
+        n: usize,
+        ic: usize,
+        oc: usize,
+        ih: usize,
+        iw: usize,
+        kh: usize,
+        kw: usize,
+        stride_h: usize,
+        stride_w: usize,
+        pad_h: usize,
+        pad_w: usize,
+    ) -> Self {
         assert!(n > 0 && ic > 0 && oc > 0 && ih > 0 && iw > 0 && kh > 0 && kw > 0);
-        assert!(stride > 0, "stride must be positive");
+        assert!(stride_h > 0 && stride_w > 0, "stride must be positive");
         assert!(
-            ih + 2 * pad >= kh && iw + 2 * pad >= kw,
+            ih + 2 * pad_h >= kh && iw + 2 * pad_w >= kw,
             "kernel larger than padded input"
         );
         Self {
@@ -121,28 +150,41 @@ impl ConvProblem {
             iw,
             kh,
             kw,
-            stride,
-            pad,
+            stride_h,
+            stride_w,
+            pad_h,
+            pad_w,
         }
     }
 
     /// Same problem with a different minibatch size.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero, like [`ConvProblem::new`] does.
     pub fn with_minibatch(&self, n: usize) -> Self {
+        assert!(n > 0, "minibatch must be positive");
         let mut p = *self;
-        p.n = n.max(1);
+        p.n = n;
         p
+    }
+
+    /// True when stride and padding are symmetric across both spatial axes —
+    /// the geometry domain of the paper's experiments.
+    #[inline]
+    pub fn is_symmetric(&self) -> bool {
+        self.stride_h == self.stride_w && self.pad_h == self.pad_w
     }
 
     /// Output height `OH`.
     #[inline]
     pub fn oh(&self) -> usize {
-        (self.ih + 2 * self.pad - self.kh) / self.stride + 1
+        (self.ih + 2 * self.pad_h - self.kh) / self.stride_h + 1
     }
 
     /// Output width `OW`.
     #[inline]
     pub fn ow(&self) -> usize {
-        (self.iw + 2 * self.pad - self.kw) / self.stride + 1
+        (self.iw + 2 * self.pad_w - self.kw) / self.stride_w + 1
     }
 
     /// Multiply-accumulate count of one pass (identical for all three
@@ -177,11 +219,39 @@ impl ConvProblem {
 
 impl fmt::Display for ConvProblem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "n{}ic{}oc{}ih{}iw{}kh{}kw{}s{}p{}",
-            self.n, self.ic, self.oc, self.ih, self.iw, self.kh, self.kw, self.stride, self.pad
-        )
+        // Symmetric problems keep the historical format so artifact CSVs and
+        // the golden-cycle fixture stay bit-identical.
+        if self.is_symmetric() {
+            write!(
+                f,
+                "n{}ic{}oc{}ih{}iw{}kh{}kw{}s{}p{}",
+                self.n,
+                self.ic,
+                self.oc,
+                self.ih,
+                self.iw,
+                self.kh,
+                self.kw,
+                self.stride_w,
+                self.pad_w
+            )
+        } else {
+            write!(
+                f,
+                "n{}ic{}oc{}ih{}iw{}kh{}kw{}s{}x{}p{}x{}",
+                self.n,
+                self.ic,
+                self.oc,
+                self.ih,
+                self.iw,
+                self.kh,
+                self.kw,
+                self.stride_h,
+                self.stride_w,
+                self.pad_h,
+                self.pad_w
+            )
+        }
     }
 }
 
@@ -229,5 +299,37 @@ mod tests {
         assert_eq!(q.n, 8);
         assert_eq!(q.ic, p.ic);
         assert_eq!(q.oh(), p.oh());
+    }
+
+    #[test]
+    #[should_panic(expected = "minibatch must be positive")]
+    fn with_minibatch_rejects_zero() {
+        let p = ConvProblem::new(256, 64, 64, 56, 56, 3, 3, 1, 1);
+        let _ = p.with_minibatch(0);
+    }
+
+    #[test]
+    fn asymmetric_output_shapes() {
+        // SConv-style rectangular kernels: 1x7 stride 1x2, pad 0x3.
+        let p = ConvProblem::new_asym(1, 8, 8, 14, 14, 1, 7, 1, 2, 0, 3);
+        assert_eq!((p.oh(), p.ow()), (14, 7));
+        assert!(!p.is_symmetric());
+        // 7x1 transpose with the strides swapped.
+        let q = ConvProblem::new_asym(1, 8, 8, 14, 14, 7, 1, 2, 1, 3, 0);
+        assert_eq!((q.oh(), q.ow()), (7, 14));
+    }
+
+    #[test]
+    fn display_keeps_legacy_format_when_symmetric() {
+        let p = ConvProblem::new(8, 64, 64, 56, 56, 3, 3, 2, 1);
+        assert_eq!(p.to_string(), "n8ic64oc64ih56iw56kh3kw3s2p1");
+        let q = ConvProblem::new_asym(8, 64, 64, 56, 56, 3, 3, 2, 1, 1, 0);
+        assert_eq!(q.to_string(), "n8ic64oc64ih56iw56kh3kw3s2x1p1x0");
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger")]
+    fn rejects_kernel_larger_than_padded_axis() {
+        ConvProblem::new_asym(1, 1, 1, 8, 2, 1, 5, 1, 1, 0, 1);
     }
 }

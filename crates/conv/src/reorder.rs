@@ -40,6 +40,7 @@ pub fn reorder_activations(
     );
     let (n, c, h, w) = (src_nchw.n, src_nchw.c, src_nchw.h, src_nchw.w);
     let cb = dst_blocked.layout.cb;
+    let max_vl = core.arch().n_vlen();
     let plane_bytes = (h * w * 4) as u64; // channel stride in NCHW
     for ni in 0..n {
         for cblk in 0..dst_blocked.c_blocks() {
@@ -52,10 +53,27 @@ pub fn reorder_activations(
                 core.scalar_ops(2);
                 for x in 0..w {
                     // Gather `cc` channels of one spatial point: stride is a
-                    // whole H*W plane in NCHW.
-                    core.scalar_op();
-                    core.vload_strided(arena, 0, src_nchw.at(ni, c0, y, x), plane_bytes, cc);
-                    core.vstore(arena, 0, dst_blocked.block_at(ni, cblk, y, x), cc);
+                    // whole H*W plane in NCHW. Strip-mined by the machine
+                    // vector length for layouts wider than a register.
+                    let mut off = 0;
+                    while off < cc {
+                        let vl = max_vl.min(cc - off);
+                        core.scalar_op();
+                        core.vload_strided(
+                            arena,
+                            0,
+                            src_nchw.at(ni, c0 + off, y, x),
+                            plane_bytes,
+                            vl,
+                        );
+                        core.vstore(
+                            arena,
+                            0,
+                            dst_blocked.block_at(ni, cblk, y, x) + (off * 4) as u64,
+                            vl,
+                        );
+                        off += vl;
+                    }
                 }
             }
         }
@@ -78,6 +96,7 @@ pub fn reorder_activations_back(
     );
     let (n, c, h, w) = (dst_nchw.n, dst_nchw.c, dst_nchw.h, dst_nchw.w);
     let cb = src_blocked.layout.cb;
+    let max_vl = core.arch().n_vlen();
     let plane_bytes = (h * w * 4) as u64;
     for ni in 0..n {
         for cblk in 0..src_blocked.c_blocks() {
@@ -89,9 +108,25 @@ pub fn reorder_activations_back(
             for y in 0..h {
                 core.scalar_ops(2);
                 for x in 0..w {
-                    core.scalar_op();
-                    core.vload(arena, 0, src_blocked.block_at(ni, cblk, y, x), cc);
-                    core.vstore_strided(arena, 0, dst_nchw.at(ni, c0, y, x), plane_bytes, cc);
+                    let mut off = 0;
+                    while off < cc {
+                        let vl = max_vl.min(cc - off);
+                        core.scalar_op();
+                        core.vload(
+                            arena,
+                            0,
+                            src_blocked.block_at(ni, cblk, y, x) + (off * 4) as u64,
+                            vl,
+                        );
+                        core.vstore_strided(
+                            arena,
+                            0,
+                            dst_nchw.at(ni, c0 + off, y, x),
+                            plane_bytes,
+                            vl,
+                        );
+                        off += vl;
+                    }
                 }
             }
         }
@@ -125,6 +160,7 @@ pub fn reorder_weights(
     );
     let (oc, ic, kh, kw) = (src_oihw.oc, src_oihw.ic, src_oihw.kh, src_oihw.kw);
     let ocb = dst_blocked.layout.ocb;
+    let max_vl = core.arch().n_vlen();
     let oc_stride_bytes = (ic * kh * kw * 4) as u64;
     for ob in 0..dst_blocked.oc_blocks() {
         let o0 = ob * ocb;
@@ -136,9 +172,25 @@ pub fn reorder_weights(
             for y in 0..kh {
                 core.scalar_ops(2);
                 for x in 0..kw {
-                    core.scalar_op();
-                    core.vload_strided(arena, 0, src_oihw.at(o0, i, y, x), oc_stride_bytes, cnt);
-                    core.vstore(arena, 0, dst_blocked.oc_vector_at(ob, i, y, x), cnt);
+                    let mut off = 0;
+                    while off < cnt {
+                        let vl = max_vl.min(cnt - off);
+                        core.scalar_op();
+                        core.vload_strided(
+                            arena,
+                            0,
+                            src_oihw.at(o0 + off, i, y, x),
+                            oc_stride_bytes,
+                            vl,
+                        );
+                        core.vstore(
+                            arena,
+                            0,
+                            dst_blocked.oc_vector_at(ob, i, y, x) + (off * 4) as u64,
+                            vl,
+                        );
+                        off += vl;
+                    }
                 }
             }
         }
@@ -206,6 +258,32 @@ mod tests {
         assert_eq!(back.load_nchw(&arena), data, "inverse reorder correct");
         let stats = core.drain();
         assert!(stats.insts.vloads > 0 && stats.insts.vstores > 0);
+    }
+
+    #[test]
+    fn reorders_strip_mine_blocks_wider_than_vlen() {
+        // Found by `lsvconv fuzz`: MBDC's line-grain layouts block channels
+        // by N_cline = 32, which exceeds the 16 f32 lanes of a 512-bit
+        // machine — the reorder kernels must strip-mine, not issue vl > VLEN.
+        let arch = lsv_arch::presets::aurora_with_vlen_bits(512);
+        assert!(arch.n_vlen() < 32, "premise: block wider than a register");
+        let mut arena = Arena::new();
+        let mut core = VCore::new(&arch, ExecutionMode::Functional, 1);
+        let nchw = ActTensor::alloc(&mut arena, 1, 40, 3, 3, ActivationLayout::nchw());
+        let blocked = ActTensor::alloc(&mut arena, 1, 40, 3, 3, ActivationLayout { cb: 32 });
+        let back = ActTensor::alloc(&mut arena, 1, 40, 3, 3, ActivationLayout::nchw());
+        let data: Vec<f32> = (0..nchw.elems()).map(|i| i as f32).collect();
+        nchw.store_nchw(&mut arena, &data);
+        reorder_activations(&mut core, &mut arena, &nchw, &blocked);
+        reorder_activations_back(&mut core, &mut arena, &blocked, &back);
+        assert_eq!(back.load_nchw(&arena), data);
+
+        let oihw = WeiTensor::alloc(&mut arena, 40, 2, 3, 3, WeightLayout::oihw());
+        let wblocked = WeiTensor::alloc(&mut arena, 40, 2, 3, 3, WeightLayout { icb: 2, ocb: 32 });
+        let wdata: Vec<f32> = (0..oihw.elems()).map(|i| (i as f32).cos()).collect();
+        oihw.store_oihw(&mut arena, &wdata);
+        reorder_weights(&mut core, &mut arena, &oihw, &wblocked);
+        assert_eq!(wblocked.load_oihw(&arena), wdata);
     }
 
     #[test]

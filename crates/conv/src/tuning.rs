@@ -212,7 +212,7 @@ pub fn kernel_config(
         Direction::Fwd => {
             let vl = p.oc.min(n_vlen);
             let ab = act_cb(arch, algorithm, p.ic);
-            let target = rb_target(arch, algorithm, ab, p.stride);
+            let target = rb_target(arch, algorithm, ab, p.stride_w);
             let rb = match algorithm {
                 // Formula 4's value is a conflict *upper* bound, additionally
                 // capped by the register file.
@@ -249,7 +249,12 @@ pub fn kernel_config(
                 wei_swapped: false,
                 vec_over_ic: false,
                 wbuf: wbuf_depth(arch, vl, rb.combined()),
-                conflicts_predicted: formula3_predicts_conflicts(arch, ab, rb.combined(), p.stride),
+                conflicts_predicted: formula3_predicts_conflicts(
+                    arch,
+                    ab,
+                    rb.combined(),
+                    p.stride_w,
+                ),
             }
         }
         Direction::BwdData => {
@@ -314,7 +319,7 @@ pub fn kernel_config(
             let (ab, c_str_eff) = if vec_over_ic {
                 (act_cb(arch, algorithm, p.oc), 1)
             } else {
-                (act_cb(arch, algorithm, p.ic), p.stride)
+                (act_cb(arch, algorithm, p.ic), p.stride_w)
             };
             // The Formula 4 range targets the spatial register blocking of
             // the fwd/bwd-data passes; Section 8 observes that fine-tuning
@@ -431,7 +436,7 @@ mod tests {
                 // borderline.
                 if cfg.conflicts_predicted {
                     assert!(
-                        l.stride > 1,
+                        l.stride_w > 1,
                         "layer {i} {dir}: BDC conflicts only acceptable on strided layers"
                     );
                 }

@@ -12,7 +12,9 @@ use rand::{Rng, SeedableRng};
 pub struct ValidationReport {
     /// Largest absolute element difference against the reference.
     pub max_abs_err: f32,
-    /// `max_abs_err` relative to the largest reference magnitude.
+    /// Largest per-element `|got - ref| / max(|ref|, 1)` (benchdnn's
+    /// criterion) — a small-magnitude output with a large error is no
+    /// longer masked by the largest reference element.
     pub rel_err: f32,
     /// Whether the error is within the f32 reassociation tolerance.
     pub passed: bool,
@@ -20,7 +22,7 @@ pub struct ValidationReport {
 
 /// Relative tolerance for f32 accumulation-order differences, scaled by the
 /// reduction length (`benchdnn` uses a comparable criterion).
-fn tolerance(reduction_len: usize) -> f32 {
+pub(crate) fn tolerance(reduction_len: usize) -> f32 {
     1e-6 * (reduction_len as f32).sqrt().max(1.0) * 8.0
 }
 
@@ -59,11 +61,11 @@ pub fn validate(
     };
 
     let max_abs_err = naive::max_abs_diff(&got, &reference);
-    let scale = reference
+    let rel_err = got
         .iter()
-        .fold(0.0f32, |m, v| m.max(v.abs()))
-        .max(1.0);
-    let rel_err = max_abs_err / scale;
+        .zip(&reference)
+        .map(|(g, r)| (g - r).abs() / r.abs().max(1.0))
+        .fold(0.0f32, f32::max);
     ValidationReport {
         max_abs_err,
         rel_err,
@@ -138,6 +140,48 @@ mod tests {
         for alg in Algorithm::ALL {
             let r = validate(&arch, &small(32, 8, 6, 3, 1, 1), Direction::BwdWeights, alg);
             assert!(r.passed, "{alg}: rel_err {}", r.rel_err);
+        }
+    }
+
+    #[test]
+    fn rectangular_kernels_and_inputs() {
+        // 1x7 / 7x1 kernels on a rectangular image (libxsmm/SConv-style
+        // shapes the symmetric constructor cannot express).
+        let arch = sx_aurora();
+        let shapes = [
+            ConvProblem::new_asym(2, 8, 8, 9, 14, 1, 7, 1, 1, 0, 3),
+            ConvProblem::new_asym(2, 8, 8, 14, 9, 7, 1, 1, 1, 3, 0),
+            ConvProblem::new_asym(2, 8, 16, 5, 11, 3, 2, 1, 1, 1, 0),
+        ];
+        for p in &shapes {
+            for alg in Algorithm::ALL {
+                for dir in Direction::ALL {
+                    let r = validate(&arch, p, dir, alg);
+                    assert!(r.passed, "{p} {alg} {dir}: rel_err {}", r.rel_err);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_stride_and_pad() {
+        let arch = sx_aurora();
+        let shapes = [
+            // stride 2x1 and 1x2 on a square image.
+            ConvProblem::new_asym(2, 8, 8, 8, 8, 3, 3, 2, 1, 1, 1),
+            ConvProblem::new_asym(2, 8, 8, 8, 8, 3, 3, 1, 2, 1, 1),
+            // pad on one axis only, stride > kernel on the other.
+            ConvProblem::new_asym(2, 8, 8, 9, 9, 1, 3, 3, 1, 0, 1),
+            // pad >= kernel.
+            ConvProblem::new_asym(2, 8, 8, 6, 6, 2, 2, 1, 1, 2, 3),
+        ];
+        for p in &shapes {
+            for alg in Algorithm::ALL {
+                for dir in Direction::ALL {
+                    let r = validate(&arch, p, dir, alg);
+                    assert!(r.passed, "{p} {alg} {dir}: rel_err {}", r.rel_err);
+                }
+            }
         }
     }
 }

@@ -10,7 +10,11 @@
 //! Differences from real proptest, deliberately accepted:
 //! - sampling is seeded from a hash of the test name, so runs are fully
 //!   reproducible (there is no `PROPTEST_` env handling);
-//! - failing cases are reported with their inputs but are **not shrunk**;
+//! - shrinking is greedy and bounded (1024 candidate evaluations per
+//!   failure) rather than proptest's full simplify/complicate search; it
+//!   still converges to the minimal failing value for monotone properties
+//!   on range strategies. `Map`/`FilterMap` outputs do not shrink (the
+//!   transform cannot be inverted) — shrink the pre-map tuple instead;
 //! - rejection via filters/`prop_assume!` is bounded (65536 rejects per
 //!   test) to keep pathological filters from spinning forever.
 
@@ -34,12 +38,39 @@ pub mod collection {
         len: Range<usize>,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
             let span = (self.len.end - self.len.start) as u64;
             let n = self.len.start + (rng.next_u64() % span) as usize;
             (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+        // Shorter prefixes first (minimum length, half, one fewer), then the
+        // first element-wise candidate per position.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min = self.len.start;
+            if value.len() > min {
+                out.push(value[..min].to_vec());
+                let half = (value.len() + min) / 2;
+                if half > min && half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                if value.len() - 1 > min {
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+            }
+            for (i, v) in value.iter().enumerate() {
+                if let Some(cand) = self.elem.shrink(v).into_iter().next() {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -64,6 +95,15 @@ pub mod strategy {
 
         /// Draw one value, or `None` on rejection.
         fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        /// Smaller candidate values derived from a failing `value`, most
+        /// aggressive first. The runner adopts the first candidate that
+        /// still fails and repeats. Strategies without a meaningful notion
+        /// of "smaller" (or whose transform cannot be inverted, like
+        /// [`Map`]) return no candidates.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
 
         /// Keep only values `f` maps to `Some`, transforming them.
         fn prop_filter_map<U, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
@@ -92,6 +132,9 @@ pub mod strategy {
         type Value = T;
         fn sample(&self, rng: &mut TestRng) -> Option<T> {
             (**self).sample(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            (**self).shrink(value)
         }
     }
 
@@ -155,6 +198,12 @@ pub mod strategy {
             let i = (rng.next_u64() % self.options.len() as u64) as usize;
             self.options[i].sample(rng)
         }
+        // The producing alternative is unknown, but any alternative's
+        // candidates are values this strategy could have produced, so the
+        // union is sound (the runner re-checks every candidate anyway).
+        fn shrink(&self, value: &T) -> Vec<T> {
+            self.options.iter().flat_map(|o| o.shrink(value)).collect()
+        }
     }
 
     /// Build a [`OneOf`] from its alternatives.
@@ -168,6 +217,19 @@ pub mod strategy {
         Box::new(s)
     }
 
+    /// Pin a check closure's parameter to a strategy's value type, so the
+    /// `proptest!` expansion can define the closure before the first sample
+    /// exists (plain `let` closures cannot infer a `&_` parameter whose
+    /// body uses method calls). Not part of the public API.
+    #[doc(hidden)]
+    pub fn bind_check<S, F>(_: &S, f: F) -> F
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> Result<(), crate::test_runner::TestCaseError>,
+    {
+        f
+    }
+
     macro_rules! impl_int_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
@@ -177,37 +239,80 @@ pub mod strategy {
                     let span = (self.end as i128 - self.start as i128) as u64;
                     Some((self.start as i128 + (rng.next_u64() % span) as i128) as $t)
                 }
+                // Toward the range start: the start itself, the midpoint,
+                // and the predecessor — a bisection that converges to the
+                // minimal failing value for monotone properties.
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let mut out = Vec::new();
+                    if *value != self.start {
+                        out.push(self.start);
+                        let mid = (self.start as i128
+                            + (*value as i128 - self.start as i128) / 2) as $t;
+                        if mid != self.start && mid != *value {
+                            out.push(mid);
+                        }
+                        let pred = (*value as i128 - 1) as $t;
+                        if pred != self.start && !out.contains(&pred) {
+                            out.push(pred);
+                        }
+                    }
+                    out
+                }
             }
         )*};
     }
     impl_int_range_strategy!(usize, u64, u32, u16, u8, i64, i32);
 
-    impl Strategy for Range<f32> {
-        type Value = f32;
-        fn sample(&self, rng: &mut TestRng) -> Option<f32> {
-            assert!(self.start < self.end, "strategy range is empty");
-            Some(self.start + (self.end - self.start) * rng.unit_f64() as f32)
-        }
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                    assert!(self.start < self.end, "strategy range is empty");
+                    Some(self.start + (self.end - self.start) * rng.unit_f64() as $t)
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let mut out = Vec::new();
+                    if *value != self.start {
+                        out.push(self.start);
+                        let mid = self.start + (*value - self.start) / 2.0;
+                        if mid != self.start && mid != *value {
+                            out.push(mid);
+                        }
+                    }
+                    out
+                }
+            }
+        )*};
     }
-
-    impl Strategy for Range<f64> {
-        type Value = f64;
-        fn sample(&self, rng: &mut TestRng) -> Option<f64> {
-            assert!(self.start < self.end, "strategy range is empty");
-            Some(self.start + (self.end - self.start) * rng.unit_f64())
-        }
-    }
+    impl_float_range_strategy!(f32, f64);
 
     macro_rules! impl_tuple_strategy {
         ($($s:ident . $idx:tt),+) => {
-            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+)
+            where
+                $($s::Value: Clone),+
+            {
                 type Value = ($($s::Value,)+);
                 fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
                     Some(($(self.$idx.sample(rng)?,)+))
                 }
+                // One component at a time, the others held fixed.
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
+                }
             }
         };
     }
+    impl_tuple_strategy!(A.0);
     impl_tuple_strategy!(A.0, B.1);
     impl_tuple_strategy!(A.0, B.1, C.2);
     impl_tuple_strategy!(A.0, B.1, C.2, D.3);
@@ -255,6 +360,12 @@ pub mod test_runner {
     }
 
     impl TestRng {
+        /// Seed directly from a 64-bit value (fuzz drivers with a `--seed`
+        /// flag; [`TestRng::from_name`] covers the `proptest!` tests).
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
         /// Seed deterministically from a test's name.
         pub fn from_name(name: &str) -> Self {
             // FNV-1a over the name: stable across runs and platforms.
@@ -305,6 +416,15 @@ macro_rules! __proptest_impl {
         fn $name() {
             let __config: $crate::test_runner::ProptestConfig = $cfg;
             let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            // The property body as a reusable check over the whole argument
+            // tuple, so the shrinker can re-run it on smaller candidates.
+            let __strats = ($(($strat),)*);
+            let __check = $crate::strategy::bind_check(&__strats, |__vals| {
+                #[allow(unused_variables)]
+                let ($($arg,)*) = ::core::clone::Clone::clone(__vals);
+                $body
+                ::core::result::Result::Ok(())
+            });
             let mut __accepted: u32 = 0;
             let mut __rejected: u32 = 0;
             while __accepted < __config.cases {
@@ -323,24 +443,46 @@ macro_rules! __proptest_impl {
                         }
                     };
                 )*
-                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
-                    (|| {
-                        $body
-                        ::core::result::Result::Ok(())
-                    })();
-                match __outcome {
+                let mut __vals = ($($arg,)*);
+                match __check(&__vals) {
                     ::core::result::Result::Ok(()) => __accepted += 1,
                     ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
                         __rejected += 1;
                     }
                     ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        // Greedy bounded shrink over the argument tuple:
+                        // adopt the first candidate that still fails, repeat
+                        // until a whole round makes no progress.
+                        let mut __msg = msg;
+                        let mut __evals: u32 = 0;
+                        let mut __progress = true;
+                        while __progress && __evals < 1024 {
+                            __progress = false;
+                            for __cand in
+                                $crate::strategy::Strategy::shrink(&__strats, &__vals)
+                            {
+                                __evals += 1;
+                                let __prev = ::core::mem::replace(&mut __vals, __cand);
+                                match __check(&__vals) {
+                                    ::core::result::Result::Err(
+                                        $crate::test_runner::TestCaseError::Fail(m),
+                                    ) => {
+                                        __msg = m;
+                                        __progress = true;
+                                        break;
+                                    }
+                                    _ => __vals = __prev,
+                                }
+                            }
+                        }
+                        let ($($arg,)*) = &__vals;
                         let inputs = [
-                            $(format!(concat!(stringify!($arg), " = {:?}"), &$arg)),*
+                            $(format!(concat!(stringify!($arg), " = {:?}"), $arg)),*
                         ];
                         panic!(
                             "proptest {} failed: {}\n  inputs: {}",
                             stringify!($name),
-                            msg,
+                            __msg,
                             inputs.join(", ")
                         );
                     }
@@ -463,5 +605,97 @@ mod tests {
             }
         }
         always_fails();
+    }
+
+    #[test]
+    fn int_range_shrinks_toward_start() {
+        let s = 3usize..100;
+        let cands = s.shrink(&57);
+        assert_eq!(cands[0], 3, "range start is the most aggressive candidate");
+        assert!(cands.contains(&30), "midpoint (3 + (57-3)/2)");
+        assert!(cands.contains(&56), "predecessor");
+        assert!(cands.iter().all(|&c| (3..57).contains(&c)));
+        assert!(s.shrink(&3).is_empty(), "the start does not shrink further");
+    }
+
+    #[test]
+    fn float_range_shrinks_toward_start() {
+        let s = -2.0f32..2.0;
+        let cands = s.shrink(&1.0);
+        assert_eq!(cands[0], -2.0);
+        assert!(cands.contains(&-0.5), "midpoint");
+        assert!(s.shrink(&-2.0).is_empty());
+    }
+
+    #[test]
+    fn tuple_shrinks_one_component_at_a_time() {
+        let s = (0usize..50, 0usize..50);
+        for (a, b) in s.shrink(&(10, 0)) {
+            assert_eq!(b, 0, "fixed component must stay fixed");
+            assert!(a < 10, "shrunk component must get smaller");
+        }
+        assert!(!s.shrink(&(10, 0)).is_empty());
+        assert!(s.shrink(&(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn vec_shrinks_length_then_elements() {
+        let s = crate::collection::vec(0u64..100, 1..20);
+        let v = vec![50u64, 60, 70, 80];
+        let cands = s.shrink(&v);
+        assert_eq!(cands[0], vec![50], "minimum-length prefix first");
+        assert!(cands.contains(&vec![50, 60, 70]), "one-shorter prefix");
+        assert!(
+            cands.iter().any(|c| c.len() == 4 && c[0] == 0),
+            "element-wise candidate shrinks a single element"
+        );
+    }
+
+    #[test]
+    #[allow(unnameable_test_items)]
+    fn failing_counterexample_is_shrunk_to_minimal() {
+        // Property fails iff x >= 10: the greedy bisection must land on
+        // exactly 10, whatever the first sampled failure was.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn fails_at_ten(x in 0usize..1000) {
+                prop_assert!(x < 10, "too big");
+            }
+        }
+        let err = std::panic::catch_unwind(fails_at_ten).unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is a String");
+        assert!(
+            msg.contains("inputs: x = 10"),
+            "expected the minimal counterexample, got: {msg}"
+        );
+    }
+
+    #[test]
+    #[allow(unnameable_test_items)]
+    fn shrinking_holds_other_arguments_fixed() {
+        // Only `a` matters; `b` must survive shrinking untouched at
+        // whatever value the failing sample drew (it never fails on its
+        // own, so candidates that change it alone cannot be adopted...
+        // but candidates that shrink it while `a` stays failing can).
+        // The property is monotone in `a` alone, so `a` must reach 20
+        // and `b` must reach its range start 5.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn fails_on_a(a in 0usize..500, b in 5usize..500) {
+                prop_assert!(a < 20, "a too big");
+            }
+        }
+        let err = std::panic::catch_unwind(fails_on_a).unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is a String");
+        assert!(
+            msg.contains("a = 20") && msg.contains("b = 5"),
+            "both arguments shrink independently, got: {msg}"
+        );
     }
 }

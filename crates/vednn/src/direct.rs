@@ -190,10 +190,14 @@ pub fn run_fwd(
     t: &VednnTensors,
     n_range: Range<usize>,
 ) {
-    assert_eq!(p.stride, 1, "direct spatial kernel is unit-stride only");
+    assert!(
+        p.stride_h == 1 && p.stride_w == 1,
+        "direct spatial kernel is unit-stride only"
+    );
+    assert_eq!(p.pad_h, p.pad_w, "pack_image pads both axes equally");
     let _ = arch;
     let (oh, ow) = (p.oh(), p.ow());
-    let pb = p.pad;
+    let pb = p.pad_h;
     let (in_h, in_w) = (p.ih + 2 * pb, p.iw + 2 * pb);
     let reg_pack = UNROLL_C + VIN_BUFS; // scratch register for packing
     for n in n_range {
@@ -251,11 +255,16 @@ pub fn run_bwd_data(
     t: &VednnTensors,
     n_range: Range<usize>,
 ) {
-    assert_eq!(p.stride, 1);
-    assert!(p.pad < p.kh && p.pad < p.kw, "full-correlation padding");
+    assert!(p.stride_h == 1 && p.stride_w == 1);
+    assert!(p.pad_h < p.kh && p.pad_w < p.kw, "full-correlation padding");
+    assert_eq!(
+        p.kh - 1 - p.pad_h,
+        p.kw - 1 - p.pad_w,
+        "pack_image pads both axes equally"
+    );
+    let pb = p.kh - 1 - p.pad_h;
     let _ = arch;
     let (oh, ow) = (p.oh(), p.ow());
-    let pb = p.kh - 1 - p.pad; // == p.kw - 1 - p.pad for square kernels
     let (in_h, in_w) = (oh + 2 * pb, ow + 2 * pb);
     let reg_pack = UNROLL_C + VIN_BUFS;
     for n in n_range {

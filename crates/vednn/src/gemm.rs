@@ -42,13 +42,13 @@ impl ColRef {
 }
 
 /// Valid output-x range `[x0, x1)` of one (kw, row) tap, i.e. the `x` with
-/// `0 <= x*stride + kw - pad < IW`.
+/// `0 <= x*stride_w + kw - pad_w < IW`.
 fn valid_x_range(p: &ConvProblem, kw: usize) -> (usize, usize) {
     let ow = p.ow();
-    let lo = p.pad.saturating_sub(kw).div_ceil(p.stride);
-    let hi_num = p.iw + p.pad;
+    let lo = p.pad_w.saturating_sub(kw).div_ceil(p.stride_w);
+    let hi_num = p.iw + p.pad_w;
     let hi = if hi_num > kw {
-        ((hi_num - kw - 1) / p.stride + 1).min(ow)
+        ((hi_num - kw - 1) / p.stride_w + 1).min(ow)
     } else {
         0
     };
@@ -69,7 +69,8 @@ fn im2col(
     let (oh, ow) = (p.oh(), p.ow());
     let m = oh * ow;
     let k_total = p.ic * p.kh * p.kw;
-    if p.kh == 1 && p.kw == 1 && p.stride == 1 && p.pad == 0 {
+    if p.kh == 1 && p.kw == 1 && p.stride_h == 1 && p.stride_w == 1 && p.pad_h == 0 && p.pad_w == 0
+    {
         // Implicit GEMM: the flattened NCHW image is the column matrix.
         return ColRef {
             base: t.src.at(n, 0, 0, 0),
@@ -90,7 +91,7 @@ fn im2col(
                 let (x0, x1) = valid_x_range(p, kw);
                 for oy in 0..oh {
                     let dst_row = col.row(k) + ((oy * ow) * 4) as u64;
-                    let ihy = (oy * p.stride + kh) as isize - p.pad as isize;
+                    let ihy = (oy * p.stride_h + kh) as isize - p.pad_h as isize;
                     if ihy < 0 || ihy >= p.ih as isize {
                         zero_chunked(core, arena, dst_row, ow, zreg);
                         continue;
@@ -100,9 +101,9 @@ fn im2col(
                         zero_chunked(core, arena, dst_row, x0, zreg);
                     }
                     if x1 > x0 {
-                        let iw0 = x0 * p.stride + kw - p.pad;
+                        let iw0 = x0 * p.stride_w + kw - p.pad_w;
                         let from = t.src.at(n, ic, ihy, iw0);
-                        if p.stride == 1 {
+                        if p.stride_w == 1 {
                             copy_chunked(
                                 core,
                                 arena,
@@ -120,8 +121,8 @@ fn im2col(
                                 core.vload_strided(
                                     arena,
                                     creg,
-                                    from + ((off * p.stride) * 4) as u64,
-                                    (p.stride * 4) as u64,
+                                    from + ((off * p.stride_w) * 4) as u64,
+                                    (p.stride_w * 4) as u64,
                                     c,
                                 );
                                 core.vstore(arena, creg, dst_row + ((x0 + off) * 4) as u64, c);
@@ -301,13 +302,13 @@ pub fn run_bwd_data(
                         continue;
                     }
                     for oy in 0..oh {
-                        let ihy = (oy * p.stride + kh) as isize - p.pad as isize;
+                        let ihy = (oy * p.stride_h + kh) as isize - p.pad_h as isize;
                         if ihy < 0 || ihy >= p.ih as isize {
                             continue;
                         }
                         let ihy = ihy as usize;
                         let col_row = col.row(k) + ((oy * ow + x0) * 4) as u64;
-                        let iw0 = x0 * p.stride + kw - p.pad;
+                        let iw0 = x0 * p.stride_w + kw - p.pad_w;
                         let s_row = t.src.at(n, ic, ihy, iw0);
                         let seg = x1 - x0;
                         let mut off = 0usize;
@@ -315,13 +316,13 @@ pub fn run_bwd_data(
                             let c = nvlen.min(seg - off);
                             core.scalar_op();
                             core.vload(arena, creg, col_row + (off * 4) as u64, c);
-                            if p.stride == 1 {
+                            if p.stride_w == 1 {
                                 core.vload(arena, areg, s_row + (off * 4) as u64, c);
                                 core.vfma_bcast(areg, creg, ScalarValue::constant(1.0), c);
                                 core.vstore(arena, areg, s_row + (off * 4) as u64, c);
                             } else {
-                                let stride_b = (p.stride * 4) as u64;
-                                let base = s_row + ((off * p.stride) * 4) as u64;
+                                let stride_b = (p.stride_w * 4) as u64;
+                                let base = s_row + ((off * p.stride_w) * 4) as u64;
                                 core.vload_strided(arena, areg, base, stride_b, c);
                                 core.vfma_bcast(areg, creg, ScalarValue::constant(1.0), c);
                                 core.vstore_strided(arena, areg, base, stride_b, c);

@@ -47,13 +47,26 @@ impl VednnAlgo {
     /// Whether this kernel family supports a problem/direction.
     pub fn supports(&self, p: &ConvProblem, dir: Direction) -> bool {
         match self {
-            VednnAlgo::DirectSpatial => match dir {
-                Direction::Fwd => p.stride == 1,
-                // backward-data needs the full-correlation padding
-                // `k - 1 - pad >= 0` in both dimensions
-                Direction::BwdData => p.stride == 1 && p.pad < p.kh && p.pad < p.kw,
-                Direction::BwdWeights => false, // vednn uses GEMM here
-            },
+            VednnAlgo::DirectSpatial => {
+                // The spatial kernel packs padded images with one border
+                // width for both axes, so it needs unit stride and a
+                // symmetric effective padding; everything else falls back
+                // to the GEMM path.
+                let unit_stride = p.stride_h == 1 && p.stride_w == 1;
+                match dir {
+                    Direction::Fwd => unit_stride && p.pad_h == p.pad_w,
+                    // backward-data needs the full-correlation padding
+                    // `k - 1 - pad >= 0` in both dimensions, and equal
+                    // across axes for the shared pack buffer
+                    Direction::BwdData => {
+                        unit_stride
+                            && p.pad_h < p.kh
+                            && p.pad_w < p.kw
+                            && p.kh - 1 - p.pad_h == p.kw - 1 - p.pad_w
+                    }
+                    Direction::BwdWeights => false, // vednn uses GEMM here
+                }
+            }
             VednnAlgo::Im2colGemm => true,
         }
     }
@@ -160,7 +173,7 @@ impl VednnConv {
         let wei = WeiTensor::alloc(arena, p.oc, p.ic, p.kh, p.kw, WeightLayout::oihw());
         // Padded image scratch: sized for the larger of the two paddings the
         // direct kernels use (forward pad and full-correlation pad).
-        let fwd_pad = p.pad;
+        let fwd_pad = p.pad_h.max(p.pad_w);
         let bwd_pad = (p.kh.max(p.kw)).saturating_sub(1);
         let pad = fwd_pad.max(bwd_pad);
         let c_max = p.ic.max(p.oc);

@@ -26,11 +26,11 @@ fn main() {
     );
     println!(
         "Formula 3: with A_b = {ab} elements, conflicts appear beyond RB = {}",
-        formula4_rb_upper_bound(&arch, ab, p.stride)
+        formula4_rb_upper_bound(&arch, ab, p.stride_w)
     );
     println!(
         "         -> DC at RB = {rb_dc}: conflicts {}",
-        if formula3_predicts_conflicts(&arch, ab, rb_dc, p.stride) {
+        if formula3_predicts_conflicts(&arch, ab, rb_dc, p.stride_w) {
             "PREDICTED"
         } else {
             "not predicted"

@@ -22,7 +22,7 @@ fn formula3_never_fires_on_skylake_for_table3() {
                 &arch,
                 cfg.src_layout.cb.max(cfg.dst_layout.cb),
                 cfg.rb.combined(),
-                p.stride
+                p.stride_w
             ));
         }
     }
