@@ -22,6 +22,9 @@ cargo run --release -p lsv-bench --bin lint-kernels -- --deny-as-error
 echo "== differential fuzz (smoke: seed corpus + bounded randomized sweep)"
 cargo run --release -p lsv-bench --bin lsvconv-cli -- fuzz --smoke
 
+echo "== profile smoke (reconciliation + profile.json schema are hard errors)"
+cargo run --release -p lsv-bench --bin lsvconv-cli -- profile --smoke --out results/ci-profile
+
 echo "== bench-simulator (smoke)"
 cargo run --release -p lsv-bench --bin bench-simulator -- --smoke
 

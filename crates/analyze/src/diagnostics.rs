@@ -52,11 +52,14 @@ pub enum RuleId {
     LayoutDivide,
     /// The kernel needs more vector registers than the architecture has.
     RegPressure,
+    /// The region profiler's per-region accounting does not reconcile with
+    /// the core's whole-run counters (cycles, instructions or cache events).
+    ProfileUnreconciled,
 }
 
 impl RuleId {
     /// Every rule, in report order.
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::L1Conflict,
         RuleId::BseqLower,
         RuleId::BseqUpper,
@@ -64,6 +67,7 @@ impl RuleId {
         RuleId::AccClobber,
         RuleId::LayoutDivide,
         RuleId::RegPressure,
+        RuleId::ProfileUnreconciled,
     ];
 
     /// The stable string form used in reports and JSON.
@@ -76,6 +80,7 @@ impl RuleId {
             RuleId::AccClobber => "ACC-CLOBBER",
             RuleId::LayoutDivide => "LAYOUT-DIVIDE",
             RuleId::RegPressure => "REG-PRESSURE",
+            RuleId::ProfileUnreconciled => "PROFILE-UNRECONCILED",
         }
     }
 }
@@ -179,7 +184,8 @@ mod tests {
                 "OOB-ADDR",
                 "ACC-CLOBBER",
                 "LAYOUT-DIVIDE",
-                "REG-PRESSURE"
+                "REG-PRESSURE",
+                "PROFILE-UNRECONCILED"
             ]
         );
     }

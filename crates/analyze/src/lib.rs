@@ -25,10 +25,12 @@
 //! rejected at primitive-creation time.
 
 pub mod diagnostics;
+pub mod profile_checks;
 pub mod static_checks;
 pub mod trace_checks;
 
 pub use diagnostics::{Diagnostic, Report, RuleId, Severity};
+pub use profile_checks::check_profile_reconciliation;
 pub use static_checks::analyze_config;
 
 use lsv_arch::ArchParams;

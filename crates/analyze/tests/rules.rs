@@ -3,11 +3,14 @@
 //! API, and the all-rules census at the bottom keeps this file honest when a
 //! rule is added.
 
-use lsv_analyze::{analyze_config, analyze_kernel, analyze_trace, Report, RuleId, Severity};
+use lsv_analyze::{
+    analyze_config, analyze_kernel, analyze_trace, check_profile_reconciliation, Report, RuleId,
+    Severity,
+};
 use lsv_arch::sx_aurora;
 use lsv_conv::tuning::kernel_config;
 use lsv_conv::{Algorithm, ConvProblem, Direction, KernelConfig};
-use lsv_vengine::{Arena, TraceEvent};
+use lsv_vengine::{Arena, ExecutionMode, TraceEvent, VCore};
 
 /// The canonical DC conflict layer (Table 3 id 8: IC = 512 at 28x28).
 fn conflict_layer() -> ConvProblem {
@@ -132,6 +135,16 @@ fn every_rule_id_has_a_demonstrated_firing() {
         },
     ];
     fired.merge(analyze_trace(&arena, &trace, &arch)); // OOB-ADDR + ACC-CLOBBER
+
+    let mut core = VCore::new(&arch, ExecutionMode::TimingOnly, 1);
+    core.enable_profiler();
+    core.region_enter("r");
+    core.scalar_ops(3);
+    core.region_exit();
+    let mut stats = core.drain();
+    let profile = core.take_profile().unwrap();
+    stats.cycles += 1; // tampered total cannot reconcile
+    fired.merge(check_profile_reconciliation(&profile, &stats)); // PROFILE-UNRECONCILED
 
     for rule in RuleId::ALL {
         assert!(fired.fired(rule), "no firing demonstrated for {rule}");

@@ -7,15 +7,21 @@
 //! lsvconv verify --layer 8 --dir fwdd --alg MBDC [--minibatch 2]
 //! lsvconv tune   --layer 16 --dir fwdd --alg BDC  # show the generated config
 //! lsvconv fuzz   [--cases 500] [--seed 1] [--smoke]  # differential fuzzing
+//! lsvconv profile <layer> [--dir fwdd] [--alg BDC] [--out results/profile] [--smoke]
 //! ```
 
 use lsv_arch::presets::{a64fx_sve, rvv_longvector, skylake_avx512, sx_aurora};
 use lsv_arch::ArchParams;
+use lsv_bench::profiling::{print_profile_summary, profile_meta, write_profile_artifacts};
 use lsv_bench::{bench_engine, Engine};
 use lsv_conv::fuzz::{self, FuzzOutcome};
-use lsv_conv::{validate, Algorithm, ConvDesc, ConvProblem, Direction, ExecutionMode};
+use lsv_conv::{
+    bench_layer_profiled, validate, Algorithm, ConvDesc, ConvProblem, Direction, ExecutionMode,
+};
 use lsv_models::resnet_layer;
+use lsv_vengine::CoreStats;
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::exit;
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -117,11 +123,13 @@ fn report_fuzz(label: &str, out: &FuzzOutcome) {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!();
-    eprintln!("usage: lsvconv <info|bench|verify|tune|fuzz> [flags]");
+    eprintln!("usage: lsvconv <info|bench|verify|tune|fuzz|profile> [flags]");
     eprintln!("  common flags: --arch <sx-aurora|skylake|rvv|a64fx|aurora-vl<bits>>");
     eprintln!("                --layer <0..18> | --ic N --oc N --hw N --k N --stride N --pad N");
     eprintln!("                --dir <fwdd|bwdd|bwdw>  --alg <DC|BDC|MBDC|vednn>  --minibatch N");
     eprintln!("  fuzz flags:   --cases N (default 500)  --seed N  --smoke (corpus + 50 cases)");
+    eprintln!("  profile:      profile <layer> [--dir D] [--alg A] [--out DIR] [--smoke]");
+    eprintln!("                writes profile.json + trace.json (Perfetto) + profile.folded");
     exit(2);
 }
 
@@ -288,6 +296,76 @@ fn main() {
             if !corpus.clean() || !random.clean() {
                 exit(1);
             }
+        }
+        "profile" => {
+            let smoke = argv.iter().any(|a| a == "--smoke");
+            let mut flags = flags;
+            // Positional layer id: `lsvconv profile 8` == `--layer 8`.
+            if let Some(arg) = argv.get(1) {
+                if arg.parse::<usize>().is_ok() && !flags.contains_key("layer") {
+                    flags.insert("layer".to_string(), arg.clone());
+                }
+            }
+            if smoke && !flags.contains_key("layer") && !flags.contains_key("hw") {
+                // A small fixed problem keeps the CI gate fast.
+                flags.insert("hw".to_string(), "14".to_string());
+            }
+            let p = problem_from_flags(&flags, if smoke { 4 } else { 64 });
+            let dir = direction_by_name(flags.get("dir").map(String::as_str).unwrap_or(""));
+            let alg = match engine_by_name(flags.get("alg").map(String::as_str).unwrap_or("")) {
+                Engine::Direct(a) => a,
+                Engine::Vednn => usage("profile applies to the direct algorithms"),
+            };
+
+            let (perf, profile) =
+                bench_layer_profiled(&arch, &p, dir, alg, ExecutionMode::TimingOnly);
+
+            // Cross-check the profile against the *independently kept* slice
+            // report, not just its own embedded totals.
+            let r = &perf.report;
+            let slice_stats = CoreStats {
+                cycles: r.cycles,
+                insts: r.insts,
+                cache: r.cache,
+                stall_scalar: r.stall_scalar,
+                stall_dep: r.stall_dep,
+                stall_port: r.stall_port,
+                bank_serial_cycles: r.bank_serial_cycles,
+            };
+            let reconciliation = lsv_analyze::check_profile_reconciliation(&profile, &slice_stats);
+            for d in &reconciliation.diagnostics {
+                eprintln!("{d}");
+            }
+            if reconciliation.has_deny() {
+                exit(1);
+            }
+
+            let meta = profile_meta(&arch, &p, dir, alg.short_name(), &profile);
+            let out_dir = flags
+                .get("out")
+                .cloned()
+                .unwrap_or_else(|| "results/profile".to_string());
+            let artifacts =
+                match write_profile_artifacts(Path::new(&out_dir), "profile", &profile, &meta) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        exit(1);
+                    }
+                };
+
+            println!("problem: {p} ({dir}, {})", alg.short_name());
+            print_profile_summary(&profile, if smoke { 8 } else { 24 });
+            println!();
+            println!("report:  {} (schema-valid)", artifacts.report.display());
+            println!(
+                "trace:   {} (load at https://ui.perfetto.dev)",
+                artifacts.trace.display()
+            );
+            println!(
+                "folded:  {} (flamegraph.pl input)",
+                artifacts.folded.display()
+            );
         }
         _ => usage("missing or unknown command"),
     }

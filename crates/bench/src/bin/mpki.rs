@@ -2,6 +2,12 @@
 //! with the (simulated) hardware counters, comparing BDC and MBDC to DC per
 //! direction.
 //!
+//! The counters come from the region profiler's per-region accounting
+//! (summed over every region path), not from the plain slice report — the
+//! profiler's conservation invariant guarantees the two agree *exactly*, and
+//! this bin asserts it on every row, making the whole study a continuous
+//! cross-check of the accounting.
+//!
 //! Paper: BDC reduces MPKI by 27% (fwdd) / 18% (bwdd) / ~0% (bwdw); MBDC by
 //! 22% / 20% / 8%.
 //!
@@ -9,8 +15,17 @@
 //! smaller default keeps the run quick without changing the ratios).
 
 use lsv_arch::presets::sx_aurora;
-use lsv_bench::{run_suite, Engine};
-use lsv_conv::{Algorithm, Direction, ExecutionMode};
+use lsv_bench::{par, Engine};
+use lsv_conv::{bench_layer_profiled, Algorithm, Direction, ExecutionMode};
+use lsv_models::resnet_layers;
+
+struct MpkiRow {
+    layer_id: usize,
+    direction: Direction,
+    engine: Engine,
+    mpki_l1: f64,
+    conflict_fraction: f64,
+}
 
 fn main() {
     let minibatch: usize = std::env::args()
@@ -18,18 +33,47 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(64);
     let arch = sx_aurora();
-    let engines = [
-        Engine::Direct(Algorithm::Dc),
-        Engine::Direct(Algorithm::Bdc),
-        Engine::Direct(Algorithm::Mbdc),
-    ];
-    let rows = run_suite(
-        &arch,
-        minibatch,
-        &engines,
-        &Direction::ALL,
-        ExecutionMode::TimingOnly,
-    );
+    let algorithms = [Algorithm::Dc, Algorithm::Bdc, Algorithm::Mbdc];
+    let layers = resnet_layers(minibatch);
+    let jobs: Vec<(usize, Direction, Algorithm)> = (0..layers.len())
+        .flat_map(|id| {
+            Direction::ALL
+                .into_iter()
+                .flat_map(move |d| algorithms.into_iter().map(move |a| (id, d, a)))
+        })
+        .collect();
+    let mut rows: Vec<MpkiRow> = par::par_map(jobs, |(id, direction, alg)| {
+        let (perf, profile) = bench_layer_profiled(
+            &arch,
+            &layers[id],
+            direction,
+            alg,
+            ExecutionMode::TimingOnly,
+        );
+        // MPKI from the per-region sums; the profiler's conservation
+        // invariant makes this bit-identical to the slice report's view.
+        let insts = profile.insts_total().total();
+        let l1 = profile.cache_total().l1;
+        let mpki_l1 = l1.mpki(insts);
+        let conflict_fraction = if l1.misses == 0 {
+            0.0
+        } else {
+            l1.conflict_misses as f64 / l1.misses as f64
+        };
+        assert_eq!(
+            (mpki_l1, conflict_fraction),
+            (perf.mpki_l1, perf.conflict_fraction),
+            "region accounting diverged from the slice report (layer {id} {direction} {alg})"
+        );
+        MpkiRow {
+            layer_id: id,
+            direction,
+            engine: Engine::Direct(alg),
+            mpki_l1,
+            conflict_fraction,
+        }
+    });
+    rows.sort_by_key(|r| (r.direction.short_name(), r.layer_id, r.engine.name()));
     println!("layer_id,direction,algorithm,mpki_l1,conflict_fraction");
     for r in &rows {
         println!(
@@ -37,8 +81,8 @@ fn main() {
             r.layer_id,
             r.direction.short_name(),
             r.engine.name(),
-            r.perf.mpki_l1,
-            r.perf.conflict_fraction
+            r.mpki_l1,
+            r.conflict_fraction
         );
     }
     println!();
@@ -48,7 +92,7 @@ fn main() {
             let v: Vec<f64> = rows
                 .iter()
                 .filter(|r| r.direction == dir && r.engine.name() == name)
-                .map(|r| r.perf.mpki_l1)
+                .map(|r| r.mpki_l1)
                 .collect();
             v.iter().sum::<f64>() / v.len().max(1) as f64
         };

@@ -25,16 +25,16 @@ fn main() {
         let perf = bench_engine(&arch, &p, dir, engine, ExecutionMode::TimingOnly);
         let r = &perf.report;
         let cyc = r.cycles.max(1) as f64;
+        let stalls = r
+            .stall_breakdown()
+            .map(|(label, c)| format!("{label} {:.2}", c as f64 / cyc))
+            .join(" ");
         println!(
-            "{:6}: {:8.1} GF/s eff {:5.3} | slice cycles {:>12} | stall_scalar {:.2} stall_dep {:.2} stall_port {:.2} bank {:.2} | insts {} | L1 h/m/c {}/{}/{} L2m {} LLCm {}",
+            "{:6}: {:8.1} GF/s eff {:5.3} | slice cycles {:>12} | {stalls} | insts {} | L1 h/m/c {}/{}/{} L2m {} LLCm {}",
             engine.name(),
             perf.gflops,
             perf.efficiency,
             r.cycles,
-            r.stall_scalar as f64 / cyc,
-            r.stall_dep as f64 / cyc,
-            r.stall_port as f64 / cyc,
-            r.bank_serial_cycles as f64 / cyc,
             r.insts.total(),
             r.cache.l1.hits,
             r.cache.l1.misses,

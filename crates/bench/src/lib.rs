@@ -13,6 +13,7 @@ use lsv_models::{resnet_layers, ResNetModel};
 use lsv_vednn::bench_layer_vednn;
 
 pub mod par;
+pub mod profiling;
 
 /// A convolution engine under test: one of the paper's direct algorithms or
 /// the baseline library.

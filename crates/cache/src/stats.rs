@@ -49,6 +49,50 @@ impl LevelStats {
         self.conflict_misses += other.conflict_misses;
         self.writebacks += other.writebacks;
     }
+
+    /// The single place the counter invariants are checked: conflict misses
+    /// are a subset of misses, and `accesses()` is *defined* as
+    /// `hits + misses` (so aggregation can never desynchronize the three).
+    ///
+    /// # Panics
+    /// Panics if `conflict_misses > misses`.
+    pub fn assert_invariants(&self) {
+        assert!(
+            self.conflict_misses <= self.misses,
+            "LevelStats invariant violated: conflict_misses {} > misses {}",
+            self.conflict_misses,
+            self.misses
+        );
+        debug_assert_eq!(self.accesses(), self.hits + self.misses);
+    }
+}
+
+impl std::ops::Add for LevelStats {
+    type Output = LevelStats;
+    fn add(mut self, rhs: LevelStats) -> LevelStats {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::ops::AddAssign for LevelStats {
+    fn add_assign(&mut self, rhs: LevelStats) {
+        self.merge(&rhs);
+    }
+}
+
+impl std::ops::Sub for LevelStats {
+    type Output = LevelStats;
+    /// Counter difference between two snapshots of the same (monotonically
+    /// counting) level — the profiler's per-region deltas.
+    fn sub(self, rhs: LevelStats) -> LevelStats {
+        LevelStats {
+            hits: self.hits - rhs.hits,
+            misses: self.misses - rhs.misses,
+            conflict_misses: self.conflict_misses - rhs.conflict_misses,
+            writebacks: self.writebacks - rhs.writebacks,
+        }
+    }
 }
 
 /// Statistics for a whole [`crate::Hierarchy`].
@@ -73,6 +117,14 @@ impl HierarchyStats {
         self.mem_fetches += other.mem_fetches;
     }
 
+    /// Check every level's counter invariants (see
+    /// [`LevelStats::assert_invariants`]).
+    pub fn assert_invariants(&self) {
+        self.l1.assert_invariants();
+        self.l2.assert_invariants();
+        self.llc.assert_invariants();
+    }
+
     /// Scale all counters by an integer factor. Used when a simulated
     /// steady-state slice stands in for `k` identical slices (e.g. the
     /// remaining images of a minibatch share the warmed weight working set).
@@ -88,6 +140,32 @@ impl HierarchyStats {
             l2: s(&self.l2),
             llc: s(&self.llc),
             mem_fetches: self.mem_fetches * k,
+        }
+    }
+}
+
+impl std::ops::Add for HierarchyStats {
+    type Output = HierarchyStats;
+    fn add(mut self, rhs: HierarchyStats) -> HierarchyStats {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::ops::AddAssign for HierarchyStats {
+    fn add_assign(&mut self, rhs: HierarchyStats) {
+        self.merge(&rhs);
+    }
+}
+
+impl std::ops::Sub for HierarchyStats {
+    type Output = HierarchyStats;
+    fn sub(self, rhs: HierarchyStats) -> HierarchyStats {
+        HierarchyStats {
+            l1: self.l1 - rhs.l1,
+            l2: self.l2 - rhs.l2,
+            llc: self.llc - rhs.llc,
+            mem_fetches: self.mem_fetches - rhs.mem_fetches,
         }
     }
 }
@@ -132,5 +210,43 @@ mod tests {
         let c = a.scaled(3);
         assert_eq!(c.l1.hits, 45);
         assert_eq!(c.mem_fetches, 21);
+    }
+
+    #[test]
+    fn add_matches_merge_and_sub_inverts() {
+        let mut a = HierarchyStats::default();
+        a.l1.hits = 10;
+        a.l1.misses = 4;
+        a.l1.conflict_misses = 2;
+        a.l2.writebacks = 3;
+        a.mem_fetches = 5;
+        let mut b = HierarchyStats::default();
+        b.l1.hits = 1;
+        b.llc.misses = 9;
+        b.mem_fetches = 2;
+
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(a + b, merged);
+
+        let mut acc = a;
+        acc += b;
+        assert_eq!(acc, merged);
+
+        assert_eq!(merged - b, a);
+        assert_eq!(merged - a, b);
+        merged.assert_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violated")]
+    fn invariant_catches_conflict_overflow() {
+        let l = LevelStats {
+            hits: 0,
+            misses: 1,
+            conflict_misses: 2,
+            writebacks: 0,
+        };
+        l.assert_invariants();
     }
 }

@@ -31,6 +31,7 @@ pub fn run(
     n_range: Range<usize>,
 ) {
     debug_assert!(cfg.wei_swapped);
+    core.region_enter("bwd_data");
     let (oh, ow) = (p.oh(), p.ow());
     let vl_max = cfg.vl;
     let ic_vblocks = p.ic.div_ceil(vl_max);
@@ -56,6 +57,7 @@ pub fn run(
                     let kh0 = khb * tile.kh_i;
                     let kh_cnt = tile.kh_i.min(p.kh - kh0);
                     for kwb in 0..kw_blocks {
+                        core.region_enter("khkw_tile");
                         let kw0 = kwb * tile.kw_i;
                         let kw_cnt = tile.kw_i.min(p.kw - kw0);
                         let first_pass = occ == 0 && khb == 0 && kwb == 0;
@@ -67,6 +69,10 @@ pub fn run(
                             core.scalar_ops(1);
                             while iw0 < p.iw {
                                 let rbw_cur = rb_w.min(p.iw - iw0);
+                                let edge = rbh_cur < rb_h || rbw_cur < rb_w || vl < vl_max;
+                                if edge {
+                                    core.region_enter("edge");
+                                }
                                 micro_kernel(
                                     cfg,
                                     p,
@@ -96,15 +102,20 @@ pub fn run(
                                     oh,
                                     ow,
                                 );
+                                if edge {
+                                    core.region_exit();
+                                }
                                 iw0 += rb_w;
                             }
                             ih0 += rb_h;
                         }
+                        core.region_exit(); // khkw_tile
                     }
                 }
             }
         }
     }
+    core.region_exit(); // bwd_data
 }
 
 /// Map an input coordinate and kernel tap to the producing output
@@ -155,6 +166,7 @@ fn micro_kernel(
     ow: usize,
 ) {
     // --- accumulators over the S_diff register block.
+    core.region_enter("acc_init");
     for h in 0..rbh_cur {
         for w in 0..rbw_cur {
             let reg = h * rbw_cur + w;
@@ -165,8 +177,10 @@ fn micro_kernel(
             }
         }
     }
+    core.region_exit();
 
     // --- inner loop over (kh, kw, oc_i) with software-pipelined weight loads.
+    core.region_enter("inner_loop");
     let total = kh_cnt * kw_cnt * oc_cnt;
     let lookahead = (wbuf - 1).min(total);
     // wei is role-swapped: "oc" slot indexes IC blocks, "ic" slot indexes OC.
@@ -214,13 +228,17 @@ fn micro_kernel(
         }
     }
 
+    core.region_exit(); // inner_loop
+
     // --- write partial S_diff sums back.
+    core.region_enter("acc_store");
     for h in 0..rbh_cur {
         for w in 0..rbw_cur {
             let reg = h * rbw_cur + w;
             store_act_vec(core, arena, src_diff, n, c0, ih0 + h, iw0 + w, vl, reg);
         }
     }
+    core.region_exit();
 }
 
 #[cfg(test)]

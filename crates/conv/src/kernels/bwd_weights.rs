@@ -38,6 +38,7 @@ pub fn run(
     small_blocks: Range<usize>,
     n_range: Range<usize>,
 ) {
+    core.region_enter("bwd_weights");
     let (oh, ow) = (p.oh(), p.ow());
     let vl_max = cfg.vl;
     let (c_vec, c_small) = if cfg.vec_over_ic {
@@ -68,12 +69,16 @@ pub fn run(
             let rb_cur = rb_c.min(c_small - cs0);
             for kh in 0..p.kh {
                 for kw in 0..p.kw {
+                    core.region_enter("khkw_tile");
                     core.scalar_ops(2);
                     // Accumulators for this (kh, kw) tap, zeroed once and
                     // reduced over the whole (n, oh, ow) domain.
+                    core.region_enter("acc_init");
                     for j in 0..rb_cur {
                         core.vbroadcast_zero(j, lanes);
                     }
+                    core.region_exit();
+                    core.region_enter("inner_loop");
                     for n in n_range.clone() {
                         core.scalar_ops(2);
                         sweep_spatial(
@@ -96,16 +101,22 @@ pub fn run(
                             vbuf,
                         );
                     }
+                    core.region_exit(); // inner_loop
+
                     // Store the finished W_diff vectors (one store per
                     // accumulator for the whole reduction).
+                    core.region_enter("acc_store");
                     for j in 0..rb_cur {
                         let addr = wei_diff.oc_vector_at(cvb, cs0 + j, kh, kw);
                         core.vstore(arena, j, addr, vl);
                     }
+                    core.region_exit();
+                    core.region_exit(); // khkw_tile
                 }
             }
         }
     }
+    core.region_exit(); // bwd_weights
 }
 
 /// The spatial reduction sweep for one (kh, kw) tap of one image: per valid

@@ -26,6 +26,7 @@ pub fn run(
     n_range: Range<usize>,
 ) {
     debug_assert!(!cfg.wei_swapped);
+    core.region_enter("fwd");
     let (oh, ow) = (p.oh(), p.ow());
     let vl_max = cfg.vl;
     let oc_vblocks = p.oc.div_ceil(vl_max);
@@ -52,6 +53,7 @@ pub fn run(
                     let kh0 = khb * tile.kh_i;
                     let kh_cnt = tile.kh_i.min(p.kh - kh0);
                     for kwb in 0..kw_blocks {
+                        core.region_enter("khkw_tile");
                         let kw0 = kwb * tile.kw_i;
                         let kw_cnt = tile.kw_i.min(p.kw - kw0);
                         let first_pass = icc == 0 && khb == 0 && kwb == 0;
@@ -63,6 +65,10 @@ pub fn run(
                             core.scalar_ops(1);
                             while ow0 < ow {
                                 let rbw_cur = rb_w.min(ow - ow0);
+                                let edge = rbh_cur < rb_h || rbw_cur < rb_w || vl < vl_max;
+                                if edge {
+                                    core.region_enter("edge");
+                                }
                                 micro_kernel(MicroArgs {
                                     p,
                                     core,
@@ -89,15 +95,20 @@ pub fn run(
                                     wslot0,
                                     wbuf,
                                 });
+                                if edge {
+                                    core.region_exit();
+                                }
                                 ow0 += rb_w;
                             }
                             oh0 += rb_h;
                         }
+                        core.region_exit(); // khkw_tile
                     }
                 }
             }
         }
     }
+    core.region_exit(); // fwd
 }
 
 struct MicroArgs<'a, 'b> {
@@ -160,6 +171,7 @@ fn micro_kernel(a: MicroArgs<'_, '_>) {
 
     // --- accumulator init: zero on the first accumulation pass, otherwise
     //     reload the partial sums from D.
+    core.region_enter("acc_init");
     for h in 0..rbh_cur {
         for w in 0..rbw_cur {
             let reg = h * rbw_cur + w;
@@ -170,8 +182,10 @@ fn micro_kernel(a: MicroArgs<'_, '_>) {
             }
         }
     }
+    core.region_exit();
 
     // --- inner loop over (kh, kw, ic_i), flattened for weight prefetch.
+    core.region_enter("inner_loop");
     let total = kh_cnt * kw_cnt * ic_cnt;
     let lookahead = (wbuf - 1).min(total);
     let w_addr = |j: usize| -> u64 {
@@ -217,11 +231,15 @@ fn micro_kernel(a: MicroArgs<'_, '_>) {
         }
     }
 
+    core.region_exit(); // inner_loop
+
     // --- write the partial sums back (Algorithm 2 line 19).
+    core.region_enter("acc_store");
     for h in 0..rbh_cur {
         for w in 0..rbw_cur {
             let reg = h * rbw_cur + w;
             store_act_vec(core, arena, dst, n, c0, oh0 + h, ow0 + w, vl, reg);
         }
     }
+    core.region_exit();
 }

@@ -64,6 +64,7 @@ pub(crate) fn load_act_vec(
         core.vload(arena, reg, addr, vl);
     } else {
         debug_assert_eq!(c0 % cb, 0, "gather must start on a block boundary");
+        core.region_enter("gather");
         let bpv = vl.div_ceil(cb);
         let mut inline = [0u64; MAX_BLOCKS_INLINE];
         if bpv <= MAX_BLOCKS_INLINE {
@@ -75,6 +76,7 @@ pub(crate) fn load_act_vec(
             let blocks: Vec<u64> = (0..bpv).map(|j| t.block_at(n, c0 / cb + j, y, x)).collect();
             core.vgather_blocks(arena, reg, &blocks, cb);
         }
+        core.region_exit();
     }
 }
 
@@ -102,6 +104,7 @@ pub(crate) fn store_act_vec(
         core.vstore(arena, reg, addr, vl);
     } else {
         debug_assert_eq!(c0 % cb, 0, "scatter must start on a block boundary");
+        core.region_enter("scatter");
         let bpv = vl.div_ceil(cb);
         let mut inline = [0u64; MAX_BLOCKS_INLINE];
         if bpv <= MAX_BLOCKS_INLINE {
@@ -113,6 +116,7 @@ pub(crate) fn store_act_vec(
             let blocks: Vec<u64> = (0..bpv).map(|j| t.block_at(n, c0 / cb + j, y, x)).collect();
             core.vscatter_blocks(arena, reg, &blocks, cb);
         }
+        core.region_exit();
     }
 }
 

@@ -38,7 +38,7 @@ pub mod verify;
 
 pub use analysis::{scalar_stream_profile, ScalarStreamProfile};
 pub use multicore::{execute_multicore, MulticoreReport};
-pub use perf::{bench_layer, LayerPerf};
+pub use perf::{bench_layer, bench_layer_profiled, LayerPerf};
 pub use primitive::{ConvDesc, ConvPrimitive, ConvTensors, ExecReport, UnsupportedReason};
 pub use problem::{Algorithm, ConvProblem, Direction};
 pub use tuning::{autotune_microkernel, KernelConfig, MicroTile, RegisterBlocking};

@@ -30,9 +30,29 @@ pub struct MulticoreReport {
 }
 
 impl MulticoreReport {
+    /// Aggregate instruction counters over all cores.
+    pub fn insts(&self) -> lsv_vengine::InstCounters {
+        let mut total = lsv_vengine::InstCounters::default();
+        for c in &self.per_core {
+            total.merge(&c.insts);
+        }
+        total
+    }
+
+    /// Aggregate cache-hierarchy counters over all cores (private L1/L2 plus
+    /// each core's view of the shared LLC), invariants checked.
+    pub fn cache(&self) -> lsv_cache::HierarchyStats {
+        let mut total = lsv_cache::HierarchyStats::default();
+        for c in &self.per_core {
+            total.merge(&c.cache);
+        }
+        total.assert_invariants();
+        total
+    }
+
     /// Total dynamic instructions over all cores.
     pub fn total_insts(&self) -> u64 {
-        self.per_core.iter().map(|c| c.insts.total()).sum()
+        self.insts().total()
     }
 
     /// Aggregate GFLOP/s for a given flop count and clock.

@@ -22,7 +22,7 @@
 use crate::primitive::{ConvDesc, ExecReport};
 use crate::problem::{Algorithm, ConvProblem, Direction};
 use lsv_arch::ArchParams;
-use lsv_vengine::{Arena, ExecutionMode, VCore};
+use lsv_vengine::{Arena, ExecutionMode, RegionProfile, VCore};
 
 /// Performance of one (layer, direction, algorithm) under the multi-core
 /// model.
@@ -59,14 +59,52 @@ pub fn bench_layer(
     algorithm: Algorithm,
     mode: ExecutionMode,
 ) -> LayerPerf {
+    bench_layer_impl(arch, problem, direction, algorithm, mode, false).0
+}
+
+/// [`bench_layer`] with the measured core's region profiler enabled.
+///
+/// The profiled core executes the *identical* instruction stream (profiling
+/// is cycle-neutral), so the returned [`LayerPerf`] matches a plain
+/// [`bench_layer`] exactly; the [`RegionProfile`] attributes the measured
+/// slice's cycles, stalls, instructions, and cache events to kernel regions,
+/// and its totals equal the slice's `report` counters.
+pub fn bench_layer_profiled(
+    arch: &ArchParams,
+    problem: &ConvProblem,
+    direction: Direction,
+    algorithm: Algorithm,
+    mode: ExecutionMode,
+) -> (LayerPerf, RegionProfile) {
+    let (perf, profile) = bench_layer_impl(arch, problem, direction, algorithm, mode, true);
+    (perf, profile.expect("profiler enabled"))
+}
+
+fn bench_layer_impl(
+    arch: &ArchParams,
+    problem: &ConvProblem,
+    direction: Direction,
+    algorithm: Algorithm,
+    mode: ExecutionMode,
+    profiled: bool,
+) -> (LayerPerf, Option<RegionProfile>) {
     let cores = arch.cores.max(1);
-    let per_core_cycles = match direction {
+    let (slice, profile) = match direction {
         Direction::Fwd | Direction::BwdData => {
-            bench_minibatch_parallel(arch, problem, direction, algorithm, mode, cores)
+            let make_prim = |p_sim: ConvProblem| {
+                ConvDesc::new(p_sim, direction, algorithm)
+                    .create(arch, cores)
+                    .expect("primitive creation")
+            };
+            bench_minibatch_parallel_impl(
+                arch, problem, direction, mode, cores, &make_prim, profiled,
+            )
         }
-        Direction::BwdWeights => bench_bwdw_parallel(arch, problem, algorithm, mode, cores),
+        Direction::BwdWeights => {
+            bench_bwdw_parallel(arch, problem, algorithm, mode, cores, profiled)
+        }
     };
-    finish(arch, problem, direction, algorithm, per_core_cycles)
+    (finish(arch, problem, direction, algorithm, slice), profile)
 }
 
 /// Warm the LLC with the pass's input *activations*: in a training step the
@@ -111,21 +149,6 @@ impl SliceResult {
     }
 }
 
-fn bench_minibatch_parallel(
-    arch: &ArchParams,
-    problem: &ConvProblem,
-    direction: Direction,
-    algorithm: Algorithm,
-    mode: ExecutionMode,
-    cores: usize,
-) -> SliceResult {
-    bench_minibatch_parallel_with(arch, problem, direction, mode, cores, &|p_sim| {
-        ConvDesc::new(p_sim, direction, algorithm)
-            .create(arch, cores)
-            .expect("primitive creation")
-    })
-}
-
 /// Like [`bench_layer`] for the minibatch-parallel directions but with an
 /// arbitrary primitive factory — the hook the ablation benches use to sweep
 /// individual optimization variables.
@@ -137,6 +160,18 @@ pub fn bench_minibatch_parallel_with(
     cores: usize,
     make_prim: &dyn Fn(ConvProblem) -> crate::primitive::ConvPrimitive,
 ) -> SliceResult {
+    bench_minibatch_parallel_impl(arch, problem, direction, mode, cores, make_prim, false).0
+}
+
+fn bench_minibatch_parallel_impl(
+    arch: &ArchParams,
+    problem: &ConvProblem,
+    direction: Direction,
+    mode: ExecutionMode,
+    cores: usize,
+    make_prim: &dyn Fn(ConvProblem) -> crate::primitive::ConvPrimitive,
+    profiled: bool,
+) -> (SliceResult, Option<RegionProfile>) {
     let images_per_core = problem.n.div_ceil(cores).max(1);
     let n_sim = images_per_core.min(2);
     let p_sim = problem.with_minibatch(n_sim);
@@ -149,6 +184,9 @@ pub fn bench_minibatch_parallel_with(
         t.wei.fill_random(&mut arena, 17);
     }
     let mut core = VCore::new(arch, mode, 1);
+    if profiled {
+        core.enable_profiler();
+    }
     warm_inputs(&mut core, &t, direction);
     // Image 0: warm LLC (benchdnn-style repeated iterations), cold L1/L2.
     prim.execute_core(&mut core, &mut arena, &t, 0..1, 0..0);
@@ -162,10 +200,14 @@ pub fn bench_minibatch_parallel_with(
         (cold, ExecReport::from(s))
     };
     let chip_cycles = cold + steady * (images_per_core as u64 - 1);
-    SliceResult {
-        chip_cycles,
-        report,
-    }
+    let profile = core.take_profile();
+    (
+        SliceResult {
+            chip_cycles,
+            report,
+        },
+        profile,
+    )
 }
 
 fn bench_bwdw_parallel(
@@ -174,10 +216,11 @@ fn bench_bwdw_parallel(
     algorithm: Algorithm,
     mode: ExecutionMode,
     cores: usize,
-) -> SliceResult {
+    profiled: bool,
+) -> (SliceResult, Option<RegionProfile>) {
     // Marginal-image cost from a 1-image and a 2-image reduction over the
-    // core's block share.
-    let run = |n_sim: usize| -> (u64, ExecReport) {
+    // core's block share. Only the second (reported) run is profiled.
+    let run = |n_sim: usize, profiled: bool| -> (u64, ExecReport, Option<RegionProfile>) {
         let p_sim = problem.with_minibatch(n_sim);
         let prim = ConvDesc::new(p_sim, Direction::BwdWeights, algorithm)
             .create(arch, cores)
@@ -191,23 +234,30 @@ fn bench_bwdw_parallel(
             t.dst.fill_random(&mut arena, 23);
         }
         let mut core = VCore::new(arch, mode, 1);
+        if profiled {
+            core.enable_profiler();
+        }
         warm_inputs(&mut core, &t, Direction::BwdWeights);
         prim.execute_core(&mut core, &mut arena, &t, 0..n_sim, 0..blocks_per_core);
         let s = core.drain();
-        (s.cycles, ExecReport::from(s))
+        let profile = core.take_profile();
+        (s.cycles, ExecReport::from(s), profile)
     };
-    let (c1, _) = run(1);
-    let (c2, report) = run(2.min(problem.n));
+    let (c1, _, _) = run(1, false);
+    let (c2, report, profile) = run(2.min(problem.n), profiled);
     let marginal = c2.saturating_sub(c1).max(1);
     let chip_cycles = if problem.n <= 2 {
         c2
     } else {
         c2 + marginal * (problem.n as u64 - 2)
     };
-    SliceResult {
-        chip_cycles,
-        report,
-    }
+    (
+        SliceResult {
+            chip_cycles,
+            report,
+        },
+        profile,
+    )
 }
 
 fn finish(

@@ -102,6 +102,28 @@ impl From<CoreStats> for ExecReport {
     }
 }
 
+impl ExecReport {
+    /// The stall counters paired with [`lsv_vengine::STALL_LABELS`] (the one
+    /// naming scheme shared by [`CoreStats::stall_breakdown`], the region
+    /// profiler and every reporting bin), in label order.
+    pub fn stall_breakdown(&self) -> [(&'static str, u64); 4] {
+        let cycles = [
+            self.stall_scalar,
+            self.stall_dep,
+            self.stall_port,
+            self.bank_serial_cycles,
+        ];
+        let mut out = [("", 0u64); 4];
+        for (slot, (label, c)) in out
+            .iter_mut()
+            .zip(lsv_vengine::STALL_LABELS.into_iter().zip(cycles))
+        {
+            *slot = (label, c);
+        }
+        out
+    }
+}
+
 /// A convolution problem declaration (step 1 of the two-step API).
 ///
 /// ```

@@ -42,6 +42,7 @@ pub fn reorder_activations(
     let cb = dst_blocked.layout.cb;
     let max_vl = core.arch().n_vlen();
     let plane_bytes = (h * w * 4) as u64; // channel stride in NCHW
+    core.region_enter("pack_act");
     for ni in 0..n {
         for cblk in 0..dst_blocked.c_blocks() {
             let c0 = cblk * cb;
@@ -78,6 +79,7 @@ pub fn reorder_activations(
             }
         }
     }
+    core.region_exit(); // pack_act
 }
 
 /// Reorder a blocked activation tensor back to plain NCHW (the output-side
@@ -98,6 +100,7 @@ pub fn reorder_activations_back(
     let cb = src_blocked.layout.cb;
     let max_vl = core.arch().n_vlen();
     let plane_bytes = (h * w * 4) as u64;
+    core.region_enter("unpack_act");
     for ni in 0..n {
         for cblk in 0..src_blocked.c_blocks() {
             let c0 = cblk * cb;
@@ -131,6 +134,7 @@ pub fn reorder_activations_back(
             }
         }
     }
+    core.region_exit(); // unpack_act
 }
 
 /// Reorder plain-OIHW weights into a blocked weights tensor on the
@@ -162,6 +166,7 @@ pub fn reorder_weights(
     let ocb = dst_blocked.layout.ocb;
     let max_vl = core.arch().n_vlen();
     let oc_stride_bytes = (ic * kh * kw * 4) as u64;
+    core.region_enter("pack_wei");
     for ob in 0..dst_blocked.oc_blocks() {
         let o0 = ob * ocb;
         if o0 >= oc {
@@ -195,6 +200,7 @@ pub fn reorder_weights(
             }
         }
     }
+    core.region_exit(); // pack_wei
 }
 
 /// Simulated cost (cycles and instruction counts) of reordering all three
@@ -205,8 +211,32 @@ pub fn reorder_cost(
     p: &ConvProblem,
     cfg: &crate::tuning::KernelConfig,
 ) -> lsv_vengine::CoreStats {
+    reorder_cost_impl(arch, p, cfg, false).0
+}
+
+/// [`reorder_cost`] with the core's region profiler enabled: returns the
+/// stats plus a profile whose `pack_act`/`pack_wei`/`unpack_act` regions
+/// break the setup tax down per tensor.
+pub fn reorder_cost_profiled(
+    arch: &lsv_arch::ArchParams,
+    p: &ConvProblem,
+    cfg: &crate::tuning::KernelConfig,
+) -> (lsv_vengine::CoreStats, lsv_vengine::RegionProfile) {
+    let (stats, profile) = reorder_cost_impl(arch, p, cfg, true);
+    (stats, profile.expect("profiler enabled"))
+}
+
+fn reorder_cost_impl(
+    arch: &lsv_arch::ArchParams,
+    p: &ConvProblem,
+    cfg: &crate::tuning::KernelConfig,
+    profiled: bool,
+) -> (lsv_vengine::CoreStats, Option<lsv_vengine::RegionProfile>) {
     let mut arena = Arena::new();
     let mut core = VCore::new(arch, lsv_vengine::ExecutionMode::TimingOnly, 1);
+    if profiled {
+        core.enable_profiler();
+    }
     let src_n = ActTensor::alloc(&mut arena, p.n, p.ic, p.ih, p.iw, ActivationLayout::nchw());
     let src_b = ActTensor::alloc(&mut arena, p.n, p.ic, p.ih, p.iw, cfg.src_layout);
     reorder_activations(&mut core, &mut arena, &src_n, &src_b);
@@ -232,7 +262,9 @@ pub fn reorder_cost(
         ActivationLayout::nchw(),
     );
     reorder_activations_back(&mut core, &mut arena, &dst_b, &dst_n);
-    core.drain()
+    let stats = core.drain();
+    let profile = if profiled { core.take_profile() } else { None };
+    (stats, profile)
 }
 
 #[cfg(test)]

@@ -1,0 +1,86 @@
+//! # lsv-obs — profile exporters for the region profiler
+//!
+//! [`lsv_vengine::RegionProfile`] is the raw per-region accounting the
+//! simulated core produces (see `lsv-vengine/src/profile.rs`). This crate
+//! turns one into the three artifacts the observability workflow consumes:
+//!
+//! * [`perfetto_trace_json`] — a Chrome-trace/Perfetto JSON document of the
+//!   recorded region spans (load it at <https://ui.perfetto.dev>). One trace
+//!   microsecond corresponds to one simulated cycle.
+//! * [`folded_stacks`] — folded flamegraph text (`root;fwd;inner 1234`, one
+//!   line per region path weighted by *self* cycles), the input format of
+//!   `flamegraph.pl` / `inferno-flamegraph`.
+//! * [`profile_report_json`] — the machine-readable `profile.json`: the full
+//!   per-region table (cycles, stall breakdown, instruction mix, per-level
+//!   cache counters, MPKI) plus a cycle-reconciliation record and a roofline
+//!   summary. Its shape is pinned by the checked-in JSON schema
+//!   ([`PROFILE_SCHEMA`], `schemas/profile.schema.json`) and
+//!   [`validate_profile_json`] checks a document against it — CI runs that
+//!   validation as a hard gate.
+//!
+//! The crate is dependency-light on purpose: everything is hand-emitted JSON
+//! over the profiler's public types, and [`json`] is a minimal parser plus
+//! the schema-subset validator the gate needs (the build environment has no
+//! registry access, so no serde).
+
+pub mod folded;
+pub mod json;
+pub mod perfetto;
+pub mod report;
+
+pub use folded::folded_stacks;
+pub use json::{parse_json, validate_schema, JsonValue};
+pub use perfetto::perfetto_trace_json;
+pub use report::{profile_report_json, validate_profile_json, ProfileMeta, PROFILE_SCHEMA};
+
+/// Escape a string for inclusion in a JSON document (without the quotes).
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number (finite values only; non-finite values
+/// are clamped to `0` so the document stays valid JSON).
+pub(crate) fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        let s = format!("{x}");
+        // `{}` prints integral floats without a dot; keep them numbers anyway
+        // (valid JSON either way) but normalize -0.
+        if s == "-0" {
+            "0".to_string()
+        } else {
+            s
+        }
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn f64_formatting_is_json_safe() {
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(f64::INFINITY), "0");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+}

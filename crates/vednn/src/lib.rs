@@ -135,7 +135,9 @@ impl VednnConv {
             let mut arena = Arena::new();
             let t = probe.alloc_tensors(&mut arena);
             let mut core = VCore::new(arch, ExecutionMode::TimingOnly, 1);
+            core.region_enter("tune_candidate");
             probe.execute_core(&mut core, &mut arena, &t, 0..1);
+            core.region_exit();
             let cycles = core.drain().cycles;
             if best.map(|(c, _)| cycles < c).unwrap_or(true) {
                 best = Some((cycles, algo));

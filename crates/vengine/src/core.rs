@@ -26,6 +26,7 @@
 //! accesses); scalar loads walk L1 → L2 → LLC → memory.
 
 use crate::arena::Arena;
+use crate::profile::{Profiler, RegionProfile, Snapshot};
 use lsv_arch::ArchParams;
 use lsv_cache::{banks, Hierarchy, HierarchyStats, Level};
 
@@ -209,6 +210,39 @@ pub struct CoreStats {
     pub bank_serial_cycles: u64,
 }
 
+/// Labels of the stall categories, in [`CoreStats::stall_breakdown`] order.
+/// Every renderer (probe/report bins, the profiler exports) uses these so the
+/// categories stay consistent across the repo.
+pub const STALL_LABELS: [&str; 4] = ["stall_scalar", "stall_dep", "stall_port", "bank"];
+
+/// Pair the four stall counters with [`STALL_LABELS`].
+pub(crate) fn stall_breakdown_of(
+    stall_scalar: u64,
+    stall_dep: u64,
+    stall_port: u64,
+    bank_serial_cycles: u64,
+) -> [(&'static str, u64); 4] {
+    [
+        (STALL_LABELS[0], stall_scalar),
+        (STALL_LABELS[1], stall_dep),
+        (STALL_LABELS[2], stall_port),
+        (STALL_LABELS[3], bank_serial_cycles),
+    ]
+}
+
+impl CoreStats {
+    /// The stall counters as named (label, cycles) pairs — the single source
+    /// of truth for rendering stall categories.
+    pub fn stall_breakdown(&self) -> [(&'static str, u64); 4] {
+        stall_breakdown_of(
+            self.stall_scalar,
+            self.stall_dep,
+            self.stall_port,
+            self.bank_serial_cycles,
+        )
+    }
+}
+
 /// The simulated core. One `VCore` models one hardware core; multi-core runs
 /// instantiate several over the same [`Arena`].
 #[derive(Debug)]
@@ -235,6 +269,7 @@ pub struct VCore {
     line_scratch: Vec<u64>,
     // --- accounting ---
     trace: Option<Vec<TraceEvent>>,
+    profiler: Option<Box<Profiler>>,
     counters: InstCounters,
     stall_scalar: u64,
     stall_dep: u64,
@@ -269,6 +304,7 @@ impl VCore {
         Self {
             hier,
             trace: None,
+            profiler: None,
             vreg_ready: vec![0; arch.n_vregs],
             ports: vec![0; arch.n_fma],
             vpipe_last_start: 0,
@@ -324,6 +360,70 @@ impl VCore {
         } else {
             None
         }
+    }
+
+    // ---------------------------------------------------------------- profiling
+
+    /// Attribute cycles, stalls, instructions, and cache events to named
+    /// kernel regions (see [`crate::profile`]). Profiling is cycle-neutral:
+    /// region markers never touch the timing state, so enabling it changes no
+    /// simulated result. Disabled (the default), each marker costs one branch.
+    pub fn enable_profiler(&mut self) {
+        self.profiler = Some(Box::new(Profiler::new()));
+    }
+
+    /// Whether [`VCore::enable_profiler`] was called (and the profile not yet
+    /// taken).
+    pub fn profiling(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// Capture every monotonic counter plus the current timing horizon — the
+    /// same maximum [`VCore::drain`] reports as total cycles.
+    fn profile_snapshot(&self, horizon: u64) -> Snapshot {
+        Snapshot {
+            horizon,
+            stall_scalar: self.stall_scalar,
+            stall_dep: self.stall_dep,
+            stall_port: self.stall_port,
+            bank_serial_cycles: self.bank_serial_cycles,
+            insts: self.counters,
+            cache: self.hier.stats(),
+        }
+    }
+
+    /// Enter a named profiling region (nestable). No-op unless
+    /// [`VCore::enable_profiler`] was called.
+    #[inline]
+    pub fn region_enter(&mut self, name: &'static str) {
+        if self.profiler.is_none() {
+            return;
+        }
+        let snap = self.profile_snapshot(self.horizon());
+        if let Some(p) = self.profiler.as_mut() {
+            p.enter(name, snap);
+        }
+    }
+
+    /// Exit the innermost profiling region. No-op unless
+    /// [`VCore::enable_profiler`] was called.
+    #[inline]
+    pub fn region_exit(&mut self) {
+        if self.profiler.is_none() {
+            return;
+        }
+        let snap = self.profile_snapshot(self.horizon());
+        if let Some(p) = self.profiler.as_mut() {
+            p.exit(snap);
+        }
+    }
+
+    /// Drain the core and take the finished profile. Returns `None` if the
+    /// profiler was never enabled. `profile.total` holds the same
+    /// [`CoreStats`] a plain [`VCore::drain`] would return.
+    pub fn take_profile(&mut self) -> Option<RegionProfile> {
+        let total = self.drain();
+        self.profiler.take().map(|p| p.finish(total))
     }
 
     // ---------------------------------------------------------------- frontend
@@ -913,8 +1013,11 @@ impl VCore {
         &self.vregs[vr * self.vlen..(vr + 1) * self.vlen]
     }
 
-    /// Wait for all in-flight work and return the final statistics.
-    pub fn drain(&mut self) -> CoreStats {
+    /// The cycle at which all in-flight work completes: the maximum over the
+    /// frontend frontier, every register's ready time, every port's busy
+    /// time, and the vector pipe's last start. [`VCore::drain`] reports this
+    /// as total cycles; the profiler snapshots it at region boundaries.
+    fn horizon(&self) -> u64 {
         let mut end = self.frontier;
         for &r in &self.vreg_ready {
             end = end.max(r);
@@ -922,7 +1025,18 @@ impl VCore {
         for &p in &self.ports {
             end = end.max(p);
         }
-        end = end.max(self.vpipe_last_start);
+        end.max(self.vpipe_last_start)
+    }
+
+    /// Wait for all in-flight work and return the final statistics.
+    pub fn drain(&mut self) -> CoreStats {
+        let end = self.horizon();
+        if self.profiler.is_some() {
+            let snap = self.profile_snapshot(end);
+            if let Some(p) = self.profiler.as_mut() {
+                p.sync(snap);
+            }
+        }
         CoreStats {
             cycles: end,
             insts: self.counters,
@@ -948,6 +1062,9 @@ impl VCore {
         self.stall_port = 0;
         self.bank_serial_cycles = 0;
         self.hier.reset_stats();
+        if self.profiler.is_some() {
+            self.profiler = Some(Box::new(Profiler::new()));
+        }
     }
 
     /// Access the hierarchy (diagnostics).
@@ -1365,6 +1482,114 @@ mod tests {
         c1.vload(&a, 0, base, 512); // must hit the LLC
         let s = llc.borrow().stats();
         assert!(s.hits > 0, "second core hits lines the first fetched");
+    }
+
+    #[test]
+    fn profiler_is_cycle_neutral_and_reconciles() {
+        let run = |profiled: bool| -> (CoreStats, Option<crate::profile::RegionProfile>) {
+            let (mut c, mut a) = functional_core();
+            if profiled {
+                c.enable_profiler();
+            }
+            let x = a.alloc(1024);
+            c.region_enter("outer");
+            c.vload(&a, 1, x, 512);
+            c.region_enter("inner");
+            c.vbroadcast_zero(0, 512);
+            for _ in 0..10 {
+                c.vfma_bcast(0, 1, ScalarValue::constant(1.0), 512);
+            }
+            c.region_exit();
+            c.scalar_load(&a, x);
+            c.vstore(&mut a, 0, x, 512);
+            c.region_exit();
+            let s = c.drain();
+            (s, c.take_profile())
+        };
+        let (plain, none) = run(false);
+        assert!(none.is_none(), "no profile without enable_profiler");
+        let (profiled, profile) = run(true);
+        let p = profile.expect("profile present");
+        assert_eq!(plain.cycles, profiled.cycles, "markers are cycle-neutral");
+        assert_eq!(plain.insts, profiled.insts);
+        // Exact reconciliation: self counters sum to the whole-run totals.
+        assert_eq!(p.self_cycles_total(), p.total.cycles);
+        assert_eq!(p.insts_total(), p.total.insts);
+        assert_eq!(p.cache_total(), p.total.cache);
+        // Paths: root, root;outer, root;outer;inner.
+        assert_eq!(p.paths.len(), 3);
+        assert_eq!(p.full_name(2), "root;outer;inner");
+        let inner = &p.regions[2];
+        assert_eq!(inner.insts.vfmas, 10);
+        assert!(inner.stall_dep > 0, "chained FMAs stall inside `inner`");
+        // Inclusive cycles of the root cover everything.
+        assert_eq!(p.inclusive_cycles(0), p.total.cycles);
+        // Two spans were closed, innermost first.
+        assert_eq!(p.spans.len(), 2);
+        assert_eq!(p.spans[0].path, 2);
+        assert!(p.spans[0].start >= p.spans[1].start);
+        assert!(p.spans[0].end <= p.spans[1].end);
+    }
+
+    #[test]
+    fn profiler_repeated_paths_are_interned() {
+        let (mut c, mut a) = functional_core();
+        c.enable_profiler();
+        let x = a.alloc(64);
+        for _ in 0..5 {
+            c.region_enter("tile");
+            c.scalar_load(&a, x);
+            c.region_exit();
+        }
+        let p = c.take_profile().unwrap();
+        assert_eq!(p.paths.len(), 2, "one interned path for 5 occurrences");
+        assert_eq!(p.regions[1].enters, 5);
+        assert_eq!(p.spans.len(), 5);
+        assert_eq!(p.regions[1].insts.scalar_loads, 5);
+    }
+
+    #[test]
+    fn reset_timing_resets_profile_accounting() {
+        let (mut c, mut a) = functional_core();
+        c.enable_profiler();
+        let x = a.alloc(512);
+        c.region_enter("warmup");
+        c.vload(&a, 0, x, 128);
+        c.region_exit();
+        c.drain();
+        c.reset_timing();
+        c.region_enter("steady");
+        c.scalar_load(&a, x);
+        c.region_exit();
+        let p = c.take_profile().unwrap();
+        assert_eq!(p.self_cycles_total(), p.total.cycles);
+        assert_eq!(p.insts_total(), p.total.insts);
+        assert!(
+            p.paths.iter().all(|n| n.name != "warmup"),
+            "pre-reset regions are gone"
+        );
+    }
+
+    #[test]
+    fn stall_breakdown_matches_fields() {
+        let s = CoreStats {
+            stall_scalar: 1,
+            stall_dep: 2,
+            stall_port: 3,
+            bank_serial_cycles: 4,
+            ..CoreStats::default()
+        };
+        assert_eq!(
+            s.stall_breakdown(),
+            [
+                ("stall_scalar", 1),
+                ("stall_dep", 2),
+                ("stall_port", 3),
+                ("bank", 4)
+            ]
+        );
+        let labels: Vec<&str> = s.stall_breakdown().iter().map(|&(l, _)| l).collect();
+        assert_eq!(labels, STALL_LABELS);
     }
 
     #[test]

@@ -38,6 +38,10 @@
 
 pub mod arena;
 pub mod core;
+pub mod profile;
 
-pub use crate::core::{CoreStats, ExecutionMode, InstCounters, ScalarValue, TraceEvent, VCore};
+pub use crate::core::{
+    CoreStats, ExecutionMode, InstCounters, ScalarValue, TraceEvent, VCore, STALL_LABELS,
+};
 pub use arena::{Arena, Region, PAGE_BYTES};
+pub use profile::{RegionPath, RegionProfile, RegionStats, SpanEvent, MAX_SPAN_EVENTS};

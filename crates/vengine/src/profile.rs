@@ -1,0 +1,324 @@
+//! Region-attributed profiling of the simulated core.
+//!
+//! Kernels bracket phases with [`VCore::region_enter`] /
+//! [`VCore::region_exit`](crate::VCore::region_exit); the profiler attributes
+//! every monotonically counting quantity the core tracks — cycles, the three
+//! stall categories, bank serialization, instruction counters, and per-level
+//! cache events — to the innermost active region *stack path* (exclusive /
+//! "self" accounting, flamegraph style).
+//!
+//! ## How cycles are attributed without a per-cycle clock
+//!
+//! The core has no global clock; [`VCore::drain`](crate::VCore::drain)
+//! computes total cycles as the maximum over the frontend frontier, every
+//! vector register's ready time, every FMA port's busy time, and the vector
+//! pipe's last start. The profiler snapshots that same maximum (the
+//! *horizon*) at every region boundary and charges the advance since the
+//! previous boundary to the region that was active in between. The horizon is
+//! kept as a running watermark (`max` with the previous snapshot), so deltas
+//! are never negative even while long-latency work is still in flight, and
+//! `drain` finalizes the last delta at the exact value it reports as
+//! `CoreStats::cycles`. Per-path self cycles therefore sum *exactly* to the
+//! whole-run cycle count — the invariant `lsv-analyze` checks.
+//!
+//! Region markers never touch the timing state (no issue slot, no frontier
+//! movement), so enabling the profiler is cycle-for-cycle neutral, and when
+//! it is disabled each marker is a single branch on an `Option`.
+
+use crate::core::{CoreStats, InstCounters};
+use lsv_cache::HierarchyStats;
+use std::collections::HashMap;
+
+/// Cap on recorded span events (timeline entries for the Perfetto export).
+/// Accounting stays exact past the cap; only the timeline is truncated.
+pub const MAX_SPAN_EVENTS: usize = 100_000;
+
+/// Everything the core counts monotonically, captured at a region boundary.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Snapshot {
+    pub horizon: u64,
+    pub stall_scalar: u64,
+    pub stall_dep: u64,
+    pub stall_port: u64,
+    pub bank_serial_cycles: u64,
+    pub insts: InstCounters,
+    pub cache: HierarchyStats,
+}
+
+/// Exclusive ("self") counters accumulated for one region stack path.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RegionStats {
+    /// Times this exact stack path was entered.
+    pub enters: u64,
+    /// Simulated cycles attributed to this path (exclusive of children).
+    pub cycles: u64,
+    /// Frontend cycles blocked on scalar load data.
+    pub stall_scalar: u64,
+    /// Vector-pipe cycles waiting on source registers.
+    pub stall_dep: u64,
+    /// Vector-pipe cycles waiting on a free FMA port.
+    pub stall_port: u64,
+    /// Extra gather/scatter cycles serialized on LLC banks.
+    pub bank_serial_cycles: u64,
+    /// Dynamic instructions retired while this path was innermost.
+    pub insts: InstCounters,
+    /// Cache events observed while this path was innermost.
+    pub cache: HierarchyStats,
+}
+
+impl RegionStats {
+    /// L1 misses per kilo-instruction within this region.
+    pub fn mpki_l1(&self) -> f64 {
+        self.cache.l1.mpki(self.insts.total())
+    }
+
+    /// The stall categories under the same labels as
+    /// [`CoreStats::stall_breakdown`].
+    pub fn stall_breakdown(&self) -> [(&'static str, u64); 4] {
+        crate::core::stall_breakdown_of(
+            self.stall_scalar,
+            self.stall_dep,
+            self.stall_port,
+            self.bank_serial_cycles,
+        )
+    }
+}
+
+/// One node of the interned region stack-path tree.
+#[derive(Debug, Clone)]
+pub struct RegionPath {
+    /// Parent path, `None` for the implicit root.
+    pub parent: Option<u32>,
+    /// Leaf region name of this path.
+    pub name: &'static str,
+    /// Nesting depth (root = 0).
+    pub depth: u32,
+}
+
+/// One closed region occurrence on the simulated-cycle timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Index into [`RegionProfile::paths`].
+    pub path: u32,
+    /// Horizon at entry (simulated cycles).
+    pub start: u64,
+    /// Horizon at exit (simulated cycles).
+    pub end: u64,
+}
+
+/// The finished profile returned by
+/// [`VCore::take_profile`](crate::VCore::take_profile).
+#[derive(Debug, Clone)]
+pub struct RegionProfile {
+    /// Interned stack paths; index 0 is the implicit root.
+    pub paths: Vec<RegionPath>,
+    /// Exclusive counters, parallel to `paths`.
+    pub regions: Vec<RegionStats>,
+    /// Timeline of closed region occurrences (capped, see
+    /// [`MAX_SPAN_EVENTS`]).
+    pub spans: Vec<SpanEvent>,
+    /// Span events dropped once the cap was reached.
+    pub dropped_spans: u64,
+    /// The whole-run totals ([`VCore::drain`](crate::VCore::drain)) the
+    /// per-region counters reconcile against.
+    pub total: CoreStats,
+}
+
+impl RegionProfile {
+    /// Semicolon-joined stack path, flamegraph style: `root;fwd;inner`.
+    pub fn full_name(&self, id: u32) -> String {
+        let mut parts = Vec::new();
+        let mut cur = id;
+        loop {
+            let node = &self.paths[cur as usize];
+            parts.push(node.name);
+            match node.parent {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        parts.reverse();
+        parts.join(";")
+    }
+
+    /// Sum of exclusive cycles over every path — equals `total.cycles` when
+    /// the accounting reconciles (see the module docs).
+    pub fn self_cycles_total(&self) -> u64 {
+        self.regions.iter().map(|r| r.cycles).sum()
+    }
+
+    /// Sum of per-region instruction counters over every path.
+    pub fn insts_total(&self) -> InstCounters {
+        let mut t = InstCounters::default();
+        for r in &self.regions {
+            t.merge(&r.insts);
+        }
+        t
+    }
+
+    /// Sum of per-region cache counters over every path.
+    pub fn cache_total(&self) -> HierarchyStats {
+        let mut t = HierarchyStats::default();
+        for r in &self.regions {
+            t.merge(&r.cache);
+        }
+        t
+    }
+
+    /// Inclusive cycles of `id`: its own plus every descendant's.
+    pub fn inclusive_cycles(&self, id: u32) -> u64 {
+        (0..self.paths.len() as u32)
+            .filter(|&p| self.is_ancestor_or_self(id, p))
+            .map(|p| self.regions[p as usize].cycles)
+            .sum()
+    }
+
+    fn is_ancestor_or_self(&self, anc: u32, mut node: u32) -> bool {
+        loop {
+            if node == anc {
+                return true;
+            }
+            match self.paths[node as usize].parent {
+                Some(p) => node = p,
+                None => return false,
+            }
+        }
+    }
+}
+
+/// The live profiler state owned by a [`VCore`](crate::VCore) while enabled.
+#[derive(Debug)]
+pub(crate) struct Profiler {
+    paths: Vec<RegionPath>,
+    path_ids: HashMap<(u32, &'static str), u32>,
+    stats: Vec<RegionStats>,
+    /// Active stack of path ids; `stack[0]` is always the root.
+    stack: Vec<u32>,
+    last: Snapshot,
+    /// Open spans as (path, entry horizon), parallel to `stack[1..]`.
+    open: Vec<(u32, u64)>,
+    spans: Vec<SpanEvent>,
+    dropped_spans: u64,
+}
+
+impl Profiler {
+    pub(crate) fn new() -> Self {
+        Self {
+            paths: vec![RegionPath {
+                parent: None,
+                name: "root",
+                depth: 0,
+            }],
+            path_ids: HashMap::new(),
+            stats: vec![RegionStats::default()],
+            stack: vec![0],
+            last: Snapshot {
+                horizon: 0,
+                stall_scalar: 0,
+                stall_dep: 0,
+                stall_port: 0,
+                bank_serial_cycles: 0,
+                insts: InstCounters::default(),
+                cache: HierarchyStats::default(),
+            },
+            open: Vec::new(),
+            spans: Vec::new(),
+            dropped_spans: 0,
+        }
+    }
+
+    /// Charge everything counted since the previous boundary to the
+    /// innermost active path and advance the watermark.
+    fn attribute(&mut self, snap: &Snapshot) {
+        let h = snap.horizon.max(self.last.horizon);
+        let cur = *self.stack.last().expect("root never popped") as usize;
+        let s = &mut self.stats[cur];
+        s.cycles += h - self.last.horizon;
+        s.stall_scalar += snap.stall_scalar - self.last.stall_scalar;
+        s.stall_dep += snap.stall_dep - self.last.stall_dep;
+        s.stall_port += snap.stall_port - self.last.stall_port;
+        s.bank_serial_cycles += snap.bank_serial_cycles - self.last.bank_serial_cycles;
+        s.insts.merge(&inst_delta(&snap.insts, &self.last.insts));
+        s.cache.merge(&(snap.cache - self.last.cache));
+        self.last = Snapshot {
+            horizon: h,
+            ..*snap
+        };
+    }
+
+    pub(crate) fn enter(&mut self, name: &'static str, snap: Snapshot) {
+        self.attribute(&snap);
+        let parent = *self.stack.last().expect("root never popped");
+        let path = match self.path_ids.get(&(parent, name)) {
+            Some(&p) => p,
+            None => {
+                let id = self.paths.len() as u32;
+                let depth = self.paths[parent as usize].depth + 1;
+                self.paths.push(RegionPath {
+                    parent: Some(parent),
+                    name,
+                    depth,
+                });
+                self.stats.push(RegionStats::default());
+                self.path_ids.insert((parent, name), id);
+                id
+            }
+        };
+        self.stats[path as usize].enters += 1;
+        self.stack.push(path);
+        self.open.push((path, self.last.horizon));
+    }
+
+    pub(crate) fn exit(&mut self, snap: Snapshot) {
+        self.attribute(&snap);
+        debug_assert!(self.stack.len() > 1, "region_exit without matching enter");
+        if self.stack.len() > 1 {
+            self.stack.pop();
+            if let Some((path, start)) = self.open.pop() {
+                self.push_span(path, start, self.last.horizon);
+            }
+        }
+    }
+
+    /// Finalize the pending delta at a drain boundary.
+    pub(crate) fn sync(&mut self, snap: Snapshot) {
+        self.attribute(&snap);
+    }
+
+    fn push_span(&mut self, path: u32, start: u64, end: u64) {
+        if self.spans.len() < MAX_SPAN_EVENTS {
+            self.spans.push(SpanEvent { path, start, end });
+        } else {
+            self.dropped_spans += 1;
+        }
+    }
+
+    pub(crate) fn finish(mut self, total: CoreStats) -> RegionProfile {
+        // Close anything left open at the final horizon so the timeline is
+        // well-formed even for unbalanced instrumentation.
+        while let Some((path, start)) = self.open.pop() {
+            let end = self.last.horizon;
+            self.push_span(path, start, end);
+        }
+        RegionProfile {
+            paths: self.paths,
+            regions: self.stats,
+            spans: self.spans,
+            dropped_spans: self.dropped_spans,
+            total,
+        }
+    }
+}
+
+fn inst_delta(now: &InstCounters, then: &InstCounters) -> InstCounters {
+    InstCounters {
+        scalar_loads: now.scalar_loads - then.scalar_loads,
+        scalar_ops: now.scalar_ops - then.scalar_ops,
+        vloads: now.vloads - then.vloads,
+        vstores: now.vstores - then.vstores,
+        vfmas: now.vfmas - then.vfmas,
+        gathers: now.gathers - then.gathers,
+        scatters: now.scatters - then.scatters,
+        fma_elems: now.fma_elems - then.fma_elems,
+    }
+}

@@ -21,6 +21,8 @@
 //!   the oneDNN-style primitive API.
 //! * [`analyze`] — static kernel verifier + lint framework (Formula 3/4
 //!   lints, layout contracts, trace sanitizers).
+//! * [`obs`] — profile exporters for the region profiler (Perfetto traces,
+//!   folded flamegraph stacks, schema-validated `profile.json`).
 //! * [`vednn`] — the baseline proprietary-library stand-in.
 //! * [`models`] — ResNet workloads (Table 3 layer suite, model frequencies).
 
@@ -29,6 +31,7 @@ pub use lsv_arch as arch;
 pub use lsv_cache as cache;
 pub use lsv_conv as conv;
 pub use lsv_models as models;
+pub use lsv_obs as obs;
 pub use lsv_tensor as tensor;
 pub use lsv_vednn as vednn;
 pub use lsv_vengine as vengine;

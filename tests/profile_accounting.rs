@@ -1,0 +1,95 @@
+//! Property test for the region profiler's two core promises, checked
+//! across the differential-fuzzing seed corpus (the same generator set the
+//! `lsvconv fuzz` harness replays — odd geometries, role swaps, every
+//! direction × algorithm × vector length):
+//!
+//! 1. **Cycle neutrality**: enabling the profiler changes *nothing* about
+//!    the simulation — cycles, instruction counts and cache counters are
+//!    identical to an unprofiled run.
+//! 2. **Conservation**: per-region self cycles, instruction counts and
+//!    cache events sum *exactly* to the whole-run totals of the measured
+//!    slice (checked through `lsv-analyze`'s `PROFILE-UNRECONCILED` rule,
+//!    the same gate the CLI uses).
+
+use lsvconv::analyze::check_profile_reconciliation;
+use lsvconv::arch::presets::aurora_with_vlen_bits;
+use lsvconv::conv::fuzz::seed_corpus;
+use lsvconv::conv::{bench_layer, bench_layer_profiled, ConvDesc, ExecutionMode};
+use lsvconv::vengine::CoreStats;
+
+#[test]
+fn profiling_is_cycle_neutral_and_conserves_counters_on_fuzz_corpus() {
+    let mut checked = 0usize;
+    for case in seed_corpus() {
+        let arch = aurora_with_vlen_bits(case.vlen_bits);
+        // Skip combinations the library legitimately declines (register
+        // pressure on narrow machines) — the config is minibatch-independent.
+        let probe = ConvDesc::new(
+            case.problem.with_minibatch(1),
+            case.direction,
+            case.algorithm,
+        );
+        if probe.create(&arch, arch.cores).is_err() {
+            continue;
+        }
+
+        let plain = bench_layer(
+            &arch,
+            &case.problem,
+            case.direction,
+            case.algorithm,
+            ExecutionMode::TimingOnly,
+        );
+        let (profiled, profile) = bench_layer_profiled(
+            &arch,
+            &case.problem,
+            case.direction,
+            case.algorithm,
+            ExecutionMode::TimingOnly,
+        );
+
+        // (1) Cycle neutrality: identical chip cycles and slice counters.
+        assert_eq!(plain.cycles, profiled.cycles, "{case}: chip cycles moved");
+        assert_eq!(
+            plain.report.cycles, profiled.report.cycles,
+            "{case}: slice cycles moved"
+        );
+        assert_eq!(
+            plain.report.insts, profiled.report.insts,
+            "{case}: instruction counters moved"
+        );
+        assert_eq!(
+            plain.report.cache, profiled.report.cache,
+            "{case}: cache counters moved"
+        );
+
+        // (2) Conservation against the independently kept slice report.
+        let r = &profiled.report;
+        let slice_stats = CoreStats {
+            cycles: r.cycles,
+            insts: r.insts,
+            cache: r.cache,
+            stall_scalar: r.stall_scalar,
+            stall_dep: r.stall_dep,
+            stall_port: r.stall_port,
+            bank_serial_cycles: r.bank_serial_cycles,
+        };
+        let reconciliation = check_profile_reconciliation(&profile, &slice_stats);
+        assert!(
+            !reconciliation.has_deny(),
+            "{case}: {:?}",
+            reconciliation.diagnostics
+        );
+        assert_eq!(
+            profile.self_cycles_total(),
+            profile.total.cycles,
+            "{case}: self-cycle sum"
+        );
+        assert!(profile.dropped_spans == 0, "{case}: spans dropped");
+        checked += 1;
+    }
+    assert!(
+        checked >= 30,
+        "only {checked} corpus cases were benchable — corpus degraded?"
+    );
+}

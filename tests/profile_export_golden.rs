@@ -1,0 +1,90 @@
+//! Golden tests for the profile exporters: pins the exact bytes of the
+//! Perfetto/Chrome trace, the folded flamegraph stacks and the
+//! schema-validated `profile.json` of one small fixed layer — the same
+//! geometry `lsvconv profile --smoke` runs. Any change to the region
+//! structure, the span attribution or the export formats shows up here.
+//!
+//! Regenerate (only when the export format or the instrumentation
+//! intentionally changes) with:
+//!
+//! ```sh
+//! LSV_GOLDEN_BLESS=1 cargo test --release --test profile_export_golden
+//! ```
+
+use lsv_arch::presets::sx_aurora;
+use lsv_bench::profiling::profile_meta;
+use lsv_conv::{bench_layer_profiled, Algorithm, ConvProblem, Direction, ExecutionMode};
+use lsv_obs::{folded_stacks, perfetto_trace_json, profile_report_json, validate_profile_json};
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join(name)
+}
+
+/// The `lsvconv profile --smoke` geometry: 4 x 64 x 14 x 14, 3x3 s1 p1.
+fn smoke_problem() -> ConvProblem {
+    ConvProblem::new(4, 64, 64, 14, 14, 3, 3, 1, 1)
+}
+
+fn check_or_bless(name: &str, got: &str) {
+    let path = fixture_path(name);
+    if std::env::var("LSV_GOLDEN_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        eprintln!("profile_export_golden: blessed {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "golden fixture {} unreadable ({e}); run with LSV_GOLDEN_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    if *got != want {
+        let mut diffs = Vec::new();
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            if g != w {
+                diffs.push(format!("  line {}:\n  got:  {g}\n  want: {w}", i + 1));
+            }
+        }
+        if got.lines().count() != want.lines().count() {
+            diffs.push(format!(
+                "  line counts differ: got {}, fixture {}",
+                got.lines().count(),
+                want.lines().count()
+            ));
+        }
+        panic!(
+            "{name} diverged from the golden fixture ({} lines differ).\n\
+             The profiler's region structure and export formats are pinned; \
+             if this is an intentional change, re-bless with \
+             LSV_GOLDEN_BLESS=1.\n{}",
+            diffs.len(),
+            diffs[..diffs.len().min(4)].join("\n")
+        );
+    }
+}
+
+#[test]
+fn profile_exports_match_fixtures() {
+    let arch = sx_aurora();
+    let p = smoke_problem();
+    let (_, profile) = bench_layer_profiled(
+        &arch,
+        &p,
+        Direction::Fwd,
+        Algorithm::Dc,
+        ExecutionMode::TimingOnly,
+    );
+    let meta = profile_meta(&arch, &p, Direction::Fwd, "DC", &profile);
+
+    let report = profile_report_json(&profile, &meta);
+    validate_profile_json(&report).expect("golden profile.json must be schema-valid");
+
+    check_or_bless("profile_smoke.trace.json", &perfetto_trace_json(&profile));
+    check_or_bless("profile_smoke.folded", &folded_stacks(&profile));
+    check_or_bless("profile_smoke.json", &report);
+}
