@@ -16,11 +16,15 @@ cargo build --release --workspace
 echo "== cargo test"
 cargo test --workspace -q
 
-echo "== lint-kernels (deny findings are errors)"
-cargo run --release -p lsv-bench --bin lint-kernels -- --deny-as-error
+echo "== lint-kernels (full arch family, static-only; deny findings are errors)"
+# --all sweeps every 512..16384-bit family member; --static proves the
+# clean path ran zero simulated replays (the symbolic analyzer was
+# conclusive everywhere). The old per-kernel replay step is gone: the
+# fuzz agreement oracle below cross-checks static vs replay verdicts.
+cargo run --release -p lsv-bench --bin lint-kernels -- --all --static --deny-as-error
 
 echo "== differential fuzz (smoke: seed corpus + bounded randomized sweep)"
-cargo run --release -p lsv-bench --bin lsvconv-cli -- fuzz --smoke
+cargo run --release -p lsv-bench --bin lsvconv-cli -- fuzz --smoke --agreement
 
 echo "== profile smoke (reconciliation + profile.json schema are hard errors)"
 cargo run --release -p lsv-bench --bin lsvconv-cli -- profile --smoke --out results/ci-profile

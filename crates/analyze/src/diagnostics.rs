@@ -55,11 +55,30 @@ pub enum RuleId {
     /// The region profiler's per-region accounting does not reconcile with
     /// the core's whole-run counters (cycles, instructions or cache events).
     ProfileUnreconciled,
+    /// A symbolically lifted access starts inside one tensor but its
+    /// footprint extends into a *different* tensor's region — silent
+    /// corruption of a neighbouring allocation for some minibatch index.
+    RegionOverlap,
+    /// An instruction's vector length is zero or exceeds the architected
+    /// `MAX_VLEN` (the strip-mining class of bug, proved over the whole
+    /// swept arch family instead of caught by one fuzz case).
+    VlExceeds,
+    /// A vector register is read before anything ever wrote it.
+    UninitRead,
+    /// A vector register write is overwritten (or the stream ends) without
+    /// any intervening read — the kernel computed a value and discarded it.
+    DeadWrite,
+    /// Two cores' symbolic write sets overlap under the multicore work
+    /// partitioning — a data race on the shared arena.
+    RaceWriteOverlap,
+    /// Adjacent cores write disjoint bytes of the same cache line at a
+    /// partition boundary (correct but coherence-hostile).
+    FalseSharing,
 }
 
 impl RuleId {
     /// Every rule, in report order.
-    pub const ALL: [RuleId; 8] = [
+    pub const ALL: [RuleId; 14] = [
         RuleId::L1Conflict,
         RuleId::BseqLower,
         RuleId::BseqUpper,
@@ -68,6 +87,12 @@ impl RuleId {
         RuleId::LayoutDivide,
         RuleId::RegPressure,
         RuleId::ProfileUnreconciled,
+        RuleId::RegionOverlap,
+        RuleId::VlExceeds,
+        RuleId::UninitRead,
+        RuleId::DeadWrite,
+        RuleId::RaceWriteOverlap,
+        RuleId::FalseSharing,
     ];
 
     /// The stable string form used in reports and JSON.
@@ -81,6 +106,12 @@ impl RuleId {
             RuleId::LayoutDivide => "LAYOUT-DIVIDE",
             RuleId::RegPressure => "REG-PRESSURE",
             RuleId::ProfileUnreconciled => "PROFILE-UNRECONCILED",
+            RuleId::RegionOverlap => "REGION-OVERLAP",
+            RuleId::VlExceeds => "VL-EXCEEDS",
+            RuleId::UninitRead => "UNINIT-READ",
+            RuleId::DeadWrite => "DEAD-WRITE",
+            RuleId::RaceWriteOverlap => "RACE-WRITE-OVERLAP",
+            RuleId::FalseSharing => "FALSE-SHARING",
         }
     }
 }
@@ -161,6 +192,68 @@ impl Report {
     pub fn fired(&self, rule: RuleId) -> bool {
         self.by_rule(rule).next().is_some()
     }
+
+    /// The most severe finding in the report, or `None` for a clean report.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+}
+
+/// Stop describing individual findings of one rule after this many; the
+/// remainder is summarized in a closing `Note` so a systematically broken
+/// kernel does not produce a million-line report.
+pub(crate) const MAX_FINDINGS_PER_RULE: usize = 16;
+
+/// Tracks per-rule finding counts and enforces the reporting cap. Every
+/// analysis pass (trace replay, symbolic lift, dataflow, race detector)
+/// emits findings through one of these so flood behaviour is uniform.
+pub(crate) struct CappedRule {
+    rule: RuleId,
+    severity: Severity,
+    emitted: usize,
+    suppressed: usize,
+}
+
+impl CappedRule {
+    /// A capped emitter denying on `rule`.
+    pub(crate) fn new(rule: RuleId) -> Self {
+        Self::with_severity(rule, Severity::Deny)
+    }
+
+    /// A capped emitter firing `rule` at an explicit severity (the race
+    /// detector's `FALSE-SHARING` warns rather than denies).
+    pub(crate) fn with_severity(rule: RuleId, severity: Severity) -> Self {
+        Self {
+            rule,
+            severity,
+            emitted: 0,
+            suppressed: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, report: &mut Report, message: String) {
+        if self.emitted < MAX_FINDINGS_PER_RULE {
+            self.emitted += 1;
+            report.push(self.rule, self.severity, message);
+        } else {
+            self.suppressed += 1;
+        }
+    }
+
+    pub(crate) fn finish(self, report: &mut Report) {
+        if self.suppressed > 0 {
+            report.push(
+                self.rule,
+                Severity::Note,
+                format!(
+                    "{} further {} findings suppressed after the first {}",
+                    self.suppressed,
+                    self.rule.as_str(),
+                    self.emitted
+                ),
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -185,9 +278,84 @@ mod tests {
                 "ACC-CLOBBER",
                 "LAYOUT-DIVIDE",
                 "REG-PRESSURE",
-                "PROFILE-UNRECONCILED"
+                "PROFILE-UNRECONCILED",
+                "REGION-OVERLAP",
+                "VL-EXCEEDS",
+                "UNINIT-READ",
+                "DEAD-WRITE",
+                "RACE-WRITE-OVERLAP",
+                "FALSE-SHARING"
             ]
         );
+    }
+
+    #[test]
+    fn rule_registry_matches_design_doc_table() {
+        // Every stable RuleId string must appear as a rule-table row in
+        // DESIGN.md — the doc is the registry of record; adding a rule
+        // without documenting it (or renaming one) fails here.
+        let design =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md"))
+                .expect("DESIGN.md readable from the workspace root");
+        for rule in RuleId::ALL {
+            let row = format!("| `{}`", rule.as_str());
+            assert!(
+                design.contains(&row),
+                "rule {} has no `{row} …` row in the DESIGN.md rule table",
+                rule.as_str()
+            );
+        }
+    }
+
+    #[test]
+    fn merge_preserves_emission_order() {
+        let mut first = Report::new();
+        first.push(RuleId::L1Conflict, Severity::Warn, "a".into());
+        first.push(RuleId::OobAddr, Severity::Deny, "b".into());
+        let mut second = Report::new();
+        second.push(RuleId::RegPressure, Severity::Note, "c".into());
+        second.push(RuleId::DeadWrite, Severity::Deny, "d".into());
+        first.merge(second);
+        let messages: Vec<&str> = first
+            .diagnostics
+            .iter()
+            .map(|d| d.message.as_str())
+            .collect();
+        assert_eq!(
+            messages,
+            ["a", "b", "c", "d"],
+            "merge appends, never reorders"
+        );
+        assert_eq!(first.by_rule(RuleId::DeadWrite).count(), 1);
+    }
+
+    #[test]
+    fn max_severity_escalates_with_worst_finding() {
+        let mut r = Report::new();
+        assert_eq!(r.max_severity(), None);
+        r.push(RuleId::FalseSharing, Severity::Note, "n".into());
+        assert_eq!(r.max_severity(), Some(Severity::Note));
+        r.push(RuleId::FalseSharing, Severity::Warn, "w".into());
+        assert_eq!(r.max_severity(), Some(Severity::Warn));
+        r.push(RuleId::RaceWriteOverlap, Severity::Deny, "d".into());
+        assert_eq!(r.max_severity(), Some(Severity::Deny));
+        assert!(r.has_deny());
+        // A later milder finding never de-escalates the report.
+        r.push(RuleId::FalseSharing, Severity::Note, "n2".into());
+        assert_eq!(r.max_severity(), Some(Severity::Deny));
+    }
+
+    #[test]
+    fn capped_rule_respects_severity_and_cap() {
+        let mut r = Report::new();
+        let mut cap = CappedRule::with_severity(RuleId::FalseSharing, Severity::Warn);
+        for i in 0..MAX_FINDINGS_PER_RULE + 5 {
+            cap.push(&mut r, format!("line {i}"));
+        }
+        cap.finish(&mut r);
+        assert_eq!(r.count(Severity::Warn), MAX_FINDINGS_PER_RULE);
+        assert_eq!(r.count(Severity::Note), 1, "suppression summary");
+        assert!(!r.has_deny());
     }
 
     #[test]

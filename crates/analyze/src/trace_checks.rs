@@ -6,59 +6,13 @@
 //! configuration cannot prove — they depend on the addresses the generated
 //! kernel actually emits.
 
-use crate::diagnostics::{Report, RuleId, Severity};
+use crate::diagnostics::{CappedRule, Report, RuleId, Severity};
 use lsv_vengine::{Arena, TraceEvent};
-
-/// Stop describing individual findings of one rule after this many; the
-/// remainder is summarized in a closing `Note` so a systematically broken
-/// kernel does not produce a million-line report.
-const MAX_FINDINGS_PER_RULE: usize = 16;
-
-/// Tracks per-rule finding counts and enforces the reporting cap.
-struct CappedRule {
-    rule: RuleId,
-    emitted: usize,
-    suppressed: usize,
-}
-
-impl CappedRule {
-    fn new(rule: RuleId) -> Self {
-        Self {
-            rule,
-            emitted: 0,
-            suppressed: 0,
-        }
-    }
-
-    fn push(&mut self, report: &mut Report, message: String) {
-        if self.emitted < MAX_FINDINGS_PER_RULE {
-            self.emitted += 1;
-            report.push(self.rule, Severity::Deny, message);
-        } else {
-            self.suppressed += 1;
-        }
-    }
-
-    fn finish(self, report: &mut Report) {
-        if self.suppressed > 0 {
-            report.push(
-                self.rule,
-                Severity::Note,
-                format!(
-                    "{} further {} findings suppressed after the first {}",
-                    self.suppressed,
-                    self.rule.as_str(),
-                    self.emitted
-                ),
-            );
-        }
-    }
-}
 
 /// What a memory-touching trace event claims about itself: an operation name,
 /// the first byte it touches, its byte footprint, and the region the engine
 /// resolved for its base address at record time.
-fn memory_footprint(ev: &TraceEvent) -> Option<(&'static str, u64, u64, Option<u32>)> {
+pub(crate) fn memory_footprint(ev: &TraceEvent) -> Option<(&'static str, u64, u64, Option<u32>)> {
     match *ev {
         TraceEvent::ScalarLoad { addr, region } => Some(("scalar load", addr, 4, region)),
         TraceEvent::ScalarStore { addr, region } => Some(("scalar store", addr, 4, region)),
@@ -150,11 +104,11 @@ fn check_acc_clobber(trace: &[TraceEvent], report: &mut Report) {
             }
             TraceEvent::VStore { vr, .. }
             | TraceEvent::VScatter { vr, .. }
-            | TraceEvent::VReduce { vr } => {
+            | TraceEvent::VReduce { vr, .. } => {
                 ensure(&mut state, vr);
                 state[vr] = AccState::Clean;
             }
-            TraceEvent::VZero { vr }
+            TraceEvent::VZero { vr, .. }
             | TraceEvent::VLoad { vr, .. }
             | TraceEvent::VGather { vr, .. } => {
                 ensure(&mut state, vr);
@@ -203,11 +157,11 @@ pub fn max_vreg_used(trace: &[TraceEvent]) -> Option<usize> {
         .filter_map(|ev| match *ev {
             TraceEvent::VLoad { vr, .. }
             | TraceEvent::VStore { vr, .. }
-            | TraceEvent::VZero { vr }
-            | TraceEvent::VReduce { vr }
+            | TraceEvent::VZero { vr, .. }
+            | TraceEvent::VReduce { vr, .. }
             | TraceEvent::VGather { vr, .. }
             | TraceEvent::VScatter { vr, .. } => Some(vr),
-            TraceEvent::VFma { acc, w } => Some(acc.max(w)),
+            TraceEvent::VFma { acc, w, w2, .. } => Some(acc.max(w).max(w2.unwrap_or(0))),
             _ => None,
         })
         .max()
@@ -239,6 +193,7 @@ pub fn analyze_trace(arena: &Arena, trace: &[TraceEvent], n_vregs: usize) -> Rep
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::diagnostics::MAX_FINDINGS_PER_RULE;
 
     fn arena_with(labels: &[(&str, usize)]) -> Arena {
         let mut a = Arena::new();
@@ -253,19 +208,26 @@ mod tests {
         let a = arena_with(&[("src", 64)]);
         let base = a.regions()[0].base;
         let trace = vec![
-            TraceEvent::VZero { vr: 0 },
+            TraceEvent::VZero { vr: 0, vl: 32 },
             TraceEvent::VLoad {
                 vr: 1,
                 addr: base,
                 span: 128,
                 region: Some(0),
+                vl: 32,
             },
-            TraceEvent::VFma { acc: 0, w: 1 },
+            TraceEvent::VFma {
+                acc: 0,
+                w: 1,
+                w2: None,
+                vl: 32,
+            },
             TraceEvent::VStore {
                 vr: 0,
                 addr: base + 128,
                 span: 128,
                 region: Some(0),
+                vl: 32,
             },
         ];
         let r = analyze_trace(&a, &trace, 64);
@@ -281,6 +243,7 @@ mod tests {
             addr: base + 64,
             span: 128, // region holds 128 bytes; this overruns by 64
             region: Some(0),
+            vl: 32,
         }];
         let r = analyze_trace(&a, &trace, 64);
         assert!(r.fired(RuleId::OobAddr) && r.has_deny(), "{r:?}");
@@ -323,13 +286,19 @@ mod tests {
         let a = arena_with(&[("src", 64)]);
         let base = a.regions()[0].base;
         let trace = vec![
-            TraceEvent::VFma { acc: 3, w: 10 },
-            TraceEvent::VZero { vr: 3 }, // dirty accumulator lost
+            TraceEvent::VFma {
+                acc: 3,
+                w: 10,
+                w2: None,
+                vl: 64,
+            },
+            TraceEvent::VZero { vr: 3, vl: 64 }, // dirty accumulator lost
             TraceEvent::VStore {
                 vr: 3,
                 addr: base,
                 span: 4,
                 region: Some(0),
+                vl: 1,
             },
         ];
         let r = analyze_trace(&a, &trace, 64);
@@ -340,7 +309,12 @@ mod tests {
     #[test]
     fn dirty_accumulator_at_end_is_denied() {
         let a = arena_with(&[("src", 64)]);
-        let trace = vec![TraceEvent::VFma { acc: 5, w: 9 }];
+        let trace = vec![TraceEvent::VFma {
+            acc: 5,
+            w: 9,
+            w2: None,
+            vl: 64,
+        }];
         let r = analyze_trace(&a, &trace, 64);
         assert!(r.fired(RuleId::AccClobber), "{r:?}");
         let msg = r
@@ -364,16 +338,28 @@ mod tests {
                 addr: base,
                 span: 64,
                 region: Some(0),
+                vl: 16,
             },
-            TraceEvent::VFma { acc: 0, w: 8 },
+            TraceEvent::VFma {
+                acc: 0,
+                w: 8,
+                w2: None,
+                vl: 16,
+            },
             TraceEvent::VLoad {
                 vr: 8,
                 addr: base + 64,
                 span: 64,
                 region: Some(0),
+                vl: 16,
             },
-            TraceEvent::VFma { acc: 0, w: 8 },
-            TraceEvent::VReduce { vr: 0 },
+            TraceEvent::VFma {
+                acc: 0,
+                w: 8,
+                w2: None,
+                vl: 16,
+            },
+            TraceEvent::VReduce { vr: 0, vl: 16 },
         ];
         let r = analyze_trace(&a, &trace, 64);
         assert!(r.diagnostics.is_empty(), "{r:?}");
@@ -382,7 +368,7 @@ mod tests {
     #[test]
     fn trace_register_overflow_is_denied() {
         let a = arena_with(&[("src", 16)]);
-        let trace = vec![TraceEvent::VZero { vr: 64 }];
+        let trace = vec![TraceEvent::VZero { vr: 64, vl: 64 }];
         let r = analyze_trace(&a, &trace, 64);
         assert!(r.fired(RuleId::RegPressure) && r.has_deny(), "{r:?}");
         assert_eq!(max_vreg_used(&trace), Some(64));

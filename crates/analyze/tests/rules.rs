@@ -4,10 +4,11 @@
 //! rule is added.
 
 use lsv_analyze::{
-    analyze_config, analyze_kernel, analyze_trace, check_profile_reconciliation, Report, RuleId,
-    Severity,
+    analyze_config, analyze_dataflow, analyze_kernel, analyze_trace, check_profile_reconciliation,
+    check_races, check_stream, KernelLift, PartitionModel, RegionModel, Report, RuleId, Severity,
 };
 use lsv_arch::sx_aurora;
+use lsv_conv::multicore::partition_ranges;
 use lsv_conv::tuning::kernel_config;
 use lsv_conv::{Algorithm, ConvProblem, Direction, KernelConfig};
 use lsv_vengine::{Arena, ExecutionMode, TraceEvent, VCore};
@@ -68,6 +69,7 @@ fn oob_addr_fires_on_an_escaped_address() {
         addr: 0x7000_0000,
         span: 1024,
         region: None,
+        vl: 64,
     }];
     let r = analyze_trace(&arena, &trace, &arch);
     assert!(r.fired(RuleId::OobAddr) && r.has_deny(), "{r:?}");
@@ -78,9 +80,14 @@ fn acc_clobber_fires_on_a_lost_accumulator() {
     let arch = sx_aurora();
     let arena = Arena::new();
     let trace = vec![
-        TraceEvent::VZero { vr: 0 },
-        TraceEvent::VFma { acc: 0, w: 8 },
-        TraceEvent::VZero { vr: 0 }, // partial sums discarded
+        TraceEvent::VZero { vr: 0, vl: 64 },
+        TraceEvent::VFma {
+            acc: 0,
+            w: 8,
+            w2: None,
+            vl: 64,
+        },
+        TraceEvent::VZero { vr: 0, vl: 64 }, // partial sums discarded
     ];
     let r = analyze_trace(&arena, &trace, &arch);
     assert!(r.fired(RuleId::AccClobber) && r.has_deny(), "{r:?}");
@@ -105,6 +112,112 @@ fn reg_pressure_fires_on_register_file_overflow() {
     assert!(r.fired(RuleId::RegPressure) && r.has_deny(), "{r:?}");
 }
 
+/// Symbolic fixtures: a two-slab activation arena plus a shared weights
+/// region, matching the affine models [`lsv_analyze::lift_kernel`] builds.
+fn symbolic_regions(n: usize) -> Vec<RegionModel> {
+    vec![
+        RegionModel::minibatch_scaled(0, "act src", 0x1000, 4096, n),
+        RegionModel::minibatch_scaled(1, "act dst", 0x2000, 4096, n),
+        RegionModel::shared(2, "wei", 0x10_000, 8192),
+    ]
+}
+
+#[test]
+fn region_overlap_fires_on_a_slab_crossing_access() {
+    let stream = vec![TraceEvent::VLoad {
+        vr: 0,
+        addr: 0x1000 + 4090, // last bytes of src's slab, crossing into dst
+        span: 64,
+        region: Some(0),
+        vl: 16,
+    }];
+    let r = check_stream(&stream, &symbolic_regions(4), 4, 64);
+    assert!(r.fired(RuleId::RegionOverlap) && r.has_deny(), "{r:?}");
+}
+
+#[test]
+fn vl_exceeds_fires_on_an_overlong_vector_op() {
+    let stream = vec![TraceEvent::VZero { vr: 0, vl: 300 }];
+    let r = check_stream(&stream, &symbolic_regions(1), 1, 256);
+    assert!(r.fired(RuleId::VlExceeds) && r.has_deny(), "{r:?}");
+}
+
+#[test]
+fn uninit_read_and_dead_write_fire_on_broken_dataflow() {
+    let arch = sx_aurora();
+    let stream = vec![
+        // v1 read before any definition; the v2 load is never consumed.
+        TraceEvent::VStore {
+            vr: 1,
+            addr: 0x2000,
+            span: 64,
+            region: Some(1),
+            vl: 16,
+        },
+        TraceEvent::VLoad {
+            vr: 2,
+            addr: 0x1000,
+            span: 64,
+            region: Some(0),
+            vl: 16,
+        },
+    ];
+    let (r, _) = analyze_dataflow(&stream, arch.n_vregs);
+    assert!(r.fired(RuleId::UninitRead) && r.has_deny(), "{r:?}");
+    assert!(r.fired(RuleId::DeadWrite), "{r:?}");
+}
+
+/// Race fixtures: one stream, minibatch-partitioned across 8 cores.
+fn minibatch_lift(stream: Vec<TraceEvent>, n: usize, cores: usize) -> KernelLift {
+    KernelLift {
+        regions: symbolic_regions(n),
+        streams: vec![stream],
+        partition: PartitionModel::Minibatch(partition_ranges(n, cores)),
+        n_full: n,
+        conclusive: true,
+    }
+}
+
+#[test]
+fn race_write_overlap_fires_on_a_shared_region_write() {
+    let arch = sx_aurora();
+    let lift = minibatch_lift(
+        vec![TraceEvent::VStore {
+            vr: 0,
+            addr: 0x10_000,
+            span: 256,
+            region: Some(2), // weights are shared: every core writes them
+            vl: 64,
+        }],
+        8,
+        8,
+    );
+    let r = check_races(&lift, &arch);
+    assert!(r.fired(RuleId::RaceWriteOverlap) && r.has_deny(), "{r:?}");
+}
+
+#[test]
+fn false_sharing_warns_on_a_sub_line_slab() {
+    let arch = sx_aurora();
+    // A 64-byte image slab on 128-byte LLC lines: adjacent cores' images
+    // share every boundary line.
+    let mut lift = minibatch_lift(
+        vec![TraceEvent::VStore {
+            vr: 0,
+            addr: 0x1000,
+            span: 64,
+            region: Some(0),
+            vl: 16,
+        }],
+        8,
+        8,
+    );
+    lift.regions[0] = RegionModel::minibatch_scaled(0, "act src", 0x1000, 64, 8);
+    let r = check_races(&lift, &arch);
+    assert!(r.fired(RuleId::FalseSharing), "{r:?}");
+    assert!(!r.has_deny(), "false sharing is a perf warning: {r:?}");
+}
+
 /// Census: the tests above must collectively cover every rule in the
 /// registry, so adding a RuleId without a firing test fails here.
 #[test]
@@ -127,8 +240,13 @@ fn every_rule_id_has_a_demonstrated_firing() {
 
     let arena = Arena::new();
     let trace = vec![
-        TraceEvent::VFma { acc: 0, w: 8 },
-        TraceEvent::VZero { vr: 0 },
+        TraceEvent::VFma {
+            acc: 0,
+            w: 8,
+            w2: None,
+            vl: 64,
+        },
+        TraceEvent::VZero { vr: 0, vl: 64 },
         TraceEvent::ScalarStore {
             addr: 0x123_4560,
             region: None,
@@ -145,6 +263,64 @@ fn every_rule_id_has_a_demonstrated_firing() {
     let profile = core.take_profile().unwrap();
     stats.cycles += 1; // tampered total cannot reconcile
     fired.merge(check_profile_reconciliation(&profile, &stats)); // PROFILE-UNRECONCILED
+
+    // Symbolic bounds: slab overrun into the neighbor + illegal vl.
+    let stream = vec![
+        TraceEvent::VLoad {
+            vr: 0,
+            addr: 0x1000 + 4090,
+            span: 64,
+            region: Some(0),
+            vl: 16,
+        },
+        TraceEvent::VZero { vr: 1, vl: 0 },
+    ];
+    fired.merge(check_stream(&stream, &symbolic_regions(4), 4, 64)); // REGION-OVERLAP + VL-EXCEEDS
+
+    // Dataflow: read-before-def + unconsumed definition.
+    let stream = vec![
+        TraceEvent::VStore {
+            vr: 1,
+            addr: 0x2000,
+            span: 64,
+            region: Some(1),
+            vl: 16,
+        },
+        TraceEvent::VLoad {
+            vr: 2,
+            addr: 0x1000,
+            span: 64,
+            region: Some(0),
+            vl: 16,
+        },
+    ];
+    let (df, _) = analyze_dataflow(&stream, arch.n_vregs);
+    fired.merge(df); // UNINIT-READ + DEAD-WRITE
+
+    // Races: shared-region write under the minibatch split, plus a
+    // sub-line slab for boundary false sharing.
+    let mut lift = minibatch_lift(
+        vec![
+            TraceEvent::VStore {
+                vr: 0,
+                addr: 0x10_000,
+                span: 256,
+                region: Some(2),
+                vl: 64,
+            },
+            TraceEvent::VStore {
+                vr: 0,
+                addr: 0x1000,
+                span: 64,
+                region: Some(0),
+                vl: 16,
+            },
+        ],
+        8,
+        8,
+    );
+    lift.regions[0] = RegionModel::minibatch_scaled(0, "act src", 0x1000, 64, 8);
+    fired.merge(check_races(&lift, &arch)); // RACE-WRITE-OVERLAP + FALSE-SHARING
 
     for rule in RuleId::ALL {
         assert!(fired.fired(rule), "no firing demonstrated for {rule}");

@@ -2,22 +2,32 @@
 //! stack can generate: Table 3's 19 ResNet layers x {DC, BDC, MBDC} x
 //! {fwdd, bwdd, bwdw}, each configuration produced by the real tuner
 //! (`ConvDesc::create`, including its register-pressure fallback) and then
-//! statically checked plus replayed under the trace sanitizers.
+//! checked by the static-first analyzer (symbolic lift, register dataflow,
+//! race detector). The one-image simulated replay runs only when a lift is
+//! inconclusive; the run reports how often that happened.
 //!
 //! Output: a human-readable report on stdout (one line per kernel, then the
-//! diagnostics grouped by rule) and a machine-readable `results/lint.json`.
+//! diagnostics grouped by rule) and a machine-readable `results/lint.json`,
+//! schema-validated against `lsv-obs`'s `lint.schema.json` after writing.
 //!
-//! Usage: `lint-kernels [--deny-as-error] [results_dir]`
+//! Usage: `lint-kernels [--deny-as-error] [--all] [--static] [results_dir]`
 //!
 //! `--deny-as-error` exits non-zero if any kernel produced a `Deny` finding —
 //! the CI mode: the tuner must never emit a kernel its own verifier rejects.
+//! `--all` sweeps the whole long-vector arch family (512..16384-bit Aurora
+//! variants) instead of only the default preset. `--static` exits non-zero
+//! if any kernel fell back to the simulated replay — CI's proof that the
+//! clean path runs zero replays.
 
-use lsv_analyze::{analyze_kernel, Report, RuleId, Severity};
+use lsv_analyze::{analyze_kernel_outcome, Report, RuleId, Severity};
 use lsv_arch::presets::sx_aurora;
+use lsv_arch::{aurora_with_vlen_bits, ArchParams};
 use lsv_bench::par::par_map;
+use lsv_conv::fuzz::VLEN_SWEEP_BITS;
 use lsv_conv::{Algorithm, ConvDesc, ConvProblem, Direction};
 use lsv_models::resnet_layers;
 use std::io::Write;
+use std::time::Instant;
 
 /// One analyzed kernel: identity plus its lint report.
 struct Entry {
@@ -25,6 +35,8 @@ struct Entry {
     problem: ConvProblem,
     direction: Direction,
     algorithm: Algorithm,
+    vlen_bits: usize,
+    replayed: bool,
     report: Report,
 }
 
@@ -61,12 +73,15 @@ fn to_json(entries: &[Entry]) -> String {
             .collect();
         s.push_str(&format!(
             "  {{\"layer\": {}, \"problem\": \"{}\", \"direction\": \"{}\", \
-             \"algorithm\": \"{}\", \"deny\": {}, \"warn\": {}, \"note\": {}, \
+             \"algorithm\": \"{}\", \"vlen_bits\": {}, \"replayed\": {}, \
+             \"deny\": {}, \"warn\": {}, \"note\": {}, \
              \"diagnostics\": [{}]}}{}\n",
             e.layer_id,
             e.problem,
             e.direction.short_name(),
             e.algorithm.short_name(),
+            e.vlen_bits,
+            e.replayed,
             e.report.count(Severity::Deny),
             e.report.count(Severity::Warn),
             e.report.count(Severity::Note),
@@ -80,35 +95,53 @@ fn to_json(entries: &[Entry]) -> String {
 
 fn main() {
     let mut deny_as_error = false;
+    let mut all_vlens = false;
+    let mut static_only = false;
     let mut out_dir = String::from("results");
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--deny-as-error" => deny_as_error = true,
+            "--all" => all_vlens = true,
+            "--static" => static_only = true,
             other if other.starts_with('-') => {
                 eprintln!("error: unknown flag `{other}`");
-                eprintln!("usage: lint-kernels [--deny-as-error] [results_dir]");
+                eprintln!("usage: lint-kernels [--deny-as-error] [--all] [--static] [results_dir]");
                 std::process::exit(2);
             }
             other => out_dir = other.to_string(),
         }
     }
 
-    let arch = sx_aurora();
+    let arches: Vec<ArchParams> = if all_vlens {
+        VLEN_SWEEP_BITS
+            .iter()
+            .map(|&bits| aurora_with_vlen_bits(bits))
+            .collect()
+    } else {
+        vec![sx_aurora()]
+    };
     let layers = resnet_layers(256);
-    let mut jobs: Vec<(usize, Direction, Algorithm)> = Vec::new();
-    for id in 0..layers.len() {
-        for d in Direction::ALL {
-            for a in Algorithm::ALL {
-                jobs.push((id, d, a));
+    let mut jobs: Vec<(usize, usize, Direction, Algorithm)> = Vec::new();
+    for ai in 0..arches.len() {
+        for id in 0..layers.len() {
+            for d in Direction::ALL {
+                for a in Algorithm::ALL {
+                    jobs.push((ai, id, d, a));
+                }
             }
         }
     }
 
-    let mut entries: Vec<Entry> = par_map(jobs, |(id, direction, algorithm)| {
+    let t0 = Instant::now();
+    let mut entries: Vec<Entry> = par_map(jobs, |(ai, id, direction, algorithm)| {
+        let arch = &arches[ai];
         let p = layers[id];
         let desc = ConvDesc::new(p, direction, algorithm);
-        let report = match desc.create(&arch, 8) {
-            Ok(prim) => analyze_kernel(&arch, &p, prim.cfg()),
+        let (report, replayed) = match desc.create(arch, 8) {
+            Ok(prim) => {
+                let o = analyze_kernel_outcome(arch, &p, prim.cfg());
+                (o.report, o.replayed)
+            }
             Err(e) => {
                 // The tuner itself refused — surface that as a Deny so the
                 // sweep never silently skips a kernel.
@@ -118,7 +151,7 @@ fn main() {
                     Severity::Deny,
                     format!("primitive creation failed: {e}"),
                 );
-                r
+                (r, false)
             }
         };
         Entry {
@@ -126,19 +159,24 @@ fn main() {
             problem: p,
             direction,
             algorithm,
+            vlen_bits: arch.vlen_bits,
+            replayed,
             report,
         }
     });
+    let wall = t0.elapsed();
     entries.sort_by_key(|e| {
         (
             e.layer_id,
             e.direction.short_name(),
             e.algorithm.short_name(),
+            e.vlen_bits,
         )
     });
 
     let mut totals = [0usize; 3]; // deny, warn, note
-    println!("layer direction alg   deny warn note  rules");
+    let mut replays = 0usize;
+    println!("layer direction alg    vlen  deny warn note  rules");
     for e in &entries {
         let (d, w, n) = (
             e.report.count(Severity::Deny),
@@ -148,16 +186,18 @@ fn main() {
         totals[0] += d;
         totals[1] += w;
         totals[2] += n;
+        replays += e.replayed as usize;
         let rules: Vec<&str> = RuleId::ALL
             .iter()
             .filter(|&&r| e.report.fired(r))
             .map(|r| r.as_str())
             .collect();
         println!(
-            "{:>5} {:<9} {:<5} {:>4} {:>4} {:>4}  {}",
+            "{:>5} {:<9} {:<5} {:>5} {:>4} {:>4} {:>4}  {}{}",
             e.layer_id,
             e.direction.short_name(),
             e.algorithm.short_name(),
+            e.vlen_bits,
             d,
             w,
             n,
@@ -165,7 +205,8 @@ fn main() {
                 "-".to_string()
             } else {
                 rules.join(",")
-            }
+            },
+            if e.replayed { " [replayed]" } else { "" }
         );
     }
 
@@ -190,22 +231,40 @@ fn main() {
 
     println!();
     println!(
-        "analyzed {} kernels: {} deny, {} warn, {} note",
+        "analyzed {} kernels in {:.2?}: {} deny, {} warn, {} note \
+         ({} simulated replays)",
         entries.len(),
+        wall,
         totals[0],
         totals[1],
-        totals[2]
+        totals[2],
+        replays
     );
 
     std::fs::create_dir_all(&out_dir).expect("create results dir");
     let path = format!("{out_dir}/lint.json");
+    let json = to_json(&entries);
     let mut f = std::fs::File::create(&path).expect("create lint.json");
-    f.write_all(to_json(&entries).as_bytes())
-        .expect("write lint.json");
-    println!("wrote {path}");
+    f.write_all(json.as_bytes()).expect("write lint.json");
+    // Re-read what we actually wrote and schema-validate it: drift between
+    // the emitter and `lint.schema.json` fails the run that introduced it.
+    let written = std::fs::read_to_string(&path).expect("re-read lint.json");
+    if let Err(e) = lsv_obs::validate_lint_json(&written) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path} (schema-validated)");
 
+    let mut failed = false;
     if deny_as_error && totals[0] > 0 {
         eprintln!("error: {} deny findings (--deny-as-error)", totals[0]);
+        failed = true;
+    }
+    if static_only && replays > 0 {
+        eprintln!("error: {replays} kernels fell back to the simulated replay (--static)");
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -29,9 +29,17 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
-            let val = args.get(i + 1).cloned().unwrap_or_default();
+            // Boolean flags (--smoke, --agreement, ...) must not swallow the
+            // flag that follows them: a `--value` is never a flag's value.
+            let val = match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    i += 1;
+                    v.clone()
+                }
+                _ => String::new(),
+            };
             map.insert(key.to_string(), val);
-            i += 2;
+            i += 1;
         } else {
             i += 1;
         }
@@ -128,6 +136,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("                --layer <0..18> | --ic N --oc N --hw N --k N --stride N --pad N");
     eprintln!("                --dir <fwdd|bwdd|bwdw>  --alg <DC|BDC|MBDC|vednn>  --minibatch N");
     eprintln!("  fuzz flags:   --cases N (default 500)  --seed N  --smoke (corpus + 50 cases)");
+    eprintln!("                --agreement (cross-check symbolic vs replay verdicts per case)");
     eprintln!("  profile:      profile <layer> [--dir D] [--alg A] [--out DIR] [--smoke]");
     eprintln!("                writes profile.json + trace.json (Perfetto) + profile.folded");
     exit(2);
@@ -275,22 +284,35 @@ fn main() {
         }
         "fuzz" => {
             let smoke = argv.iter().any(|a| a == "--smoke");
+            let agreement = argv.iter().any(|a| a == "--agreement");
             let cases: usize = flags
                 .get("cases")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(if smoke { 50 } else { 500 });
             let seed: u64 = flags.get("seed").and_then(|v| v.parse().ok()).unwrap_or(1);
             let validator = lsv_analyze::deny_validator;
+            // --agreement cross-checks the symbolic analyzer's OOB-ADDR /
+            // ACC-CLOBBER verdicts against the traced replay on every case.
+            let oracle: Option<fuzz::CaseValidator> = if agreement {
+                Some(&lsv_analyze::verdict_agreement)
+            } else {
+                None
+            };
 
             println!(
-                "replaying seed corpus ({} cases)...",
-                fuzz::seed_corpus().len()
+                "replaying seed corpus ({} cases{})...",
+                fuzz::seed_corpus().len(),
+                if agreement {
+                    ", agreement oracle on"
+                } else {
+                    ""
+                }
             );
-            let corpus = fuzz::run_corpus(&validator);
+            let corpus = fuzz::run_corpus_with_oracle(&validator, oracle);
             report_fuzz("corpus", &corpus);
 
             println!("fuzzing {cases} randomized cases (seed {seed})...");
-            let random = fuzz::run_fuzz(cases, seed, &validator);
+            let random = fuzz::run_fuzz_with_oracle(cases, seed, &validator, oracle);
             report_fuzz("random", &random);
 
             if !corpus.clean() || !random.clean() {

@@ -17,6 +17,11 @@
 //! 3. **Lint cleanliness**: an injected validator (the `lsv-analyze`
 //!    deny-linter, kept behind a closure so the dependency arrow still
 //!    points one way) accepts the tuned configuration.
+//! 4. **Verdict agreement** (optional, `--agreement`): an injected oracle —
+//!    `lsv_analyze::verdict_agreement` behind the same closure shape — must
+//!    accept every case the library supports, i.e. the symbolic analyzer
+//!    and the traced replay must reach the same deny verdicts. The analyzer
+//!    is thereby fuzzed alongside the kernels it verifies.
 //!
 //! Failures are shrunk with the strategy's greedy shrinker before being
 //! reported, so counterexamples arrive minimal. [`seed_corpus`] pins the
@@ -149,13 +154,29 @@ enum CaseStatus {
 
 /// Check one case against all three properties.
 pub fn check_case(case: &FuzzCase, validator: CaseValidator) -> Result<(), String> {
-    match check_case_inner(case, validator) {
+    match check_case_inner(case, validator, None) {
         Ok(_) => Ok(()),
         Err(why) => Err(why),
     }
 }
 
-fn check_case_inner(case: &FuzzCase, validator: CaseValidator) -> Result<CaseStatus, String> {
+/// Check one case with an additional verdict-agreement oracle (property 4).
+pub fn check_case_with_oracle(
+    case: &FuzzCase,
+    validator: CaseValidator,
+    oracle: Option<CaseValidator>,
+) -> Result<(), String> {
+    match check_case_inner(case, validator, oracle) {
+        Ok(_) => Ok(()),
+        Err(why) => Err(why),
+    }
+}
+
+fn check_case_inner(
+    case: &FuzzCase,
+    validator: CaseValidator,
+    oracle: Option<CaseValidator>,
+) -> Result<CaseStatus, String> {
     let p = case.problem;
     let arch = aurora_with_vlen_bits(case.vlen_bits);
     let desc = ConvDesc::new(p, case.direction, case.algorithm);
@@ -165,6 +186,14 @@ fn check_case_inner(case: &FuzzCase, validator: CaseValidator) -> Result<CaseSta
         Err(UnsupportedReason::Rejected { why }) => return Err(format!("lint deny: {why}")),
         Err(other) => return Ok(CaseStatus::Skip(other.to_string())),
     };
+
+    // Property 4: the symbolic-vs-trace verdict-agreement oracle, on the
+    // exact configuration the primitive froze.
+    if let Some(oracle) = oracle {
+        if let Err(why) = oracle(&arch, &p, prim.cfg()) {
+            return Err(format!("verdict agreement: {why}"));
+        }
+    }
 
     // Deterministic operands, derived from the case so shrinking re-checks
     // candidates reproducibly.
@@ -237,6 +266,7 @@ fn shrink_failure<S: Strategy<Value = RawCase>>(
     mut raw: RawCase,
     mut why: String,
     validator: CaseValidator,
+    oracle: Option<CaseValidator>,
 ) -> (FuzzCase, String) {
     let mut evals = 0usize;
     let mut progress = true;
@@ -247,7 +277,7 @@ fn shrink_failure<S: Strategy<Value = RawCase>>(
             let Some(case) = build_case(&cand) else {
                 continue;
             };
-            if let Err(w) = check_case(&case, validator) {
+            if let Err(w) = check_case_with_oracle(&case, validator, oracle) {
                 raw = cand;
                 why = w;
                 progress = true;
@@ -261,6 +291,16 @@ fn shrink_failure<S: Strategy<Value = RawCase>>(
 /// Run `cases` randomized cases from `seed`. Every failure is shrunk to a
 /// minimal counterexample before being recorded.
 pub fn run_fuzz(cases: usize, seed: u64, validator: CaseValidator) -> FuzzOutcome {
+    run_fuzz_with_oracle(cases, seed, validator, None)
+}
+
+/// [`run_fuzz`] with the property-4 verdict-agreement oracle enabled.
+pub fn run_fuzz_with_oracle(
+    cases: usize,
+    seed: u64,
+    validator: CaseValidator,
+    oracle: Option<CaseValidator>,
+) -> FuzzOutcome {
     let strat = strategy();
     let mut rng = TestRng::from_seed(seed);
     let mut out = FuzzOutcome::default();
@@ -278,11 +318,11 @@ pub fn run_fuzz(cases: usize, seed: u64, validator: CaseValidator) -> FuzzOutcom
             continue;
         };
         out.cases_run += 1;
-        match check_case_inner(&case, validator) {
+        match check_case_inner(&case, validator, oracle) {
             Ok(CaseStatus::Pass) => {}
             Ok(CaseStatus::Skip(_)) => out.skipped += 1,
             Err(why) => {
-                let (min_case, min_why) = shrink_failure(&strat, sample, why, validator);
+                let (min_case, min_why) = shrink_failure(&strat, sample, why, validator, oracle);
                 out.failures.push(FuzzFailure {
                     case: min_case,
                     why: min_why,
@@ -345,10 +385,18 @@ pub fn seed_corpus() -> Vec<FuzzCase> {
 
 /// Replay the [`seed_corpus`] deterministically.
 pub fn run_corpus(validator: CaseValidator) -> FuzzOutcome {
+    run_corpus_with_oracle(validator, None)
+}
+
+/// [`run_corpus`] with the property-4 verdict-agreement oracle enabled.
+pub fn run_corpus_with_oracle(
+    validator: CaseValidator,
+    oracle: Option<CaseValidator>,
+) -> FuzzOutcome {
     let mut out = FuzzOutcome::default();
     for case in seed_corpus() {
         out.cases_run += 1;
-        match check_case_inner(&case, validator) {
+        match check_case_inner(&case, validator, oracle) {
             Ok(CaseStatus::Pass) => {}
             Ok(CaseStatus::Skip(_)) => out.skipped += 1,
             Err(why) => out.failures.push(FuzzFailure { case, why }),

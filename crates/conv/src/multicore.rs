@@ -62,6 +62,21 @@ impl MulticoreReport {
     }
 }
 
+/// The contiguous per-core work ranges the multicore executor uses: `total`
+/// work items (minibatch images for fwd/bwd-data, small-dimension blocks for
+/// bwd-weights) split into `ceil(total/cores)`-sized chunks, empty tails
+/// dropped. This is the *single* definition of the Section 4.3 partitioning —
+/// [`execute_multicore`] executes it and the `lsv-analyze` static race
+/// detector reasons about it, so they can never drift apart.
+pub fn partition_ranges(total: usize, cores: usize) -> Vec<std::ops::Range<usize>> {
+    let cores = cores.max(1);
+    let per = total.div_ceil(cores).max(1);
+    (0..cores)
+        .map(|c| (c * per).min(total)..((c + 1) * per).min(total))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
 /// Simulate every core of the chip executing its slice of `prim`'s work
 /// against a shared LLC. Tensors must already be allocated and filled in
 /// `arena`.
@@ -84,15 +99,9 @@ pub fn execute_multicore(
 
     match prim.desc().direction {
         Direction::Fwd | Direction::BwdData => {
-            let ipc = n.div_ceil(cores).max(1);
-            for c in 0..cores {
-                let lo = (c * ipc).min(n);
-                let hi = ((c + 1) * ipc).min(n);
-                if lo >= hi {
-                    break;
-                }
+            for r in partition_ranges(n, cores) {
                 let mut core = VCore::new_with_shared_llc(&arch, mode, llc.clone());
-                prim.execute_core(&mut core, arena, tensors, lo..hi, 0..0);
+                prim.execute_core(&mut core, arena, tensors, r, 0..0);
                 let s = core.drain();
                 wall = wall.max(s.cycles);
                 per_core.push(s);
@@ -100,15 +109,9 @@ pub fn execute_multicore(
         }
         Direction::BwdWeights => {
             let blocks = prim.bwdw_small_blocks();
-            let bpc = blocks.div_ceil(cores).max(1);
-            for c in 0..cores {
-                let lo = (c * bpc).min(blocks);
-                let hi = ((c + 1) * bpc).min(blocks);
-                if lo >= hi {
-                    break;
-                }
+            for r in partition_ranges(blocks, cores) {
                 let mut core = VCore::new_with_shared_llc(&arch, mode, llc.clone());
-                prim.execute_core(&mut core, arena, tensors, 0..n, lo..hi);
+                prim.execute_core(&mut core, arena, tensors, 0..n, r);
                 let s = core.drain();
                 wall = wall.max(s.cycles);
                 per_core.push(s);
@@ -132,6 +135,24 @@ mod tests {
 
     fn small_problem(n: usize) -> ConvProblem {
         ConvProblem::new(n, 32, 32, 10, 10, 3, 3, 1, 1)
+    }
+
+    #[test]
+    fn partition_ranges_cover_disjointly() {
+        for (total, cores) in [(8, 8), (7, 8), (16, 8), (3, 8), (1, 1), (100, 7), (0, 4)] {
+            let ranges = partition_ranges(total, cores);
+            assert!(ranges.len() <= cores);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "contiguous, no gap ({total}/{cores})");
+                assert!(r.end > r.start, "no empty ranges survive");
+                next = r.end;
+            }
+            assert_eq!(next, total, "ranges cover exactly [0, total)");
+        }
+        assert!(partition_ranges(0, 4).is_empty());
+        // cores = 0 is clamped, not a panic.
+        assert_eq!(partition_ranges(5, 0), vec![0..5]);
     }
 
     #[test]

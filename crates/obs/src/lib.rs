@@ -31,7 +31,10 @@ pub mod report;
 pub use folded::folded_stacks;
 pub use json::{parse_json, validate_schema, JsonValue};
 pub use perfetto::perfetto_trace_json;
-pub use report::{profile_report_json, validate_profile_json, ProfileMeta, PROFILE_SCHEMA};
+pub use report::{
+    profile_report_json, validate_lint_json, validate_profile_json, ProfileMeta, LINT_SCHEMA,
+    PROFILE_SCHEMA,
+};
 
 /// Escape a string for inclusion in a JSON document (without the quotes).
 pub(crate) fn escape_json(s: &str) -> String {

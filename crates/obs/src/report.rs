@@ -14,6 +14,12 @@ use lsv_vengine::{InstCounters, RegionProfile};
 /// The checked-in JSON schema `profile.json` must conform to.
 pub const PROFILE_SCHEMA: &str = include_str!("../schemas/profile.schema.json");
 
+/// The checked-in JSON schema `results/lint.json` (emitted by the
+/// `lint-kernels` binary) must conform to. The rule and severity enums pin
+/// the diagnostics wire format: adding a lint rule without extending the
+/// schema fails the gate, which is the point.
+pub const LINT_SCHEMA: &str = include_str!("../schemas/lint.schema.json");
+
 /// Run metadata and machine constants the report embeds; everything the
 /// exporter cannot read off the [`RegionProfile`] itself.
 #[derive(Debug, Clone)]
@@ -205,6 +211,22 @@ pub fn validate_profile_json(text: &str) -> Result<(), String> {
     })
 }
 
+/// Parse a `lint.json` document and validate it against [`LINT_SCHEMA`].
+/// `lint-kernels` re-reads and validates its own output through this after
+/// writing, so schema drift fails the run that introduced it.
+pub fn validate_lint_json(text: &str) -> Result<(), String> {
+    let schema = parse_json(LINT_SCHEMA)
+        .map_err(|e| format!("internal error: lint.schema.json unparseable: {e}"))?;
+    let doc = parse_json(text).map_err(|e| format!("lint.json is not valid JSON: {e}"))?;
+    validate_schema(&doc, &schema).map_err(|errors| {
+        format!(
+            "lint.json violates schema ({} error(s)):\n  {}",
+            errors.len(),
+            errors.join("\n  ")
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +284,27 @@ mod tests {
         assert!(validate_profile_json(&broken).is_err());
         let missing = text.replace("\"reconciliation\"", "\"reconciliatoin\"");
         assert!(validate_profile_json(&missing).is_err());
+    }
+
+    #[test]
+    fn lint_schema_accepts_entries_and_catches_drift() {
+        let good = r#"[
+          {"layer": 0, "problem": "8x64x64x28x28 k3 s1 p1", "direction": "fwdd",
+           "algorithm": "DC", "vlen_bits": 16384, "replayed": false,
+           "deny": 0, "warn": 1, "note": 0,
+           "diagnostics": [
+             {"rule": "DEAD-WRITE", "severity": "warn", "message": "x"}
+           ]}
+        ]"#;
+        validate_lint_json(good).expect("schema-valid");
+
+        // An unknown rule string is drift: the enum pins the wire format.
+        let drifted = good.replace("DEAD-WRITE", "DEAD-WRITES");
+        assert!(validate_lint_json(&drifted).is_err());
+        // Dropping a required member (the static-path marker) is drift too.
+        let missing = good.replace("\"replayed\": false,", "");
+        assert!(validate_lint_json(&missing).is_err());
+        assert!(validate_lint_json("[{]").is_err());
     }
 
     #[test]

@@ -138,6 +138,8 @@ pub enum TraceEvent {
         span: u64,
         /// Arena region containing `addr`, if any.
         region: Option<u32>,
+        /// Vector length in elements.
+        vl: usize,
     },
     /// Vector store from `vr`.
     VStore {
@@ -149,23 +151,34 @@ pub enum TraceEvent {
         span: u64,
         /// Arena region containing `addr`, if any.
         region: Option<u32>,
+        /// Vector length in elements.
+        vl: usize,
     },
     /// Register `vr` zeroed (accumulator init, no memory access).
     VZero {
         /// Zeroed vector register.
         vr: usize,
+        /// Vector length in elements.
+        vl: usize,
     },
-    /// Vector FMA writing accumulator `acc` from weights register `w`.
+    /// Vector FMA writing accumulator `acc` from multiplicand register `w`
+    /// (and, for the register-register form, second multiplicand `w2`).
     VFma {
         /// Accumulator register (read-modify-write).
         acc: usize,
         /// Vector multiplicand register.
         w: usize,
+        /// Second vector multiplicand (`None` for the broadcast-scalar form).
+        w2: Option<usize>,
+        /// Vector length in elements.
+        vl: usize,
     },
     /// Horizontal reduction of `vr` to a scalar (drains the accumulator).
     VReduce {
         /// Reduced vector register.
         vr: usize,
+        /// Vector length in elements.
+        vl: usize,
     },
     /// Block gather into `vr`.
     VGather {
@@ -177,6 +190,8 @@ pub enum TraceEvent {
         span: u64,
         /// Arena region containing `addr`, if any.
         region: Option<u32>,
+        /// Vector length in elements.
+        vl: usize,
     },
     /// Block scatter from `vr`.
     VScatter {
@@ -188,6 +203,8 @@ pub enum TraceEvent {
         span: u64,
         /// Arena region containing `addr`, if any.
         region: Option<u32>,
+        /// Vector length in elements.
+        vl: usize,
     },
 }
 
@@ -268,6 +285,10 @@ pub struct VCore {
     /// (grown once, then recycled via `mem::take` on every call).
     line_scratch: Vec<u64>,
     // --- accounting ---
+    /// Introspection mode: record the instruction stream (operands, footprints,
+    /// regions) but skip all cache-hierarchy and scoreboard work. Used by the
+    /// `lsv-analyze` symbolic lift, which needs the stream, not the timing.
+    introspect: bool,
     trace: Option<Vec<TraceEvent>>,
     profiler: Option<Box<Profiler>>,
     counters: InstCounters,
@@ -303,6 +324,7 @@ impl VCore {
         };
         Self {
             hier,
+            introspect: false,
             trace: None,
             profiler: None,
             vreg_ready: vec![0; arch.n_vregs],
@@ -321,6 +343,32 @@ impl VCore {
             mode,
             arch: arch.clone(),
         }
+    }
+
+    /// Build a core that only *records* the instruction stream: every
+    /// instruction is traced with its operands, footprint, and arena region,
+    /// but the cache hierarchy, scoreboard, and functional register file are
+    /// never touched. This is the stream-introspection hook the `lsv-analyze`
+    /// symbolic lift runs kernels through — orders of magnitude cheaper than
+    /// a simulated replay, and deliberately permissive: illegal register
+    /// indices or vector lengths are recorded (so the analyzer can *deny*
+    /// them) instead of asserting.
+    pub fn new_introspect(arch: &ArchParams) -> Self {
+        let mut core = Self::new(arch, ExecutionMode::TimingOnly, 1);
+        core.introspect = true;
+        core.trace = Some(Vec::new());
+        core
+    }
+
+    /// Whether this core was built with [`VCore::new_introspect`].
+    pub fn is_introspect(&self) -> bool {
+        self.introspect
+    }
+
+    /// Take ownership of the recorded trace, leaving tracing enabled with an
+    /// empty buffer (so one introspect core can record several streams).
+    pub fn take_trace(&mut self) -> Option<Vec<TraceEvent>> {
+        self.trace.replace(Vec::new())
     }
 
     /// The architecture this core models.
@@ -455,9 +503,12 @@ impl VCore {
     /// One scalar ALU / address-update instruction.
     #[inline]
     pub fn scalar_op(&mut self) {
-        self.issue_slot();
         self.counters.scalar_ops += 1;
         self.record(TraceEvent::ScalarOp);
+        if self.introspect {
+            return;
+        }
+        self.issue_slot();
     }
 
     /// `n` scalar ALU instructions (loop bookkeeping).
@@ -471,10 +522,16 @@ impl VCore {
     /// A scalar load through L1 → L2 → LLC → memory.
     #[inline]
     pub fn scalar_load(&mut self, arena: &Arena, addr: u64) -> ScalarValue {
-        let t = self.issue_slot();
         self.counters.scalar_loads += 1;
         let region = self.trace_region(arena, addr);
         self.record(TraceEvent::ScalarLoad { addr, region });
+        if self.introspect {
+            return ScalarValue {
+                value: 0.0,
+                ready: 0,
+            };
+        }
+        let t = self.issue_slot();
         let out = self.hier.access_line(addr, false);
         let value = match self.mode {
             ExecutionMode::Functional => arena.read(addr),
@@ -489,10 +546,13 @@ impl VCore {
     /// A scalar store through the data-cache hierarchy.
     #[inline]
     pub fn scalar_store(&mut self, arena: &mut Arena, addr: u64, value: f32) {
-        self.issue_slot();
         self.counters.scalar_ops += 1;
         let region = self.trace_region(arena, addr);
         self.record(TraceEvent::ScalarStore { addr, region });
+        if self.introspect {
+            return;
+        }
+        self.issue_slot();
         self.hier.access_line(addr, true);
         if matches!(self.mode, ExecutionMode::Functional) {
             arena.write(addr, value);
@@ -560,6 +620,12 @@ impl VCore {
     }
 
     fn assert_vr(&self, vr: usize, vl: usize) {
+        if self.introspect {
+            // Introspection deliberately records illegal operands so the
+            // symbolic analyzer can deny them (VL-EXCEEDS, REG-PRESSURE)
+            // instead of the simulator asserting.
+            return;
+        }
         debug_assert!(vr < self.arch.n_vregs, "vector register {vr} out of range");
         debug_assert!(vl >= 1 && vl <= self.arch.n_vlen(), "vl {vl} out of range");
     }
@@ -571,7 +637,6 @@ impl VCore {
     /// port-free occupancy (streaming transfer).
     pub fn vload(&mut self, arena: &Arena, vr: usize, addr: u64, vl: usize) {
         self.assert_vr(vr, vl);
-        let dispatch = self.issue_slot();
         self.counters.vloads += 1;
         let region = self.trace_region(arena, addr);
         self.record(TraceEvent::VLoad {
@@ -579,7 +644,12 @@ impl VCore {
             addr,
             span: (vl * 4) as u64,
             region,
+            vl,
         });
+        if self.introspect {
+            return;
+        }
+        let dispatch = self.issue_slot();
         let (worst, mem_lines) = self.touch_llc_range(addr, (vl * 4) as u64, false);
         let (start, _) = self.vpipe_start(dispatch, 0, false);
         let occ = self.arch.vector_occupancy(vl);
@@ -594,7 +664,6 @@ impl VCore {
     /// Unit-stride vector store of `vl` elements from register `vr`.
     pub fn vstore(&mut self, arena: &mut Arena, vr: usize, addr: u64, vl: usize) {
         self.assert_vr(vr, vl);
-        let dispatch = self.issue_slot();
         self.counters.vstores += 1;
         let region = self.trace_region(arena, addr);
         self.record(TraceEvent::VStore {
@@ -602,7 +671,12 @@ impl VCore {
             addr,
             span: (vl * 4) as u64,
             region,
+            vl,
         });
+        if self.introspect {
+            return;
+        }
+        let dispatch = self.issue_slot();
         let (_worst, mem_lines) = self.touch_llc_range(addr, (vl * 4) as u64, true);
         let srcs = self.vreg_ready[vr];
         let (start, _) = self.vpipe_start(dispatch, srcs, false);
@@ -629,7 +703,6 @@ impl VCore {
     ) {
         let vl = row_elems * rows;
         self.assert_vr(vr, vl);
-        let dispatch = self.issue_slot();
         self.counters.vloads += 1;
         let region = self.trace_region(arena, addr);
         self.record(TraceEvent::VLoad {
@@ -637,7 +710,12 @@ impl VCore {
             addr,
             span: (rows as u64 - 1) * row_stride_bytes + (row_elems * 4) as u64,
             region,
+            vl,
         });
+        if self.introspect {
+            return;
+        }
+        let dispatch = self.issue_slot();
         let mut worst = 0u64;
         let mut mem_lines = 0u64;
         for r in 0..rows {
@@ -672,7 +750,6 @@ impl VCore {
     ) {
         let vl = row_elems * rows;
         self.assert_vr(vr, vl);
-        let dispatch = self.issue_slot();
         self.counters.vstores += 1;
         let region = self.trace_region(arena, addr);
         self.record(TraceEvent::VStore {
@@ -680,7 +757,12 @@ impl VCore {
             addr,
             span: (rows as u64 - 1) * row_stride_bytes + (row_elems * 4) as u64,
             region,
+            vl,
         });
+        if self.introspect {
+            return;
+        }
+        let dispatch = self.issue_slot();
         let mut mem_lines = 0u64;
         for r in 0..rows {
             let base = addr + r as u64 * row_stride_bytes;
@@ -712,7 +794,6 @@ impl VCore {
         count: usize,
     ) {
         self.assert_vr(vr, count);
-        let dispatch = self.issue_slot();
         self.counters.vloads += 1;
         let region = self.trace_region(arena, addr);
         self.record(TraceEvent::VLoad {
@@ -720,7 +801,12 @@ impl VCore {
             addr,
             span: (count as u64 - 1) * stride_bytes + 4,
             region,
+            vl: count,
         });
+        if self.introspect {
+            return;
+        }
+        let dispatch = self.issue_slot();
         let (worst, mem_lines) = self
             .hier
             .access_strided_llc(addr, stride_bytes, count, false);
@@ -749,7 +835,6 @@ impl VCore {
         count: usize,
     ) {
         self.assert_vr(vr, count);
-        let dispatch = self.issue_slot();
         self.counters.vstores += 1;
         let region = self.trace_region(arena, addr);
         self.record(TraceEvent::VStore {
@@ -757,7 +842,12 @@ impl VCore {
             addr,
             span: (count as u64 - 1) * stride_bytes + 4,
             region,
+            vl: count,
         });
+        if self.introspect {
+            return;
+        }
+        let dispatch = self.issue_slot();
         let (_worst, mem_lines) = self
             .hier
             .access_strided_llc(addr, stride_bytes, count, true);
@@ -775,9 +865,12 @@ impl VCore {
     /// Zero register `vr` (accumulator init without a memory access).
     pub fn vbroadcast_zero(&mut self, vr: usize, vl: usize) {
         self.assert_vr(vr, vl);
-        let dispatch = self.issue_slot();
         self.counters.scalar_ops += 1; // modelled as a cheap vector-mask op
-        self.record(TraceEvent::VZero { vr });
+        self.record(TraceEvent::VZero { vr, vl });
+        if self.introspect {
+            return;
+        }
+        let dispatch = self.issue_slot();
         let (start, _) = self.vpipe_start(dispatch, 0, false);
         self.vreg_ready[vr] = start + 1;
         if matches!(self.mode, ExecutionMode::Functional) {
@@ -794,15 +887,23 @@ impl VCore {
     pub fn vfma_bcast(&mut self, acc: usize, w: usize, scalar: ScalarValue, vl: usize) {
         self.assert_vr(acc, vl);
         self.assert_vr(w, vl);
+        self.counters.vfmas += 1;
+        self.counters.fma_elems += vl as u64;
+        self.record(TraceEvent::VFma {
+            acc,
+            w,
+            w2: None,
+            vl,
+        });
+        if self.introspect {
+            return;
+        }
         let mut dispatch = self.issue_slot();
         let blocking = scalar.ready.saturating_sub(self.arch.scalar_forward_window);
         if blocking > dispatch {
             self.block_frontend(blocking, true);
             dispatch = self.frontier;
         }
-        self.counters.vfmas += 1;
-        self.record(TraceEvent::VFma { acc, w });
-        self.counters.fma_elems += vl as u64;
         let srcs = self.vreg_ready[acc].max(self.vreg_ready[w]);
         let (start, port) = self.vpipe_start(dispatch, srcs, true);
         let occ = self.arch.vector_occupancy(vl);
@@ -833,10 +934,18 @@ impl VCore {
         self.assert_vr(acc, vl);
         self.assert_vr(x, vl);
         self.assert_vr(y, vl);
-        let dispatch = self.issue_slot();
         self.counters.vfmas += 1;
-        self.record(TraceEvent::VFma { acc, w: x });
         self.counters.fma_elems += vl as u64;
+        self.record(TraceEvent::VFma {
+            acc,
+            w: x,
+            w2: Some(y),
+            vl,
+        });
+        if self.introspect {
+            return;
+        }
+        let dispatch = self.issue_slot();
         let srcs = self.vreg_ready[acc]
             .max(self.vreg_ready[x])
             .max(self.vreg_ready[y]);
@@ -873,9 +982,15 @@ impl VCore {
     /// log-depth tail.
     pub fn vreduce_sum(&mut self, vr: usize, vl: usize) -> ScalarValue {
         self.assert_vr(vr, vl);
-        let dispatch = self.issue_slot();
         self.counters.vfmas += 1;
-        self.record(TraceEvent::VReduce { vr });
+        self.record(TraceEvent::VReduce { vr, vl });
+        if self.introspect {
+            return ScalarValue {
+                value: 0.0,
+                ready: 0,
+            };
+        }
+        let dispatch = self.issue_slot();
         let srcs = self.vreg_ready[vr];
         let (start, port) = self.vpipe_start(dispatch, srcs, true);
         let occ = self.arch.vector_occupancy(vl);
@@ -897,7 +1012,6 @@ impl VCore {
     pub fn vgather_blocks(&mut self, arena: &Arena, vr: usize, blocks: &[u64], block_elems: usize) {
         let vl = blocks.len() * block_elems;
         self.assert_vr(vr, vl);
-        let dispatch = self.issue_slot();
         self.counters.gathers += 1;
         if self.trace.is_some() {
             let lo = blocks.iter().copied().min().unwrap_or(0);
@@ -907,8 +1021,13 @@ impl VCore {
                 addr: lo,
                 span: hi - lo + (block_elems * 4) as u64,
                 region: arena.region_of(lo),
+                vl,
             });
         }
+        if self.introspect {
+            return;
+        }
+        let dispatch = self.issue_slot();
         let line = self.hier.line_bytes() as u64;
         let mut line_addrs = std::mem::take(&mut self.line_scratch);
         line_addrs.clear();
@@ -951,7 +1070,6 @@ impl VCore {
     ) {
         let vl = blocks.len() * block_elems;
         self.assert_vr(vr, vl);
-        let dispatch = self.issue_slot();
         self.counters.scatters += 1;
         if self.trace.is_some() {
             let lo = blocks.iter().copied().min().unwrap_or(0);
@@ -961,8 +1079,13 @@ impl VCore {
                 addr: lo,
                 span: hi - lo + (block_elems * 4) as u64,
                 region: arena.region_of(lo),
+                vl,
             });
         }
+        if self.introspect {
+            return;
+        }
+        let dispatch = self.issue_slot();
         let line = self.hier.line_bytes() as u64;
         let mut line_addrs = std::mem::take(&mut self.line_scratch);
         line_addrs.clear();
@@ -1367,14 +1490,21 @@ mod tests {
                     vr: 1,
                     addr: x,
                     span: 256,
-                    region: r
+                    region: r,
+                    vl: 64
                 },
-                TraceEvent::VFma { acc: 0, w: 1 },
+                TraceEvent::VFma {
+                    acc: 0,
+                    w: 1,
+                    w2: None,
+                    vl: 64
+                },
                 TraceEvent::VStore {
                     vr: 0,
                     addr: x,
                     span: 256,
-                    region: r
+                    region: r,
+                    vl: 64
                 },
                 TraceEvent::ScalarStore { addr: x, region: r },
             ]
@@ -1398,14 +1528,15 @@ mod tests {
         let blocks: Vec<u64> = (0..4).map(|i| dst + i * 512).collect();
         c.vgather_blocks(&a, 2, &blocks, 32);
         let t = c.trace().unwrap();
-        assert_eq!(t[0], TraceEvent::VZero { vr: 0 });
+        assert_eq!(t[0], TraceEvent::VZero { vr: 0, vl: 64 });
         assert_eq!(
             t[1],
             TraceEvent::VLoad {
                 vr: 0,
                 addr: src,
                 span: 1232,
-                region: Some(0)
+                region: Some(0),
+                vl: 32
             }
         );
         assert_eq!(
@@ -1414,19 +1545,83 @@ mod tests {
                 vr: 1,
                 addr: src + 64,
                 span: 124,
-                region: Some(0)
+                region: Some(0),
+                vl: 16
             }
         );
-        assert_eq!(t[3], TraceEvent::VReduce { vr: 0 });
+        assert_eq!(t[3], TraceEvent::VReduce { vr: 0, vl: 64 });
         assert_eq!(
             t[4],
             TraceEvent::VGather {
                 vr: 2,
                 addr: dst,
                 span: 3 * 512 + 128,
-                region: Some(1)
+                region: Some(1),
+                vl: 128
             }
         );
+    }
+
+    #[test]
+    fn introspect_records_same_stream_as_traced_run() {
+        let arch = sx_aurora();
+        let mut a = Arena::new();
+        let x = a.alloc(512);
+        let run = |c: &mut VCore, a: &mut Arena| {
+            c.scalar_op();
+            let sv = c.scalar_load(a, x);
+            c.vload(a, 1, x, 64);
+            c.vbroadcast_zero(0, 64);
+            c.vfma_bcast(0, 1, sv, 64);
+            c.vfma_vv(2, 0, 1, 64);
+            c.vstore(a, 0, x, 64);
+            let _ = c.vreduce_sum(0, 64);
+            c.vgather_blocks(a, 3, &[x, x + 512], 32);
+            c.vscatter_blocks(a, 3, &[x, x + 512], 32);
+        };
+        let mut timed = VCore::new(&arch, ExecutionMode::TimingOnly, 1);
+        timed.enable_trace();
+        run(&mut timed, &mut a);
+        let mut intro = VCore::new_introspect(&arch);
+        run(&mut intro, &mut a);
+        assert_eq!(intro.trace().unwrap(), timed.trace().unwrap());
+        assert!(intro.is_introspect());
+        let stream = intro.take_trace().unwrap();
+        assert_eq!(stream.len(), timed.trace().unwrap().len());
+        assert_eq!(
+            intro.trace().unwrap().len(),
+            0,
+            "take_trace leaves a fresh buffer"
+        );
+        // Introspection never touches the cache hierarchy or the scoreboard.
+        let s = intro.drain();
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.cache.llc.accesses(), 0);
+    }
+
+    #[test]
+    fn introspect_records_illegal_operands_without_asserting() {
+        // A debug build would assert on vr/vl out of range in any other mode;
+        // introspection must record them for the analyzer to deny.
+        let arch = sx_aurora();
+        let mut a = Arena::new();
+        let x = a.alloc(64);
+        let mut c = VCore::new_introspect(&arch);
+        let bad_vl = arch.n_vlen() + 1;
+        c.vload(&a, arch.n_vregs + 3, x, bad_vl);
+        let t = c.trace().unwrap();
+        assert_eq!(
+            t[0],
+            TraceEvent::VLoad {
+                vr: arch.n_vregs + 3,
+                addr: x,
+                span: (bad_vl * 4) as u64,
+                region: Some(0),
+                vl: bad_vl
+            }
+        );
+        let sv = c.scalar_load(&a, x);
+        assert_eq!(sv.ready, 0, "introspect scalar loads are ready immediately");
     }
 
     #[test]
