@@ -26,11 +26,17 @@ cargo run --release -p lsv-bench --bin lint-kernels -- --all --static --deny-as-
 echo "== differential fuzz (smoke: seed corpus + bounded randomized sweep)"
 cargo run --release -p lsv-bench --bin lsvconv-cli -- fuzz --smoke --agreement
 
+echo "== differential fuzz, native backend (smoke: host-speed functional path)"
+cargo run --release -p lsv-bench --bin lsvconv-cli -- fuzz --smoke --backend native
+
 echo "== profile smoke (reconciliation + profile.json schema are hard errors)"
 cargo run --release -p lsv-bench --bin lsvconv-cli -- profile --smoke --out results/ci-profile
 
 echo "== bench-simulator (smoke)"
 cargo run --release -p lsv-bench --bin bench-simulator -- --smoke
+
+echo "== bench-native (smoke: layer GFLOP/s + sim-vs-native corpus speedup)"
+cargo run --release -p lsv-bench --bin bench-native -- --smoke
 
 echo "== cargo bench (smoke mode: 1 sample per benchmark)"
 LSV_BENCH_SMOKE=1 cargo bench --workspace -q

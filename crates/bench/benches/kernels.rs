@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use lsv_arch::presets::sx_aurora;
 use lsv_arch::CacheGeometry;
 use lsv_cache::{Hierarchy, SetAssocCache, ShadowLru};
-use lsv_conv::{Algorithm, ConvDesc, ConvProblem, Direction};
+use lsv_conv::{naive, Algorithm, ConvDesc, ConvProblem, Direction, NativeBackend};
 use lsv_tensor::{ActTensor, ActivationLayout};
 use lsv_vengine::{Arena, ExecutionMode, ScalarValue, VCore};
 
@@ -161,6 +161,42 @@ fn bench_functional_kernels(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_native_vs_naive(c: &mut Criterion) {
+    // The native backend runs the frozen blocked plan as host loops; the
+    // naive reference is the textbook seven-deep nest over the same
+    // operands. Identical FLOPs, identical results (within reassociation) —
+    // the gap is what the paper's blocking buys even off the simulator.
+    let arch = sx_aurora();
+    let p = ConvProblem::new(1, 64, 64, 28, 28, 3, 3, 1, 1);
+    let src: Vec<f32> = (0..p.n * p.ic * p.ih * p.iw)
+        .map(|i| (i % 251) as f32 * 1e-3)
+        .collect();
+    let wei: Vec<f32> = (0..p.oc * p.ic * p.kh * p.kw)
+        .map(|i| (i % 127) as f32 * 1e-4)
+        .collect();
+    let mut g = c.benchmark_group("backend/native_vs_naive_fwd");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(2 * p.macs()));
+    g.bench_function("naive", |b| {
+        b.iter(|| std::hint::black_box(naive::forward(&p, &src, &wei)))
+    });
+    for alg in Algorithm::ALL {
+        let prim = ConvDesc::new(p, Direction::Fwd, alg)
+            .create(&arch, 1)
+            .unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("native", alg.short_name()),
+            &prim,
+            |b, prim| {
+                b.iter(|| {
+                    std::hint::black_box(prim.run_with_backend(&NativeBackend, &src, &wei, &[]))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_layout_conversion(c: &mut Criterion) {
     let mut arena = Arena::new();
     let t = ActTensor::alloc(&mut arena, 1, 256, 28, 28, ActivationLayout { cb: 32 });
@@ -180,6 +216,7 @@ criterion_group!(
     bench_shadow_lru,
     bench_scoreboard,
     bench_functional_kernels,
+    bench_native_vs_naive,
     bench_layout_conversion,
 );
 criterion_main!(kernels);

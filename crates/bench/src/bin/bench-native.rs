@@ -1,0 +1,207 @@
+//! Host-performance meter for the native execution backend: runs the
+//! Table 3 layer shapes through [`lsv_conv::bench_layer_native`] and
+//! reports achieved host GFLOP/s, then measures the wall-time speedup of
+//! the native backend over the simulated functional path on the
+//! differential-fuzzing seed corpus (the same kernels, the same operands,
+//! both backends producing bit-identical outputs).
+//!
+//! The JSON artefact (`BENCH_native.json`) is the evidence for the
+//! backend-abstraction acceptance criterion: fast functional runs at a
+//! measured >=20x corpus speedup with unchanged numerics.
+//!
+//! Usage: `bench-native [--smoke] [--out PATH]`
+//!
+//! `--smoke` shrinks the layer sweep and skips nothing else — the corpus
+//! speedup measurement is cheap enough to keep in CI.
+
+use lsv_arch::presets::sx_aurora;
+use lsv_conv::fuzz;
+use lsv_conv::{
+    bench_layer_native, Algorithm, BackendKind, ConvDesc, Direction, ExecBackend, NativeBackend,
+    SimBackend,
+};
+use lsv_models::resnet_layer;
+use lsv_vengine::Arena;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct LayerResult {
+    layer: usize,
+    dir: Direction,
+    alg: Algorithm,
+    minibatch: usize,
+    problem: String,
+    host_ms: f64,
+    gflops: f64,
+    fma_elems: u64,
+}
+
+fn run_layer(layer: usize, minibatch: usize, dir: Direction, alg: Algorithm) -> LayerResult {
+    let arch = sx_aurora();
+    let p = resnet_layer(layer, minibatch);
+    let perf = bench_layer_native(&arch, &p, dir, alg);
+    LayerResult {
+        layer,
+        dir,
+        alg,
+        minibatch,
+        problem: p.to_string(),
+        host_ms: perf.host_secs * 1e3,
+        gflops: perf.host_gflops,
+        fma_elems: perf.insts.fma_elems,
+    }
+}
+
+/// Kernel execution seconds for the whole seed corpus on one backend.
+/// `FuzzOutcome::exec_secs` times only the property-1 kernel execution
+/// (operand import/readback and the naive reference are excluded), so the
+/// ratio isolates backend speed on identical work.
+fn corpus_exec_secs(kind: BackendKind) -> (usize, f64) {
+    let out = fuzz::run_corpus_backend(&fuzz::no_lint, None, kind);
+    assert!(
+        out.clean(),
+        "bench-native: corpus failures on {kind} backend: {:?}",
+        out.failures
+            .iter()
+            .map(|f| format!("{}: {}", f.case, f.why))
+            .collect::<Vec<_>>()
+    );
+    (out.cases_run, out.exec_secs)
+}
+
+/// Pure-execution sim-vs-native comparison on one Table 3 layer: the same
+/// frozen primitive, the same arena contents, the whole problem as one
+/// slice. Operand import/readback (identical host conversions under both
+/// backends) are outside the timed region — this is the headline
+/// "functional run at host speed" number.
+fn layer_speedup(layer: usize, minibatch: usize) -> (String, f64, f64) {
+    let arch = sx_aurora();
+    let p = resnet_layer(layer, minibatch);
+    let prim = ConvDesc::new(p, Direction::Fwd, Algorithm::Bdc)
+        .create(&arch, 1)
+        .expect("layer primitive");
+    let src: Vec<f32> = (0..p.n * p.ic * p.ih * p.iw)
+        .map(|i| (i % 509) as f32 * 1e-3)
+        .collect();
+    let wei: Vec<f32> = (0..p.oc * p.ic * p.kh * p.kw)
+        .map(|i| (i % 251) as f32 * 1e-4)
+        .collect();
+    let time_exec = |backend: &dyn ExecBackend| {
+        let mut arena = Arena::new();
+        let t = prim.alloc_tensors(&mut arena);
+        prim.import_operands(&mut arena, &t, &src, &wei, &[]);
+        let t0 = Instant::now();
+        backend.execute_slice(&prim, &mut arena, &t, 0..p.n, 0..prim.bwdw_small_blocks());
+        t0.elapsed().as_secs_f64()
+    };
+    let native_s = time_exec(&NativeBackend);
+    let sim_s = time_exec(&SimBackend::functional());
+    (p.to_string(), sim_s, native_s)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = it.next().cloned(),
+            other => {
+                eprintln!("bench-native: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // The timed region is the same kernel plan on the same operands under
+    // both backends; the simulator timing is the functional path the native
+    // backend replaces in verification workflows. Measured *before* the
+    // layer sweep: minutes of sustained load throttle small shared machines
+    // and would skew the headline ratio.
+    let t0 = Instant::now();
+    let (cases, sim_s) = corpus_exec_secs(BackendKind::Sim);
+    let (_, native_s) = corpus_exec_secs(BackendKind::Native);
+    let corpus_wall_s = t0.elapsed().as_secs_f64();
+    let speedup = sim_s / native_s.max(1e-9);
+
+    let mut layers = Vec::new();
+    if smoke {
+        layers.push(run_layer(4, 4, Direction::Fwd, Algorithm::Bdc));
+    } else {
+        for id in 0..lsv_models::NUM_LAYERS {
+            layers.push(run_layer(id, 16, Direction::Fwd, Algorithm::Bdc));
+        }
+        for id in [4, 8, 16] {
+            layers.push(run_layer(id, 16, Direction::BwdData, Algorithm::Bdc));
+            layers.push(run_layer(id, 16, Direction::BwdWeights, Algorithm::Bdc));
+            layers.push(run_layer(id, 16, Direction::Fwd, Algorithm::Mbdc));
+        }
+    }
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"tool\": \"bench-native\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"arch\": \"{}\",", sx_aurora().name);
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    json.push_str("  \"layers\": [\n");
+    for (i, l) in layers.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"layer\": {}, \"dir\": \"{}\", \"alg\": \"{}\", \"minibatch\": {}, \
+             \"problem\": \"{}\", \"host_ms\": {:.3}, \"native_gflops\": {:.2}, \
+             \"fma_elems\": {}}}",
+            l.layer,
+            l.dir,
+            l.alg.short_name(),
+            l.minibatch,
+            l.problem,
+            l.host_ms,
+            l.gflops,
+            l.fma_elems
+        );
+        json.push_str(if i + 1 < layers.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"corpus\": {\n");
+    let _ = writeln!(json, "    \"cases\": {cases},");
+    let _ = writeln!(json, "    \"sim_functional_exec_s\": {sim_s:.4},");
+    let _ = writeln!(json, "    \"native_exec_s\": {native_s:.6},");
+    let _ = writeln!(json, "    \"native_speedup\": {speedup:.1},");
+    let _ = writeln!(json, "    \"wall_s\": {corpus_wall_s:.3}");
+    json.push_str("  }");
+    if !smoke {
+        // One full layer, pure kernel execution under both backends. The
+        // corpus cases are tiny (per-instruction simulator overhead
+        // dominates there); a real layer's wide vectors amortize that
+        // overhead, so its ratio is the conservative end of the range.
+        let (problem, layer_sim_s, layer_native_s) = layer_speedup(8, 2);
+        let layer_ratio = layer_sim_s / layer_native_s.max(1e-9);
+        json.push_str(",\n  \"layer_speedup\": {\n");
+        let _ = writeln!(json, "    \"layer\": 8, \"minibatch\": 2,");
+        let _ = writeln!(json, "    \"problem\": \"{problem}\",");
+        let _ = writeln!(json, "    \"sim_functional_exec_s\": {layer_sim_s:.3},");
+        let _ = writeln!(json, "    \"native_exec_s\": {layer_native_s:.4},");
+        let _ = writeln!(json, "    \"native_speedup\": {layer_ratio:.1}");
+        json.push_str("  }");
+    }
+    json.push_str("\n}\n");
+
+    match out {
+        Some(path) => {
+            std::fs::write(&path, json)
+                .unwrap_or_else(|e| panic!("bench-native: cannot write {path}: {e}"));
+            eprintln!("bench-native: wrote {path} (corpus speedup {speedup:.1}x)");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -16,7 +16,8 @@ use lsv_bench::profiling::{print_profile_summary, profile_meta, write_profile_ar
 use lsv_bench::{bench_engine, Engine};
 use lsv_conv::fuzz::{self, FuzzOutcome};
 use lsv_conv::{
-    bench_layer_profiled, validate, Algorithm, ConvDesc, ConvProblem, Direction, ExecutionMode,
+    bench_layer_profiled, validate_with_backend, Algorithm, BackendKind, ConvDesc, ConvProblem,
+    Direction, ExecutionMode,
 };
 use lsv_models::resnet_layer;
 use lsv_vengine::CoreStats;
@@ -63,6 +64,30 @@ fn arch_by_name(name: &str) -> ArchParams {
             usage(&format!("unknown architecture '{other}'"))
         }
     }
+}
+
+/// Parse and validate `--backend` (default: the simulator). Subcommands
+/// that report time (`bench`, `tune`, `profile`) pass `allow_native =
+/// false`: the native backend computes values only, so selecting it there
+/// is a user error, not a silent fallback.
+fn backend_from_flags(
+    flags: &HashMap<String, String>,
+    cmd: &str,
+    allow_native: bool,
+) -> BackendKind {
+    let kind = match flags.get("backend") {
+        None => BackendKind::Sim,
+        // An empty value (`--backend --smoke`, or trailing `--backend`)
+        // falls through to the parser and is rejected with the same error.
+        Some(v) => v.parse::<BackendKind>().unwrap_or_else(|e| usage(&e)),
+    };
+    if !allow_native && kind == BackendKind::Native {
+        usage(&format!(
+            "--backend native is not valid for `{cmd}`: only the simulator models time \
+             (cycles, caches, stalls); use --backend sim or drop the flag"
+        ));
+    }
+    kind
 }
 
 fn direction_by_name(name: &str) -> Direction {
@@ -118,10 +143,11 @@ fn problem_from_flags(flags: &HashMap<String, String>, default_mb: usize) -> Con
 
 fn report_fuzz(label: &str, out: &FuzzOutcome) {
     println!(
-        "  {label}: {} cases, {} skipped (register pressure), {} failures",
+        "  {label}: {} cases, {} skipped (register pressure), {} failures ({:.3}s kernel exec)",
         out.cases_run,
         out.skipped,
-        out.failures.len()
+        out.failures.len(),
+        out.exec_secs,
     );
     for f in &out.failures {
         println!("    FAIL {}: {}", f.case, f.why);
@@ -135,6 +161,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("  common flags: --arch <sx-aurora|skylake|rvv|a64fx|aurora-vl<bits>>");
     eprintln!("                --layer <0..18> | --ic N --oc N --hw N --k N --stride N --pad N");
     eprintln!("                --dir <fwdd|bwdd|bwdw>  --alg <DC|BDC|MBDC|vednn>  --minibatch N");
+    eprintln!("                --backend <sim|native> (verify/fuzz; native = host-speed");
+    eprintln!("                functional execution, bit-identical output, no timing)");
     eprintln!("  fuzz flags:   --cases N (default 500)  --seed N  --smoke (corpus + 50 cases)");
     eprintln!("                --agreement (cross-check symbolic vs replay verdicts per case)");
     eprintln!("  profile:      profile <layer> [--dir D] [--alg A] [--out DIR] [--smoke]");
@@ -186,6 +214,7 @@ fn main() {
             );
         }
         "bench" => {
+            backend_from_flags(&flags, "bench", false);
             let p = problem_from_flags(&flags, 64);
             let dir = direction_by_name(flags.get("dir").map(String::as_str).unwrap_or(""));
             let engine = engine_by_name(flags.get("alg").map(String::as_str).unwrap_or(""));
@@ -214,13 +243,14 @@ fn main() {
             );
         }
         "verify" => {
+            let backend = backend_from_flags(&flags, "verify", true);
             let p = problem_from_flags(&flags, 2);
             let dir = direction_by_name(flags.get("dir").map(String::as_str).unwrap_or(""));
             match engine_by_name(flags.get("alg").map(String::as_str).unwrap_or("")) {
                 Engine::Direct(alg) => {
-                    let r = validate(&arch, &p, dir, alg);
+                    let r = validate_with_backend(&arch, &p, dir, alg, backend.create().as_ref());
                     println!(
-                        "{p} {dir} {alg}: {} (rel err {:.3e})",
+                        "{p} {dir} {alg} [{backend} backend]: {} (rel err {:.3e})",
                         if r.passed { "PASSED" } else { "FAILED" },
                         r.rel_err
                     );
@@ -232,6 +262,7 @@ fn main() {
             }
         }
         "tune" => {
+            backend_from_flags(&flags, "tune", false);
             let p = problem_from_flags(&flags, 64);
             let dir = direction_by_name(flags.get("dir").map(String::as_str).unwrap_or(""));
             let alg = match engine_by_name(flags.get("alg").map(String::as_str).unwrap_or("")) {
@@ -283,6 +314,7 @@ fn main() {
             }
         }
         "fuzz" => {
+            let backend = backend_from_flags(&flags, "fuzz", true);
             let smoke = argv.iter().any(|a| a == "--smoke");
             let agreement = argv.iter().any(|a| a == "--agreement");
             let cases: usize = flags
@@ -300,7 +332,7 @@ fn main() {
             };
 
             println!(
-                "replaying seed corpus ({} cases{})...",
+                "replaying seed corpus ({} cases, {backend} backend{})...",
                 fuzz::seed_corpus().len(),
                 if agreement {
                     ", agreement oracle on"
@@ -308,11 +340,11 @@ fn main() {
                     ""
                 }
             );
-            let corpus = fuzz::run_corpus_with_oracle(&validator, oracle);
+            let corpus = fuzz::run_corpus_backend(&validator, oracle, backend);
             report_fuzz("corpus", &corpus);
 
-            println!("fuzzing {cases} randomized cases (seed {seed})...");
-            let random = fuzz::run_fuzz_with_oracle(cases, seed, &validator, oracle);
+            println!("fuzzing {cases} randomized cases (seed {seed}, {backend} backend)...");
+            let random = fuzz::run_fuzz_backend(cases, seed, &validator, oracle, backend);
             report_fuzz("random", &random);
 
             if !corpus.clean() || !random.clean() {
@@ -320,6 +352,7 @@ fn main() {
             }
         }
         "profile" => {
+            backend_from_flags(&flags, "profile", false);
             let smoke = argv.iter().any(|a| a == "--smoke");
             let mut flags = flags;
             // Positional layer id: `lsvconv profile 8` == `--layer 8`.

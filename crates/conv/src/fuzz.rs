@@ -22,6 +22,16 @@
 //!    accept every case the library supports, i.e. the symbolic analyzer
 //!    and the traced replay must reach the same deny verdicts. The analyzer
 //!    is thereby fuzzed alongside the kernels it verifies.
+//! 5. **Backend agreement** (simulator runs only): the
+//!    [`crate::backend::NativeBackend`] host lowering of the same frozen
+//!    plan must reproduce the simulator's functional output *bit for bit*
+//!    and its data-movement instruction counters exactly.
+//!
+//! The harness runs property 1 on a selectable [`BackendKind`]: with
+//! `BackendKind::Native` the functional check executes on the host lowering
+//! (~20× faster than simulation on the corpus shapes — the timing-dependent
+//! properties 2 and 5 are skipped because no simulated stream exists), which
+//! makes large randomized sweeps essentially free.
 //!
 //! Failures are shrunk with the strategy's greedy shrinker before being
 //! reported, so counterexamples arrive minimal. [`seed_corpus`] pins the
@@ -29,17 +39,19 @@
 //! counterexamples it ever surfaces) as a deterministic regression suite —
 //! `tests/fuzz_corpus.rs` replays it in tier-1.
 
+use crate::backend::{BackendKind, ExecBackend, NativeBackend, SimBackend};
 use crate::naive;
 use crate::primitive::{ConvDesc, UnsupportedReason};
 use crate::problem::{Algorithm, ConvProblem, Direction};
 use crate::tuning::KernelConfig;
 use crate::verify::tolerance;
 use lsv_arch::{aurora_with_vlen_bits, ArchParams};
-use lsv_vengine::{Arena, ExecutionMode, VCore};
+use lsv_vengine::{Arena, ExecutionMode, InstCounters, VCore};
 use proptest::strategy::Strategy;
 use proptest::test_runner::TestRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+use std::time::Instant;
 
 /// Vector lengths (bits) the generator sweeps: 16 f32 lanes up to the full
 /// SX-Aurora 512.
@@ -97,6 +109,11 @@ pub struct FuzzOutcome {
     pub skipped: usize,
     /// Minimized property violations (empty on a clean run).
     pub failures: Vec<FuzzFailure>,
+    /// Wall time spent inside the property-1 *kernel executions* on the
+    /// backend under test only — case generation, operand import/readback,
+    /// naive references and the other properties are all excluded — for
+    /// sim-vs-native speedup reporting on identical work.
+    pub exec_secs: f64,
 }
 
 impl FuzzOutcome {
@@ -152,9 +169,9 @@ enum CaseStatus {
     Skip(#[allow(dead_code)] String),
 }
 
-/// Check one case against all three properties.
+/// Check one case against every property (simulator backend).
 pub fn check_case(case: &FuzzCase, validator: CaseValidator) -> Result<(), String> {
-    match check_case_inner(case, validator, None) {
+    match check_case_inner(case, validator, None, BackendKind::Sim, &mut 0.0) {
         Ok(_) => Ok(()),
         Err(why) => Err(why),
     }
@@ -166,16 +183,43 @@ pub fn check_case_with_oracle(
     validator: CaseValidator,
     oracle: Option<CaseValidator>,
 ) -> Result<(), String> {
-    match check_case_inner(case, validator, oracle) {
+    check_case_backend(case, validator, oracle, BackendKind::Sim)
+}
+
+/// Check one case with the functional execution on an explicit backend.
+pub fn check_case_backend(
+    case: &FuzzCase,
+    validator: CaseValidator,
+    oracle: Option<CaseValidator>,
+    backend: BackendKind,
+) -> Result<(), String> {
+    match check_case_inner(case, validator, oracle, backend, &mut 0.0) {
         Ok(_) => Ok(()),
         Err(why) => Err(why),
     }
+}
+
+/// The data-movement counter subset both backends must agree on (the
+/// simulator additionally counts `scalar_ops` frontend filler, which the
+/// native lowering deliberately does not model).
+fn data_ops(c: &InstCounters) -> [u64; 7] {
+    [
+        c.scalar_loads,
+        c.vloads,
+        c.vstores,
+        c.gathers,
+        c.scatters,
+        c.vfmas,
+        c.fma_elems,
+    ]
 }
 
 fn check_case_inner(
     case: &FuzzCase,
     validator: CaseValidator,
     oracle: Option<CaseValidator>,
+    backend: BackendKind,
+    exec_secs: &mut f64,
 ) -> Result<CaseStatus, String> {
     let p = case.problem;
     let arch = aurora_with_vlen_bits(case.vlen_bits);
@@ -209,8 +253,27 @@ fn check_case_inner(
         .map(|_| rng.gen_range(-1.0..1.0))
         .collect();
 
-    // Property 1: functional output vs the naive reference, per-element.
-    let (got, func_report) = prim.run_functional(&src, &wei, &dst);
+    // Property 1: functional output vs the naive reference, per-element,
+    // executed on the selected backend. Only the kernel execution itself is
+    // timed into `exec_secs` — operand import/readback are
+    // backend-independent host conversions and would dilute the
+    // sim-vs-native ratio on small cases.
+    let sim_functional;
+    let backend_impl: &dyn ExecBackend = match backend {
+        BackendKind::Sim => {
+            sim_functional = SimBackend::functional();
+            &sim_functional
+        }
+        BackendKind::Native => &NativeBackend,
+    };
+    let mut arena = Arena::new();
+    let t = prim.alloc_tensors(&mut arena);
+    prim.import_operands(&mut arena, &t, &src, &wei, &dst);
+    let t0 = Instant::now();
+    let func_report =
+        backend_impl.execute_slice(&prim, &mut arena, &t, 0..p.n, 0..prim.bwdw_small_blocks());
+    *exec_secs += t0.elapsed().as_secs_f64();
+    let got = prim.read_output(&arena, &t);
     let (reference, reduction_len) = match case.direction {
         Direction::Fwd => (naive::forward(&p, &src, &wei), p.ic * p.kh * p.kw),
         Direction::BwdData => (naive::backward_data(&p, &dst, &wei), p.oc * p.kh * p.kw),
@@ -235,6 +298,31 @@ fn check_case_inner(
     if rel_err > tol {
         return Err(format!(
             "functional mismatch vs naive: rel_err {rel_err:.3e} > tolerance {tol:.3e}"
+        ));
+    }
+
+    // The remaining properties compare against the simulated stream; with
+    // the native backend under test there is none, so the check ends here
+    // (that asymmetry is what makes `--backend native` sweeps cheap).
+    if backend == BackendKind::Native {
+        return Ok(CaseStatus::Pass);
+    }
+
+    // Property 5: the native lowering of the same frozen plan must
+    // reproduce the simulator's functional output bit for bit (identical
+    // accumulation order, unfused FMA) and mirror its data-movement
+    // instruction counters.
+    let (native_out, native_report) = prim.run_with_backend(&NativeBackend, &src, &wei, &dst);
+    if let Some(i) = (0..got.len()).find(|&i| native_out[i] != got[i]) {
+        return Err(format!(
+            "native-vs-sim mismatch at element {i}: sim {:?} native {:?}",
+            got[i], native_out[i]
+        ));
+    }
+    if data_ops(&native_report.insts) != data_ops(&func_report.insts) {
+        return Err(format!(
+            "native-vs-sim instruction drift: sim {:?} native {:?}",
+            func_report.insts, native_report.insts
         ));
     }
 
@@ -267,6 +355,7 @@ fn shrink_failure<S: Strategy<Value = RawCase>>(
     mut why: String,
     validator: CaseValidator,
     oracle: Option<CaseValidator>,
+    backend: BackendKind,
 ) -> (FuzzCase, String) {
     let mut evals = 0usize;
     let mut progress = true;
@@ -277,7 +366,7 @@ fn shrink_failure<S: Strategy<Value = RawCase>>(
             let Some(case) = build_case(&cand) else {
                 continue;
             };
-            if let Err(w) = check_case_with_oracle(&case, validator, oracle) {
+            if let Err(w) = check_case_backend(&case, validator, oracle, backend) {
                 raw = cand;
                 why = w;
                 progress = true;
@@ -301,6 +390,18 @@ pub fn run_fuzz_with_oracle(
     validator: CaseValidator,
     oracle: Option<CaseValidator>,
 ) -> FuzzOutcome {
+    run_fuzz_backend(cases, seed, validator, oracle, BackendKind::Sim)
+}
+
+/// [`run_fuzz_with_oracle`] with the functional execution on an explicit
+/// backend ([`BackendKind::Native`] for fast host-only sweeps).
+pub fn run_fuzz_backend(
+    cases: usize,
+    seed: u64,
+    validator: CaseValidator,
+    oracle: Option<CaseValidator>,
+    backend: BackendKind,
+) -> FuzzOutcome {
     let strat = strategy();
     let mut rng = TestRng::from_seed(seed);
     let mut out = FuzzOutcome::default();
@@ -318,11 +419,12 @@ pub fn run_fuzz_with_oracle(
             continue;
         };
         out.cases_run += 1;
-        match check_case_inner(&case, validator, oracle) {
+        match check_case_inner(&case, validator, oracle, backend, &mut out.exec_secs) {
             Ok(CaseStatus::Pass) => {}
             Ok(CaseStatus::Skip(_)) => out.skipped += 1,
             Err(why) => {
-                let (min_case, min_why) = shrink_failure(&strat, sample, why, validator, oracle);
+                let (min_case, min_why) =
+                    shrink_failure(&strat, sample, why, validator, oracle, backend);
                 out.failures.push(FuzzFailure {
                     case: min_case,
                     why: min_why,
@@ -393,10 +495,20 @@ pub fn run_corpus_with_oracle(
     validator: CaseValidator,
     oracle: Option<CaseValidator>,
 ) -> FuzzOutcome {
+    run_corpus_backend(validator, oracle, BackendKind::Sim)
+}
+
+/// [`run_corpus_with_oracle`] with the functional execution on an explicit
+/// backend.
+pub fn run_corpus_backend(
+    validator: CaseValidator,
+    oracle: Option<CaseValidator>,
+    backend: BackendKind,
+) -> FuzzOutcome {
     let mut out = FuzzOutcome::default();
     for case in seed_corpus() {
         out.cases_run += 1;
-        match check_case_inner(&case, validator, oracle) {
+        match check_case_inner(&case, validator, oracle, backend, &mut out.exec_secs) {
             Ok(CaseStatus::Pass) => {}
             Ok(CaseStatus::Skip(_)) => out.skipped += 1,
             Err(why) => out.failures.push(FuzzFailure { case, why }),
@@ -455,6 +567,17 @@ mod tests {
     #[test]
     fn corpus_replays_clean() {
         let out = run_corpus(&no_lint);
+        assert!(out.clean(), "failures: {:?}", out.failures);
+        assert_eq!(out.cases_run, seed_corpus().len());
+        assert_eq!(out.skipped, 0, "corpus entries must all be supported");
+    }
+
+    #[test]
+    fn corpus_replays_clean_on_native_backend() {
+        // The same corpus with property 1 executed on the host lowering:
+        // native must agree with the naive reference on its own, not just
+        // via the sim cross-check.
+        let out = run_corpus_backend(&no_lint, None, BackendKind::Native);
         assert!(out.clean(), "failures: {:?}", out.failures);
         assert_eq!(out.cases_run, seed_corpus().len());
         assert_eq!(out.skipped, 0, "corpus entries must all be supported");

@@ -122,7 +122,13 @@ pub fn run(
 /// coordinate: `o = (i + pad - k) / stride` when the division is exact and
 /// the result is in `[0, olen)`.
 #[inline]
-fn producer(i: usize, k: usize, pad: usize, stride: usize, olen: usize) -> Option<usize> {
+pub(crate) fn producer(
+    i: usize,
+    k: usize,
+    pad: usize,
+    stride: usize,
+    olen: usize,
+) -> Option<usize> {
     let t = i as isize + pad as isize - k as isize;
     if t < 0 {
         return None;

@@ -18,17 +18,24 @@
 //!   strategy (minibatch across cores; smallest feature-map dimension for
 //!   the backward-weights pass — Section 4.3),
 //! * a scalar **naive reference** for all three directions and validation
-//!   helpers (the artifact's `validate.sh` equivalent).
+//!   helpers (the artifact's `validate.sh` equivalent),
+//! * an **execution-backend seam** ([`backend::ExecBackend`]): one frozen
+//!   kernel plan, two targets — the cycle-level simulator ([`SimBackend`])
+//!   and a native host lowering ([`NativeBackend`]) with bit-identical
+//!   functional output at a measured ~20× simulator speedup on the fuzz
+//!   corpus.
 //!
 //! All three training directions are supported: forward data (`fwdd`),
 //! backward data (`bwdd`) and backward weights (`bwdw`).
 
 pub mod analysis;
+pub mod backend;
 pub mod footprint;
 pub mod fuzz;
 pub mod kernels;
 pub mod multicore;
 pub mod naive;
+mod native;
 pub mod perf;
 pub mod primitive;
 pub mod problem;
@@ -37,12 +44,13 @@ pub mod tuning;
 pub mod verify;
 
 pub use analysis::{scalar_stream_profile, ScalarStreamProfile};
+pub use backend::{BackendKind, ExecBackend, NativeBackend, SimBackend};
 pub use multicore::{execute_multicore, MulticoreReport};
-pub use perf::{bench_layer, bench_layer_profiled, LayerPerf};
+pub use perf::{bench_layer, bench_layer_native, bench_layer_profiled, LayerPerf, NativePerf};
 pub use primitive::{ConvDesc, ConvPrimitive, ConvTensors, ExecReport, UnsupportedReason};
 pub use problem::{Algorithm, ConvProblem, Direction};
 pub use tuning::{autotune_microkernel, KernelConfig, MicroTile, RegisterBlocking};
-pub use verify::{validate, ValidationReport};
+pub use verify::{validate, validate_with_backend, ValidationReport};
 
 /// Execution mode re-export (functional vs timing-only).
 pub use lsv_vengine::ExecutionMode;

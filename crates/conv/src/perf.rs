@@ -19,6 +19,7 @@
 //! idle cores when `N < cores` show up as reduced GFLOP/s exactly as on the
 //! real machine — Figure 6's scaling behaviour).
 
+use crate::backend::{ExecBackend, NativeBackend, SimBackend};
 use crate::primitive::{ConvDesc, ExecReport};
 use crate::problem::{Algorithm, ConvProblem, Direction};
 use lsv_arch::ArchParams;
@@ -178,12 +179,12 @@ fn bench_minibatch_parallel_impl(
     let prim = make_prim(p_sim);
     let mut arena = Arena::new();
     let t = prim.alloc_tensors(&mut arena);
-    if matches!(mode, ExecutionMode::Functional) {
+    if mode.is_functional() {
         t.src.fill_random(&mut arena, 11);
         t.dst.fill_random(&mut arena, 13);
         t.wei.fill_random(&mut arena, 17);
     }
-    let mut core = VCore::new(arch, mode, 1);
+    let mut core = SimBackend { mode }.make_core(arch);
     if profiled {
         core.enable_profiler();
     }
@@ -229,11 +230,11 @@ fn bench_bwdw_parallel(
         let blocks_per_core = blocks_total.div_ceil(cores).max(1);
         let mut arena = Arena::new();
         let t = prim.alloc_tensors(&mut arena);
-        if matches!(mode, ExecutionMode::Functional) {
+        if mode.is_functional() {
             t.src.fill_random(&mut arena, 19);
             t.dst.fill_random(&mut arena, 23);
         }
-        let mut core = VCore::new(arch, mode, 1);
+        let mut core = SimBackend { mode }.make_core(arch);
         if profiled {
             core.enable_profiler();
         }
@@ -258,6 +259,54 @@ fn bench_bwdw_parallel(
         },
         profile,
     )
+}
+
+/// Host-side performance of the native backend on one layer: what the
+/// simulator-free functional path actually costs on this machine.
+#[derive(Debug, Clone, Copy)]
+pub struct NativePerf {
+    /// Host wall time for the full minibatch, in seconds.
+    pub host_secs: f64,
+    /// Host throughput in GFLOP/s (`problem.flops() / host_secs`).
+    pub host_gflops: f64,
+    /// Data-movement instruction counters of the lowered kernel (identical
+    /// to the simulated stream's data ops).
+    pub insts: lsv_vengine::InstCounters,
+}
+
+/// Execute one layer's full minibatch on the [`NativeBackend`] and measure
+/// host wall time (the `BENCH_native.json` numbers). Operands are filled
+/// with deterministic pseudo-random data; the work is executed single-core
+/// on the host, exactly as `run_with_backend` would.
+pub fn bench_layer_native(
+    arch: &ArchParams,
+    problem: &ConvProblem,
+    direction: Direction,
+    algorithm: Algorithm,
+) -> NativePerf {
+    let prim = ConvDesc::new(*problem, direction, algorithm)
+        .create(arch, arch.cores.max(1))
+        .expect("primitive creation");
+    let mut arena = Arena::new();
+    let t = prim.alloc_tensors(&mut arena);
+    t.src.fill_random(&mut arena, 11);
+    t.dst.fill_random(&mut arena, 13);
+    t.wei.fill_random(&mut arena, 17);
+    let backend = NativeBackend;
+    let start = std::time::Instant::now();
+    let report = backend.execute_slice(
+        &prim,
+        &mut arena,
+        &t,
+        0..problem.n,
+        0..prim.bwdw_small_blocks(),
+    );
+    let host_secs = start.elapsed().as_secs_f64().max(1e-9);
+    NativePerf {
+        host_secs,
+        host_gflops: problem.flops() as f64 / host_secs / 1e9,
+        insts: report.insts,
+    }
 }
 
 fn finish(

@@ -15,7 +15,7 @@ use crate::tuning::{kernel_config, KernelConfig};
 use lsv_arch::ArchParams;
 use lsv_cache::HierarchyStats;
 use lsv_tensor::{ActTensor, WeiTensor};
-use lsv_vengine::{Arena, CoreStats, ExecutionMode, InstCounters, VCore};
+use lsv_vengine::{Arena, CoreStats, InstCounters, VCore};
 use std::fmt;
 use std::ops::Range;
 
@@ -391,12 +391,54 @@ impl ConvPrimitive {
         }
     }
 
-    /// Convenience single-core functional run over the whole problem:
-    /// allocates tensors, imports the given operands, executes, and returns
-    /// the execution report. Operands are logical NCHW/OIHW buffers; the
-    /// output is read back into `out`.
-    pub fn run_functional(
+    /// Import the direction's *input* operands from logical NCHW/OIHW
+    /// buffers into the blocked arena tensors: `src` + `wei` for forward,
+    /// `dst` + `wei` for backward-data, `src` + `dst` for backward-weights.
+    /// The direction's output operand is left untouched. This is the single
+    /// definition of the per-direction operand-import match — every backend,
+    /// the fuzz harness and the tests go through it.
+    pub fn import_operands(
         &self,
+        arena: &mut Arena,
+        t: &ConvTensors,
+        src_nchw: &[f32],
+        wei_oihw: &[f32],
+        dst_nchw: &[f32],
+    ) {
+        match self.desc.direction {
+            Direction::Fwd => {
+                t.src.store_nchw(arena, src_nchw);
+                self.store_weights(arena, t, wei_oihw);
+            }
+            Direction::BwdData => {
+                t.dst.store_nchw(arena, dst_nchw);
+                self.store_weights(arena, t, wei_oihw);
+            }
+            Direction::BwdWeights => {
+                t.src.store_nchw(arena, src_nchw);
+                t.dst.store_nchw(arena, dst_nchw);
+            }
+        }
+    }
+
+    /// Read the direction's *output* operand back as a logical buffer
+    /// (NCHW for the data passes, OIHW for backward-weights) — the readback
+    /// counterpart of [`ConvPrimitive::import_operands`].
+    pub fn read_output(&self, arena: &Arena, t: &ConvTensors) -> Vec<f32> {
+        match self.desc.direction {
+            Direction::Fwd => t.dst.load_nchw(arena),
+            Direction::BwdData => t.src.load_nchw(arena),
+            Direction::BwdWeights => self.load_weights(arena, t),
+        }
+    }
+
+    /// Single-shot run of the whole problem on an arbitrary backend:
+    /// allocates tensors, imports the given operands, executes the full work
+    /// range on one core's worth of state, and reads the output back.
+    /// Operands are logical NCHW/OIHW buffers.
+    pub fn run_with_backend(
+        &self,
+        backend: &dyn crate::backend::ExecBackend,
         src_nchw: &[f32],
         wei_oihw: &[f32],
         dst_nchw: &[f32],
@@ -404,35 +446,27 @@ impl ConvPrimitive {
         let p = &self.desc.problem;
         let mut arena = Arena::new();
         let t = self.alloc_tensors(&mut arena);
-        let mut core = VCore::new(&self.arch, ExecutionMode::Functional, 1);
-        match self.desc.direction {
-            Direction::Fwd => {
-                t.src.store_nchw(&mut arena, src_nchw);
-                self.store_weights(&mut arena, &t, wei_oihw);
-            }
-            Direction::BwdData => {
-                t.dst.store_nchw(&mut arena, dst_nchw);
-                self.store_weights(&mut arena, &t, wei_oihw);
-            }
-            Direction::BwdWeights => {
-                t.src.store_nchw(&mut arena, src_nchw);
-                t.dst.store_nchw(&mut arena, dst_nchw);
-            }
-        }
-        self.execute_core(
-            &mut core,
-            &mut arena,
-            &t,
-            0..p.n,
-            0..self.bwdw_small_blocks(),
-        );
-        let stats = core.drain();
-        let out = match self.desc.direction {
-            Direction::Fwd => t.dst.load_nchw(&arena),
-            Direction::BwdData => t.src.load_nchw(&arena),
-            Direction::BwdWeights => self.load_weights(&arena, &t),
-        };
-        (out, ExecReport::from(stats))
+        self.import_operands(&mut arena, &t, src_nchw, wei_oihw, dst_nchw);
+        let report =
+            backend.execute_slice(self, &mut arena, &t, 0..p.n, 0..self.bwdw_small_blocks());
+        (self.read_output(&arena, &t), report)
+    }
+
+    /// Convenience single-core functional run over the whole problem on the
+    /// simulator backend ([`crate::backend::SimBackend`] in Functional
+    /// mode). Operands are logical NCHW/OIHW buffers.
+    pub fn run_functional(
+        &self,
+        src_nchw: &[f32],
+        wei_oihw: &[f32],
+        dst_nchw: &[f32],
+    ) -> (Vec<f32>, ExecReport) {
+        self.run_with_backend(
+            &crate::backend::SimBackend::functional(),
+            src_nchw,
+            wei_oihw,
+            dst_nchw,
+        )
     }
 }
 
@@ -527,7 +561,7 @@ mod tests {
     #[test]
     fn exec_report_from_core_stats() {
         let arch = sx_aurora();
-        let mut core = lsv_vengine::VCore::new(&arch, ExecutionMode::TimingOnly, 1);
+        let mut core = lsv_vengine::VCore::new(&arch, lsv_vengine::ExecutionMode::TimingOnly, 1);
         core.scalar_op();
         let report = ExecReport::from(core.drain());
         assert_eq!(report.insts.scalar_ops, 1);

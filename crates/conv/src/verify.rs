@@ -1,6 +1,7 @@
-//! Correctness validation of the simulated kernels against the naive
-//! reference (the artifact's `validate.sh` role).
+//! Correctness validation of the generated kernels against the naive
+//! reference (the artifact's `validate.sh` role), on any execution backend.
 
+use crate::backend::{ExecBackend, SimBackend};
 use crate::naive;
 use crate::primitive::ConvDesc;
 use crate::problem::{Algorithm, ConvProblem, Direction};
@@ -26,13 +27,32 @@ pub(crate) fn tolerance(reduction_len: usize) -> f32 {
     1e-6 * (reduction_len as f32).sqrt().max(1.0) * 8.0
 }
 
-/// Validate one kernel configuration functionally: random operands, run the
-/// simulated kernel, compare against [`crate::naive`].
+/// Validate one kernel configuration functionally on the simulator backend:
+/// random operands, run the simulated kernel, compare against
+/// [`crate::naive`].
 pub fn validate(
     arch: &ArchParams,
     problem: &ConvProblem,
     direction: Direction,
     algorithm: Algorithm,
+) -> ValidationReport {
+    validate_with_backend(
+        arch,
+        problem,
+        direction,
+        algorithm,
+        &SimBackend::functional(),
+    )
+}
+
+/// [`validate`] on an arbitrary execution backend (the native backend runs
+/// the same check at host speed).
+pub fn validate_with_backend(
+    arch: &ArchParams,
+    problem: &ConvProblem,
+    direction: Direction,
+    algorithm: Algorithm,
+    backend: &dyn ExecBackend,
 ) -> ValidationReport {
     let p = *problem;
     let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed ^ p.macs());
@@ -49,7 +69,7 @@ pub fn validate(
     let prim = ConvDesc::new(p, direction, algorithm)
         .create(arch, 1)
         .expect("primitive creation");
-    let (got, _stats) = prim.run_functional(&src, &wei, &dst);
+    let (got, _stats) = prim.run_with_backend(backend, &src, &wei, &dst);
 
     let (reference, reduction_len) = match direction {
         Direction::Fwd => (naive::forward(&p, &src, &wei), p.ic * p.kh * p.kw),
@@ -106,6 +126,23 @@ mod tests {
         for alg in Algorithm::ALL {
             let r = validate(&arch, &small(8, 16, 6, 3, 1, 1), Direction::BwdWeights, alg);
             assert!(r.passed, "{alg}: rel_err {}", r.rel_err);
+        }
+    }
+
+    #[test]
+    fn native_backend_validates_all_directions() {
+        let arch = sx_aurora();
+        for alg in Algorithm::ALL {
+            for dir in Direction::ALL {
+                let r = validate_with_backend(
+                    &arch,
+                    &small(8, 16, 6, 3, 1, 1),
+                    dir,
+                    alg,
+                    &crate::backend::NativeBackend,
+                );
+                assert!(r.passed, "{alg} {dir} native: rel_err {}", r.rel_err);
+            }
         }
     }
 

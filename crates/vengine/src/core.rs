@@ -39,6 +39,15 @@ pub enum ExecutionMode {
     TimingOnly,
 }
 
+impl ExecutionMode {
+    /// Whether this mode computes real register/memory values (as opposed to
+    /// timing alone). Execution backends use this to decide if a simulated
+    /// run's output buffers are meaningful.
+    pub fn is_functional(self) -> bool {
+        matches!(self, ExecutionMode::Functional)
+    }
+}
+
 /// A scalar value produced by [`VCore::scalar_load`]: the loaded f32 plus the
 /// cycle at which it becomes available to consumers.
 #[derive(Debug, Clone, Copy)]
