@@ -35,6 +35,30 @@ cargo run --release -p lsv-bench --bin lsvconv-cli -- profile --smoke --out resu
 echo "== bench-simulator (smoke)"
 cargo run --release -p lsv-bench --bin bench-simulator -- --smoke
 
+echo "== layer-store smoke (cold -> warm >= 5x + byte-identical, then store-off equality)"
+STORE_SMOKE_DIR=results/.ci-store
+STORE_SMOKE_OUT=results/logs
+mkdir -p "$STORE_SMOKE_OUT"
+rm -rf "$STORE_SMOKE_DIR"
+t0=$(date +%s%N)
+LSV_STORE_DIR="$STORE_SMOKE_DIR" ./target/release/mpki 32 \
+    >"$STORE_SMOKE_OUT/ci-store-cold.csv" 2>/dev/null
+t1=$(date +%s%N)
+LSV_STORE_DIR="$STORE_SMOKE_DIR" ./target/release/mpki 32 \
+    >"$STORE_SMOKE_OUT/ci-store-warm.csv" 2>/dev/null
+t2=$(date +%s%N)
+cmp "$STORE_SMOKE_OUT/ci-store-cold.csv" "$STORE_SMOKE_OUT/ci-store-warm.csv"
+cold_ms=$(((t1 - t0) / 1000000))
+warm_ms=$(((t2 - t1) / 1000000))
+echo "   cold ${cold_ms}ms, warm ${warm_ms}ms"
+if [ $((warm_ms * 5)) -gt "$cold_ms" ]; then
+    echo "store smoke: warm pass (${warm_ms}ms) not >=5x faster than cold (${cold_ms}ms)" >&2
+    exit 1
+fi
+LSV_STORE=0 ./target/release/mpki 32 >"$STORE_SMOKE_OUT/ci-store-off.csv" 2>/dev/null
+cmp "$STORE_SMOKE_OUT/ci-store-cold.csv" "$STORE_SMOKE_OUT/ci-store-off.csv"
+rm -rf "$STORE_SMOKE_DIR"
+
 echo "== bench-native (smoke: layer GFLOP/s + sim-vs-native corpus speedup)"
 cargo run --release -p lsv-bench --bin bench-native -- --smoke
 

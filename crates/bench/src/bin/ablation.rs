@@ -190,4 +190,5 @@ fn main() {
     for l in section(4) {
         println!("{l}");
     }
+    lsv_conv::store::dump_stats_to_env_file();
 }

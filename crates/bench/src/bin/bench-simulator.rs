@@ -11,14 +11,19 @@
 //! host produces them.
 //!
 //! Usage: `bench-simulator [--smoke] [--out PATH]
-//!                         [--regen-before PATH] [--regen-after PATH]`
+//!                         [--regen-before PATH] [--regen-after PATH]
+//!                         [--regen-warm PATH] [--store-stats DIR]`
 //!
 //! `--smoke` shrinks every sweep so CI can run the tool in seconds.
 //! `--out` writes the JSON to a file instead of stdout. The optional
 //! `--regen-before`/`--regen-after` files hold per-bin wall times of a full
 //! `regen_results.sh` run, one `<bin> <ms>ms ...` line each (the format the
 //! regen harness logs); they are embedded verbatim so the committed JSON
-//! carries the end-to-end regeneration speedup.
+//! carries the end-to-end regeneration speedup. `--regen-warm` adds a third
+//! timing set: a `KEEP_STORE=1` rerun served from the layer store. `--store-stats` points at
+//! the regen log directory (`results/logs`): every `<bin>.store.json`
+//! counter file the bins dumped on exit is embedded per bin, together with
+//! hit/miss totals across the run.
 
 use lsv_arch::presets::sx_aurora;
 use lsv_bench::{bench_engine, Engine};
@@ -92,12 +97,70 @@ fn timings_json(pairs: &[(String, u64)]) -> String {
     s
 }
 
+/// Collect every `<bin>.store.json` one-line counter object a regen run's
+/// bins dumped into `dir`, sorted by bin name. Each value is embedded
+/// verbatim (the bins write valid JSON), plus a tally of the numeric fields
+/// across all bins.
+fn store_stats_json(dir: &str) -> String {
+    let mut per_bin: Vec<(String, String)> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let name = e.file_name().to_string_lossy().into_owned();
+            let Some(bin) = name.strip_suffix(".store.json") else {
+                continue;
+            };
+            if let Ok(text) = std::fs::read_to_string(e.path()) {
+                per_bin.push((bin.to_string(), text.trim().to_string()));
+            }
+        }
+    }
+    per_bin.sort();
+    let field_total = |key: &str| -> u64 {
+        per_bin
+            .iter()
+            .filter_map(|(_, json)| {
+                let tail = json.split(&format!("\"{key}\":")).nth(1)?;
+                tail.split(|c: char| !c.is_ascii_digit())
+                    .next()?
+                    .parse::<u64>()
+                    .ok()
+            })
+            .sum()
+    };
+    let mut s = String::from("{\n      \"per_bin\": {");
+    for (i, (bin, json)) in per_bin.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\n        \"{bin}\": {json}");
+    }
+    s.push_str("\n      },\n");
+    let hits = field_total("mem_hits") + field_total("disk_hits");
+    let misses = field_total("misses");
+    let _ = writeln!(s, "      \"total_hits\": {hits},");
+    let _ = writeln!(s, "      \"total_misses\": {misses},");
+    let _ = writeln!(
+        s,
+        "      \"hit_rate\": {:.3},",
+        hits as f64 / ((hits + misses) as f64).max(1.0)
+    );
+    let _ = writeln!(
+        s,
+        "      \"total_paranoid_rechecks\": {}",
+        field_total("paranoid_rechecks")
+    );
+    s.push_str("    }");
+    s
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
     let mut out: Option<String> = None;
     let mut before: Option<String> = None;
     let mut after: Option<String> = None;
+    let mut warm: Option<String> = None;
+    let mut store_dir: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -105,6 +168,8 @@ fn main() {
             "--out" => out = it.next().cloned(),
             "--regen-before" => before = it.next().cloned(),
             "--regen-after" => after = it.next().cloned(),
+            "--regen-warm" => warm = it.next().cloned(),
+            "--store-stats" => store_dir = it.next().cloned(),
             other => {
                 eprintln!("bench-simulator: unknown argument {other}");
                 std::process::exit(2);
@@ -180,12 +245,22 @@ fn main() {
         let _ = writeln!(json, "    \"after_ms\": {},", timings_json(&a));
         let _ = writeln!(json, "    \"total_before_ms\": {total_b},");
         let _ = writeln!(json, "    \"total_after_ms\": {total_a},");
+        if let Some(w) = &warm {
+            let w = parse_timings(w);
+            let total_w: u64 = w.iter().map(|&(_, ms)| ms).sum();
+            let _ = writeln!(json, "    \"warm_ms\": {},", timings_json(&w));
+            let _ = writeln!(json, "    \"total_warm_ms\": {total_w},");
+        }
         let _ = writeln!(
             json,
             "    \"speedup_total\": {:.2}",
             total_b as f64 / (total_a as f64).max(1.0)
         );
         json.push_str("  }");
+    }
+    if let Some(dir) = &store_dir {
+        json.push_str(",\n  \"store\": ");
+        json.push_str(&store_stats_json(dir));
     }
     json.push_str("\n}\n");
 

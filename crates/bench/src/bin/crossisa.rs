@@ -75,4 +75,5 @@ fn main() {
     println!("# Expected: the BDC/MBDC advantage grows with the vector length (conflicts only");
     println!("# manifest when A_b is large); residual short-vector gaps come from register-file");
     println!("# sizing, not from the cache phenomenon.");
+    lsv_conv::store::dump_stats_to_env_file();
 }

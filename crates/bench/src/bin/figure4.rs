@@ -50,4 +50,5 @@ fn main() {
             );
         }
     }
+    lsv_conv::store::dump_stats_to_env_file();
 }

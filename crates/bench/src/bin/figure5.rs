@@ -68,4 +68,5 @@ fn main() {
             dc / mbdc
         );
     }
+    lsv_conv::store::dump_stats_to_env_file();
 }

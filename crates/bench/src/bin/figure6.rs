@@ -41,4 +41,5 @@ fn main() {
     println!();
     println!("# Paper Figure 6: BDC best everywhere; vednn competitive at small minibatch,");
     println!("# does not scale; all direct algorithms scale with problem size.");
+    lsv_conv::store::dump_stats_to_env_file();
 }

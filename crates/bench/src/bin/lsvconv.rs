@@ -90,6 +90,36 @@ fn backend_from_flags(
     kind
 }
 
+/// Parse and apply `--no-store` / `--store-dir <path>` before the first
+/// store access (bench/tune/profile). Defaults come from the environment
+/// (`LSV_STORE`, `LSV_STORE_DIR`, `LSV_STORE_PARANOID`); the flags override
+/// it. Invalid combinations are rejected like any other flag error.
+fn configure_store(flags: &HashMap<String, String>) {
+    let no_store = flags.contains_key("no-store");
+    if no_store && flags.contains_key("store-dir") {
+        usage("--no-store and --store-dir are mutually exclusive");
+    }
+    if let Some(v) = flags.get("no-store") {
+        if !v.is_empty() {
+            usage(&format!("--no-store takes no value (got '{v}')"));
+        }
+    }
+    let mut cfg = lsv_conv::StoreConfig::from_env();
+    if no_store {
+        cfg.disabled = true;
+        cfg.dir = None;
+    }
+    if let Some(d) = flags.get("store-dir") {
+        if d.is_empty() {
+            usage("--store-dir requires a path");
+        }
+        cfg.disabled = false;
+        cfg.dir = Some(std::path::PathBuf::from(d));
+    }
+    // Infallible here: this runs before anything touches the store.
+    lsv_conv::store::configure(cfg).expect("store configured before first use");
+}
+
 fn direction_by_name(name: &str) -> Direction {
     match name {
         "fwdd" | "fwd" | "" => Direction::Fwd,
@@ -163,6 +193,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("                --dir <fwdd|bwdd|bwdw>  --alg <DC|BDC|MBDC|vednn>  --minibatch N");
     eprintln!("                --backend <sim|native> (verify/fuzz; native = host-speed");
     eprintln!("                functional execution, bit-identical output, no timing)");
+    eprintln!("  store flags:  --no-store | --store-dir DIR (bench/tune/profile; persistent");
+    eprintln!("                layer-result store, env default LSV_STORE_DIR)");
     eprintln!("  fuzz flags:   --cases N (default 500)  --seed N  --smoke (corpus + 50 cases)");
     eprintln!("                --agreement (cross-check symbolic vs replay verdicts per case)");
     eprintln!("  profile:      profile <layer> [--dir D] [--alg A] [--out DIR] [--smoke]");
@@ -215,6 +247,7 @@ fn main() {
         }
         "bench" => {
             backend_from_flags(&flags, "bench", false);
+            configure_store(&flags);
             let p = problem_from_flags(&flags, 64);
             let dir = direction_by_name(flags.get("dir").map(String::as_str).unwrap_or(""));
             let engine = engine_by_name(flags.get("alg").map(String::as_str).unwrap_or(""));
@@ -263,6 +296,7 @@ fn main() {
         }
         "tune" => {
             backend_from_flags(&flags, "tune", false);
+            configure_store(&flags);
             let p = problem_from_flags(&flags, 64);
             let dir = direction_by_name(flags.get("dir").map(String::as_str).unwrap_or(""));
             let alg = match engine_by_name(flags.get("alg").map(String::as_str).unwrap_or("")) {
@@ -306,6 +340,38 @@ fn main() {
                             "not predicted"
                         }
                     );
+                    match lsv_conv::tune_empirical(&arch, &p, dir, alg, ExecutionMode::TimingOnly) {
+                        Ok(t) => {
+                            println!();
+                            println!("empirical register-block sweep (store-backed):");
+                            println!(
+                                "  candidates    = {} generated, {} unique after dedupe \
+                                 ({} redundant evaluations avoided)",
+                                t.generated,
+                                t.unique,
+                                (t.generated + 1).saturating_sub(t.unique)
+                            );
+                            println!(
+                                "  evaluations   = {} store hits + {} simulated",
+                                t.store_hits, t.simulated
+                            );
+                            println!("  analytic pick = {} chip cycles", t.analytic_cycles);
+                            println!(
+                                "  best found    = rb {}x{} rb_c {} wbuf {} @ {} chip cycles{}",
+                                t.best_cfg.rb.rb_w,
+                                t.best_cfg.rb.rb_h,
+                                t.best_cfg.rb_c,
+                                t.best_cfg.wbuf,
+                                t.best_cycles,
+                                if t.best_cycles == t.analytic_cycles {
+                                    " (= analytic)"
+                                } else {
+                                    ""
+                                }
+                            );
+                        }
+                        Err(e) => eprintln!("empirical sweep skipped: {e}"),
+                    }
                 }
                 Err(e) => {
                     eprintln!("cannot create primitive: {e}");
@@ -353,6 +419,7 @@ fn main() {
         }
         "profile" => {
             backend_from_flags(&flags, "profile", false);
+            configure_store(&flags);
             let smoke = argv.iter().any(|a| a == "--smoke");
             let mut flags = flags;
             // Positional layer id: `lsvconv profile 8` == `--layer 8`.

@@ -16,7 +16,8 @@
 
 use lsv_arch::presets::sx_aurora;
 use lsv_bench::{par, Engine};
-use lsv_conv::{bench_layer_profiled, Algorithm, Direction, ExecutionMode};
+use lsv_conv::perf::bench_layer_profiled_cached;
+use lsv_conv::{Algorithm, Direction, ExecutionMode};
 use lsv_models::resnet_layers;
 
 struct MpkiRow {
@@ -43,28 +44,35 @@ fn main() {
         })
         .collect();
     let mut rows: Vec<MpkiRow> = par::par_map(jobs, |(id, direction, alg)| {
-        let (perf, profile) = bench_layer_profiled(
+        let (perf, profile) = bench_layer_profiled_cached(
             &arch,
             &layers[id],
             direction,
             alg,
             ExecutionMode::TimingOnly,
         );
-        // MPKI from the per-region sums; the profiler's conservation
-        // invariant makes this bit-identical to the slice report's view.
-        let insts = profile.insts_total().total();
-        let l1 = profile.cache_total().l1;
-        let mpki_l1 = l1.mpki(insts);
-        let conflict_fraction = if l1.misses == 0 {
-            0.0
+        // MPKI from the per-region sums when this row was simulated; a store
+        // hit carries no region breakdown (the profiler's conservation
+        // invariant made the two views bit-identical when the entry was
+        // recorded, and paranoid mode re-checks stored slices directly).
+        let (mpki_l1, conflict_fraction) = if let Some(profile) = &profile {
+            let insts = profile.insts_total().total();
+            let l1 = profile.cache_total().l1;
+            let mpki_l1 = l1.mpki(insts);
+            let conflict_fraction = if l1.misses == 0 {
+                0.0
+            } else {
+                l1.conflict_misses as f64 / l1.misses as f64
+            };
+            assert_eq!(
+                (mpki_l1, conflict_fraction),
+                (perf.mpki_l1, perf.conflict_fraction),
+                "region accounting diverged from the slice report (layer {id} {direction} {alg})"
+            );
+            (mpki_l1, conflict_fraction)
         } else {
-            l1.conflict_misses as f64 / l1.misses as f64
+            (perf.mpki_l1, perf.conflict_fraction)
         };
-        assert_eq!(
-            (mpki_l1, conflict_fraction),
-            (perf.mpki_l1, perf.conflict_fraction),
-            "region accounting diverged from the slice report (layer {id} {direction} {alg})"
-        );
         MpkiRow {
             layer_id: id,
             direction,
@@ -110,4 +118,5 @@ fn main() {
             );
         }
     }
+    lsv_conv::store::dump_stats_to_env_file();
 }

@@ -84,4 +84,5 @@ fn main() {
     if profile {
         eprintln!("# profile artifacts written under {}", out_dir.display());
     }
+    lsv_conv::store::dump_stats_to_env_file();
 }

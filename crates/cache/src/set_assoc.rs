@@ -181,9 +181,19 @@ impl ShadowLru {
         }
     }
 
+    /// The line at the head of the recency list (most recently touched).
+    #[inline]
+    fn mru_line(&self) -> Option<u64> {
+        (self.head != NO_NODE).then(|| self.line[self.head as usize])
+    }
+
     /// Touch a line; returns whether it was resident. Evicts the
     /// least-recently-used line when inserting into a full shadow.
     pub fn access(&mut self, line_addr: u64) -> bool {
+        // Re-touching the head changes no recency state: skip the hash probe.
+        if self.head != NO_NODE && self.line[self.head as usize] == line_addr {
+            return true;
+        }
         if let Some(slot) = self.find_slot(line_addr) {
             let node = self.table[slot];
             if self.head != node {
@@ -423,10 +433,22 @@ impl SetAssocCache {
     /// same (demand + prefetch) stream.
     pub fn insert_silent(&mut self, addr: u64) {
         let line_addr = (addr >> self.line_shift) << self.line_shift;
+        let set_idx = self.set_of(addr);
+        // Fast path (hot under the streaming prefetcher, which re-fills the
+        // same lines on every stream-continuation trigger): the line is
+        // already this set's MRU way and — when a shadow exists — also the
+        // shadow's most recent line. Re-inserting would reshuffle nothing,
+        // so no state (including the demand MRU shortcut) needs touching.
+        if self.lens[set_idx] > 0 && self.entries[set_idx * self.ways].line_addr == line_addr {
+            match &self.shadow {
+                None => return,
+                Some(sh) if sh.mru_line() == Some(line_addr) => return,
+                _ => {}
+            }
+        }
         if let Some(sh) = self.shadow.as_mut() {
             sh.access(line_addr);
         }
-        let set_idx = self.set_of(addr);
         // A silent fill reshuffles its set (and can even evict a one-way
         // set's resident line). It also moves a line to the head of the
         // fully-associative shadow, so when a shadow exists the previous MRU

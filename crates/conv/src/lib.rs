@@ -40,6 +40,7 @@ pub mod perf;
 pub mod primitive;
 pub mod problem;
 pub mod reorder;
+pub mod store;
 pub mod tuning;
 pub mod verify;
 
@@ -49,7 +50,10 @@ pub use multicore::{execute_multicore, MulticoreReport};
 pub use perf::{bench_layer, bench_layer_native, bench_layer_profiled, LayerPerf, NativePerf};
 pub use primitive::{ConvDesc, ConvPrimitive, ConvTensors, ExecReport, UnsupportedReason};
 pub use problem::{Algorithm, ConvProblem, Direction};
-pub use tuning::{autotune_microkernel, KernelConfig, MicroTile, RegisterBlocking};
+pub use store::{LayerStore, StoreConfig, StoreStats};
+pub use tuning::{
+    autotune_microkernel, tune_empirical, KernelConfig, MicroTile, RegisterBlocking, TuneReport,
+};
 pub use verify::{validate, validate_with_backend, ValidationReport};
 
 /// Execution mode re-export (functional vs timing-only).

@@ -20,8 +20,9 @@
 //! real machine — Figure 6's scaling behaviour).
 
 use crate::backend::{ExecBackend, NativeBackend, SimBackend};
-use crate::primitive::{ConvDesc, ExecReport};
+use crate::primitive::{ConvDesc, ConvPrimitive, ExecReport};
 use crate::problem::{Algorithm, ConvProblem, Direction};
+use crate::store;
 use lsv_arch::ArchParams;
 use lsv_vengine::{Arena, ExecutionMode, RegionProfile, VCore};
 
@@ -60,7 +61,7 @@ pub fn bench_layer(
     algorithm: Algorithm,
     mode: ExecutionMode,
 ) -> LayerPerf {
-    bench_layer_impl(arch, problem, direction, algorithm, mode, false).0
+    bench_layer_impl(arch, problem, direction, algorithm, mode, ProfileMode::Off).0
 }
 
 /// [`bench_layer`] with the measured core's region profiler enabled.
@@ -77,8 +78,52 @@ pub fn bench_layer_profiled(
     algorithm: Algorithm,
     mode: ExecutionMode,
 ) -> (LayerPerf, RegionProfile) {
-    let (perf, profile) = bench_layer_impl(arch, problem, direction, algorithm, mode, true);
+    let (perf, profile) = bench_layer_impl(
+        arch,
+        problem,
+        direction,
+        algorithm,
+        mode,
+        ProfileMode::Required,
+    );
     (perf, profile.expect("profiler enabled"))
+}
+
+/// [`bench_layer_profiled`] that serves from the layer store when possible.
+///
+/// On a store hit the returned profile is `None` — a cached slice carries no
+/// region breakdown — but the [`LayerPerf`] is identical to a profiled run's
+/// (profiling is cycle-neutral and the store is content-addressed). On a
+/// miss the slice is simulated with the profiler enabled, exactly like
+/// [`bench_layer_profiled`].
+pub fn bench_layer_profiled_cached(
+    arch: &ArchParams,
+    problem: &ConvProblem,
+    direction: Direction,
+    algorithm: Algorithm,
+    mode: ExecutionMode,
+) -> (LayerPerf, Option<RegionProfile>) {
+    bench_layer_impl(
+        arch,
+        problem,
+        direction,
+        algorithm,
+        mode,
+        ProfileMode::IfSimulated,
+    )
+}
+
+/// How a bench call interacts with the region profiler and the layer store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProfileMode {
+    /// No profiler; store hits allowed.
+    Off,
+    /// Profiler required: always simulate (the profile cannot be cached);
+    /// the result still populates the store.
+    Required,
+    /// Store hits allowed (profile comes back `None`); simulate with the
+    /// profiler enabled on a miss.
+    IfSimulated,
 }
 
 fn bench_layer_impl(
@@ -87,7 +132,7 @@ fn bench_layer_impl(
     direction: Direction,
     algorithm: Algorithm,
     mode: ExecutionMode,
-    profiled: bool,
+    pmode: ProfileMode,
 ) -> (LayerPerf, Option<RegionProfile>) {
     let cores = arch.cores.max(1);
     let (slice, profile) = match direction {
@@ -97,13 +142,9 @@ fn bench_layer_impl(
                     .create(arch, cores)
                     .expect("primitive creation")
             };
-            bench_minibatch_parallel_impl(
-                arch, problem, direction, mode, cores, &make_prim, profiled,
-            )
+            bench_minibatch_parallel_impl(arch, problem, direction, mode, cores, &make_prim, pmode)
         }
-        Direction::BwdWeights => {
-            bench_bwdw_parallel(arch, problem, algorithm, mode, cores, profiled)
-        }
+        Direction::BwdWeights => bench_bwdw_parallel(arch, problem, algorithm, mode, cores, pmode),
     };
     (finish(arch, problem, direction, algorithm, slice), profile)
 }
@@ -159,24 +200,80 @@ pub fn bench_minibatch_parallel_with(
     direction: Direction,
     mode: ExecutionMode,
     cores: usize,
-    make_prim: &dyn Fn(ConvProblem) -> crate::primitive::ConvPrimitive,
+    make_prim: &dyn Fn(ConvProblem) -> ConvPrimitive,
 ) -> SliceResult {
-    bench_minibatch_parallel_impl(arch, problem, direction, mode, cores, make_prim, false).0
+    bench_minibatch_parallel_impl(
+        arch,
+        problem,
+        direction,
+        mode,
+        cores,
+        make_prim,
+        ProfileMode::Off,
+    )
+    .0
 }
 
-fn bench_minibatch_parallel_impl(
+/// One simulated slice: the representative core's raw measurement before any
+/// chip-cycle derivation (the unit the layer store caches).
+struct SliceSim {
+    /// Cold-image cycles (fwd/bwd-data) or the whole reduction run's cycles
+    /// (bwd-weights).
+    cold: u64,
+    /// Steady-image cycles (fwd/bwd-data with `n_sim > 1`); 0 for
+    /// bwd-weights runs.
+    steady: u64,
+    report: ExecReport,
+    profile: Option<RegionProfile>,
+}
+
+/// Serve a slice from the layer store, or simulate it (and insert). A
+/// [`ProfileMode::Required`] call always simulates — a region profile cannot
+/// be cached — but still populates the store. Paranoid mode re-simulates a
+/// deterministic sample of hits and asserts bit-equality.
+fn slice_via_store(
+    key: &store::Key,
+    pmode: ProfileMode,
+    sim: impl Fn(bool) -> SliceSim,
+) -> SliceSim {
+    let st = store::store();
+    let profile_on_sim = pmode != ProfileMode::Off;
+    if !st.enabled() || pmode == ProfileMode::Required {
+        let s = sim(profile_on_sim);
+        st.put_slice(key, s.cold, s.steady, &s.report);
+        return s;
+    }
+    if let Some((cold, steady, report)) = st.get_slice(key) {
+        if st.paranoid_sample(key) {
+            let s = sim(false);
+            assert_eq!(
+                (s.cold, s.steady, s.report),
+                (cold, steady, report),
+                "paranoid store recheck diverged for key {}",
+                key.canonical()
+            );
+            st.note_paranoid_recheck();
+        }
+        return SliceSim {
+            cold,
+            steady,
+            report,
+            profile: None,
+        };
+    }
+    let s = sim(profile_on_sim);
+    st.put_slice(key, s.cold, s.steady, &s.report);
+    s
+}
+
+fn simulate_minibatch_slice(
     arch: &ArchParams,
-    problem: &ConvProblem,
+    prim: &ConvPrimitive,
     direction: Direction,
     mode: ExecutionMode,
-    cores: usize,
-    make_prim: &dyn Fn(ConvProblem) -> crate::primitive::ConvPrimitive,
+    n_sim: usize,
     profiled: bool,
-) -> (SliceResult, Option<RegionProfile>) {
-    let images_per_core = problem.n.div_ceil(cores).max(1);
-    let n_sim = images_per_core.min(2);
-    let p_sim = problem.with_minibatch(n_sim);
-    let prim = make_prim(p_sim);
+) -> SliceSim {
     let mut arena = Arena::new();
     let t = prim.alloc_tensors(&mut arena);
     if mode.is_functional() {
@@ -200,15 +297,96 @@ fn bench_minibatch_parallel_impl(
         let s = core.drain();
         (cold, ExecReport::from(s))
     };
-    let chip_cycles = cold + steady * (images_per_core as u64 - 1);
     let profile = core.take_profile();
+    SliceSim {
+        cold,
+        steady,
+        report,
+        profile,
+    }
+}
+
+fn bench_minibatch_parallel_impl(
+    arch: &ArchParams,
+    problem: &ConvProblem,
+    direction: Direction,
+    mode: ExecutionMode,
+    cores: usize,
+    make_prim: &dyn Fn(ConvProblem) -> ConvPrimitive,
+    pmode: ProfileMode,
+) -> (SliceResult, Option<RegionProfile>) {
+    let images_per_core = problem.n.div_ceil(cores).max(1);
+    let n_sim = images_per_core.min(2);
+    let p_sim = problem.with_minibatch(n_sim);
+    let prim = make_prim(p_sim);
+    // Keyed on the *effective* config of the created primitive: ablation
+    // sweeps override individual variables and `create` shrinks blocks under
+    // register pressure, so two calls share an entry iff the kernel that
+    // actually runs is identical.
+    let key = store::slice_key(
+        arch,
+        &p_sim,
+        direction,
+        "direct",
+        cores,
+        mode,
+        Some(prim.cfg()),
+    );
+    let s = slice_via_store(&key, pmode, |profiled| {
+        simulate_minibatch_slice(arch, &prim, direction, mode, n_sim, profiled)
+    });
+    let chip_cycles = s.cold + s.steady * (images_per_core as u64 - 1);
     (
         SliceResult {
             chip_cycles,
-            report,
+            report: s.report,
         },
-        profile,
+        s.profile,
     )
+}
+
+fn simulate_bwdw_run(
+    arch: &ArchParams,
+    prim: &ConvPrimitive,
+    mode: ExecutionMode,
+    cores: usize,
+    profiled: bool,
+) -> SliceSim {
+    let n_sim = prim.desc().problem.n;
+    let blocks_per_core = prim.bwdw_small_blocks().div_ceil(cores).max(1);
+    let mut arena = Arena::new();
+    let t = prim.alloc_tensors(&mut arena);
+    if mode.is_functional() {
+        t.src.fill_random(&mut arena, 19);
+        t.dst.fill_random(&mut arena, 23);
+    }
+    let mut core = SimBackend { mode }.make_core(arch);
+    if profiled {
+        core.enable_profiler();
+    }
+    warm_inputs(&mut core, &t, Direction::BwdWeights);
+    prim.execute_core(&mut core, &mut arena, &t, 0..n_sim, 0..blocks_per_core);
+    let s = core.drain();
+    let profile = core.take_profile();
+    SliceSim {
+        cold: s.cycles,
+        steady: 0,
+        report: ExecReport::from(s),
+        profile,
+    }
+}
+
+/// Like [`bench_minibatch_parallel_with`] for the backward-weights pass:
+/// the 1-image/2-image reduction pair with an arbitrary primitive factory
+/// (the hook the empirical tuner uses to sweep `RB_c`).
+pub fn bench_bwdw_parallel_with(
+    arch: &ArchParams,
+    problem: &ConvProblem,
+    mode: ExecutionMode,
+    cores: usize,
+    make_prim: &dyn Fn(ConvProblem) -> ConvPrimitive,
+) -> SliceResult {
+    bench_bwdw_parallel_impl(arch, problem, mode, cores, make_prim, ProfileMode::Off).0
 }
 
 fn bench_bwdw_parallel(
@@ -217,35 +395,45 @@ fn bench_bwdw_parallel(
     algorithm: Algorithm,
     mode: ExecutionMode,
     cores: usize,
-    profiled: bool,
+    pmode: ProfileMode,
+) -> (SliceResult, Option<RegionProfile>) {
+    let make_prim = |p_sim: ConvProblem| {
+        ConvDesc::new(p_sim, Direction::BwdWeights, algorithm)
+            .create(arch, cores)
+            .expect("primitive creation")
+    };
+    bench_bwdw_parallel_impl(arch, problem, mode, cores, &make_prim, pmode)
+}
+
+fn bench_bwdw_parallel_impl(
+    arch: &ArchParams,
+    problem: &ConvProblem,
+    mode: ExecutionMode,
+    cores: usize,
+    make_prim: &dyn Fn(ConvProblem) -> ConvPrimitive,
+    pmode: ProfileMode,
 ) -> (SliceResult, Option<RegionProfile>) {
     // Marginal-image cost from a 1-image and a 2-image reduction over the
     // core's block share. Only the second (reported) run is profiled.
-    let run = |n_sim: usize, profiled: bool| -> (u64, ExecReport, Option<RegionProfile>) {
+    let run = |n_sim: usize, pmode: ProfileMode| -> (u64, ExecReport, Option<RegionProfile>) {
         let p_sim = problem.with_minibatch(n_sim);
-        let prim = ConvDesc::new(p_sim, Direction::BwdWeights, algorithm)
-            .create(arch, cores)
-            .expect("primitive creation");
-        let blocks_total = prim.bwdw_small_blocks();
-        let blocks_per_core = blocks_total.div_ceil(cores).max(1);
-        let mut arena = Arena::new();
-        let t = prim.alloc_tensors(&mut arena);
-        if mode.is_functional() {
-            t.src.fill_random(&mut arena, 19);
-            t.dst.fill_random(&mut arena, 23);
-        }
-        let mut core = SimBackend { mode }.make_core(arch);
-        if profiled {
-            core.enable_profiler();
-        }
-        warm_inputs(&mut core, &t, Direction::BwdWeights);
-        prim.execute_core(&mut core, &mut arena, &t, 0..n_sim, 0..blocks_per_core);
-        let s = core.drain();
-        let profile = core.take_profile();
-        (s.cycles, ExecReport::from(s), profile)
+        let prim = make_prim(p_sim);
+        let key = store::slice_key(
+            arch,
+            &p_sim,
+            Direction::BwdWeights,
+            "direct",
+            cores,
+            mode,
+            Some(prim.cfg()),
+        );
+        let s = slice_via_store(&key, pmode, |profiled| {
+            simulate_bwdw_run(arch, &prim, mode, cores, profiled)
+        });
+        (s.cold, s.report, s.profile)
     };
-    let (c1, _, _) = run(1, false);
-    let (c2, report, profile) = run(2.min(problem.n), profiled);
+    let (c1, _, _) = run(1, ProfileMode::Off);
+    let (c2, report, profile) = run(2.min(problem.n), pmode);
     let marginal = c2.saturating_sub(c1).max(1);
     let chip_cycles = if problem.n <= 2 {
         c2

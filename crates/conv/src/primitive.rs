@@ -70,7 +70,7 @@ pub struct ConvTensors {
 }
 
 /// Execution statistics of one primitive run (one simulated core).
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ExecReport {
     /// Simulated cycles.
     pub cycles: u64,

@@ -1,0 +1,1061 @@
+//! Content-addressed layer-result store.
+//!
+//! The results pipeline simulates the *same* (problem, arch, algorithm,
+//! direction) points over and over: every minibatch ≥ 2·cores reduces to the
+//! identical two-image representative slice, figure 5's 16384-bit machine is
+//! `sx_aurora` under another name, and the validate sweep recomputes one
+//! naive reference three times. This module memoizes the expensive unit of
+//! work — one simulated core slice, one validation, one vednn algorithm
+//! choice — under a canonical content-addressed key.
+//!
+//! # Key anatomy
+//!
+//! A [`Key`] is a canonical ASCII string (kept for exact collision
+//! verification) plus a 128-bit FNV-1a-derived content hash (the on-disk file
+//! name). The string serializes, field by field and in a fixed order:
+//!
+//! * a schema stamp ([`SCHEMA`]) — bumped whenever the simulator's timing
+//!   semantics, the record layout, or the key layout change, invalidating
+//!   every persisted entry at once (stale entries parse as a silent miss),
+//! * every *physical* [`ArchParams`] field — the `name` is deliberately
+//!   excluded so renamed-but-identical presets share entries,
+//! * the simulated problem (all 11 geometry fields, including the slice
+//!   minibatch), direction, an engine tag, the core count and the execution
+//!   mode,
+//! * for kernel slices: the *effective* [`KernelConfig`] of the created
+//!   primitive — ablation sweeps override individual variables and
+//!   `ConvDesc::create` itself shrinks blocks under register pressure, so
+//!   the key must describe the kernel that actually ran, not the one the
+//!   tuner first proposed.
+//!
+//! The struct-destructuring serializers below fail to compile when a field
+//! is added, forcing the schema stamp to be revisited.
+//!
+//! # Tiers, persistence format and invalidation
+//!
+//! Lookups hit an in-process map (a `Mutex<HashMap>` behind the `par_map`
+//! worker pool) first, then the optional on-disk tier: one text file per
+//! entry named by the key hash, written atomically (`.tmp.<pid>` then
+//! rename) so concurrently regenerating bins share a store safely. A
+//! version-stamp mismatch in line 1 is a *silent miss* (stale schema); any
+//! other malformed content is a *loud error* (truncation or corruption must
+//! not silently re-simulate forever). A key-string mismatch under a matching
+//! hash (a 2⁻¹²⁸ event) is treated as a miss.
+//!
+//! # Paranoid mode
+//!
+//! `LSV_STORE_PARANOID=<pct>` re-simulates a deterministic `pct`% sample of
+//! hits (selected by key hash, so the sample is stable across runs) and
+//! asserts bit-equality with the stored record — the guard that the key
+//! really is content-addressing the simulation inputs.
+
+use crate::primitive::ExecReport;
+use crate::problem::{ConvProblem, Direction};
+use crate::tuning::{KernelConfig, MicroTile, RegisterBlocking};
+use crate::verify::ValidationReport;
+use lsv_arch::{ArchParams, CacheGeometry, LlcBanking, MemLatencies};
+use lsv_cache::{HierarchyStats, LevelStats};
+use lsv_vengine::{ExecutionMode, InstCounters};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Version stamp of the key layout, record layout *and* simulator timing
+/// semantics. Any change that could alter a stored number must bump this.
+pub const SCHEMA: &str = "lsv-layer-store v1";
+
+/// A canonical store key: the full content string plus its 128-bit hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Key {
+    canon: String,
+    hash: u128,
+}
+
+impl Key {
+    fn new(canon: String) -> Self {
+        let hash = fnv128(canon.as_bytes());
+        Self { canon, hash }
+    }
+
+    /// The canonical key string (written into the entry for collision
+    /// verification).
+    pub fn canonical(&self) -> &str {
+        &self.canon
+    }
+
+    /// The 128-bit content hash.
+    pub fn hash128(&self) -> u128 {
+        self.hash
+    }
+
+    /// On-disk file stem: 32 lowercase hex digits.
+    pub fn file_stem(&self) -> String {
+        format!("{:032x}", self.hash)
+    }
+}
+
+/// Two independent 64-bit FNV-1a passes (distinct offset bases, shared
+/// prime) with an avalanche finalizer each — stable across platforms and
+/// runs, no allocation, no serde.
+fn fnv128(bytes: &[u8]) -> u128 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    const BASIS_LO: u64 = 0xcbf2_9ce4_8422_2325;
+    const BASIS_HI: u64 = 0x6c62_272e_07bb_0142; // FNV-0 of "chongo <Landon..."
+    let mut lo = BASIS_LO;
+    let mut hi = BASIS_HI;
+    for &b in bytes {
+        lo = (lo ^ b as u64).wrapping_mul(PRIME);
+        hi = (hi ^ b.rotate_left(3) as u64).wrapping_mul(PRIME);
+    }
+    ((avalanche(hi) as u128) << 64) | avalanche(lo) as u128
+}
+
+/// xorshift-multiply finalizer (splitmix64's) so short keys still spread
+/// over the whole word.
+fn avalanche(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn push_arch(s: &mut String, arch: &ArchParams) {
+    // `name` is EXCLUDED on purpose: `with_max_vlen_bits` renames the preset
+    // without changing the machine, and figure 5's 16384-bit row must share
+    // entries with the plain sx_aurora sweeps.
+    let ArchParams {
+        name: _,
+        vlen_bits,
+        elem_bits,
+        n_vregs,
+        n_fma,
+        l_fma,
+        lanes_per_port,
+        b_seq,
+        scalar_issue_width,
+        scalar_forward_window,
+        freq_ghz,
+        cores,
+        l1d,
+        l2,
+        llc,
+        lat,
+        mem_line_cycles,
+        llc_banking,
+    } = arch;
+    let MemLatencies {
+        l1: lat1,
+        l2: lat2,
+        llc: lat3,
+        mem: lat4,
+    } = lat;
+    let LlcBanking {
+        banks,
+        service_cycles,
+    } = llc_banking;
+    write!(
+        s,
+        "|arch={vlen_bits},{elem_bits},{n_vregs},{n_fma},{l_fma},{lanes_per_port},{b_seq},\
+         {scalar_issue_width},{scalar_forward_window},{:016x},{cores}",
+        freq_ghz.to_bits()
+    )
+    .unwrap();
+    for g in [l1d, l2, llc] {
+        let CacheGeometry { size, line, ways } = g;
+        write!(s, ";{size}/{line}/{ways}").unwrap();
+    }
+    write!(
+        s,
+        ";lat={lat1},{lat2},{lat3},{lat4},{mem_line_cycles};bank={banks},{service_cycles}"
+    )
+    .unwrap();
+}
+
+fn push_problem(s: &mut String, p: &ConvProblem) {
+    let ConvProblem {
+        n,
+        ic,
+        oc,
+        ih,
+        iw,
+        kh,
+        kw,
+        stride_h,
+        stride_w,
+        pad_h,
+        pad_w,
+    } = p;
+    write!(
+        s,
+        "|p={n}x{ic}x{oc}x{ih}x{iw}k{kh}x{kw}s{stride_h}x{stride_w}p{pad_h}x{pad_w}"
+    )
+    .unwrap();
+}
+
+fn push_cfg(s: &mut String, cfg: &KernelConfig) {
+    let KernelConfig {
+        algorithm,
+        direction,
+        vl,
+        rb,
+        rb_c,
+        tile,
+        src_layout,
+        dst_layout,
+        wei_layout,
+        wei_swapped,
+        vec_over_ic,
+        wbuf,
+        conflicts_predicted,
+    } = cfg;
+    let RegisterBlocking { rb_w, rb_h } = rb;
+    let MicroTile { kh_i, kw_i, c_i } = tile;
+    write!(
+        s,
+        "|cfg={},{},vl{vl},rb{rb_w}x{rb_h},rbc{rb_c},t{kh_i}x{kw_i}x{c_i},s{},d{},w{}x{},\
+         sw{},vi{},wb{wbuf},cp{}",
+        algorithm.short_name(),
+        direction.short_name(),
+        src_layout.cb,
+        dst_layout.cb,
+        wei_layout.icb,
+        wei_layout.ocb,
+        *wei_swapped as u8,
+        *vec_over_ic as u8,
+        *conflicts_predicted as u8,
+    )
+    .unwrap();
+}
+
+fn mode_tag(mode: ExecutionMode) -> &'static str {
+    if mode.is_functional() {
+        "func"
+    } else {
+        "timing"
+    }
+}
+
+/// Key of one simulated core-slice record (fwd/bwd-data cold+steady pair, or
+/// one bwd-weights reduction run — the direction in `cfg`/`engine`
+/// disambiguates the semantics of the two payload words).
+pub fn slice_key(
+    arch: &ArchParams,
+    p_sim: &ConvProblem,
+    direction: Direction,
+    engine: &str,
+    cores: usize,
+    mode: ExecutionMode,
+    cfg: Option<&KernelConfig>,
+) -> Key {
+    let mut s = String::with_capacity(256);
+    s.push_str(SCHEMA);
+    s.push_str("|kind=slice");
+    push_arch(&mut s, arch);
+    push_problem(&mut s, p_sim);
+    write!(
+        s,
+        "|dir={}|eng={engine}|cores={cores}|mode={}",
+        direction.short_name(),
+        mode_tag(mode)
+    )
+    .unwrap();
+    if let Some(cfg) = cfg {
+        push_cfg(&mut s, cfg);
+    }
+    Key::new(s)
+}
+
+/// Key of one validation record (`engine` carries the algorithm plus any
+/// operand-seeding discriminant the caller uses).
+pub fn validation_key(
+    arch: &ArchParams,
+    p: &ConvProblem,
+    direction: Direction,
+    engine: &str,
+) -> Key {
+    let mut s = String::with_capacity(256);
+    s.push_str(SCHEMA);
+    s.push_str("|kind=val");
+    push_arch(&mut s, arch);
+    push_problem(&mut s, p);
+    write!(s, "|dir={}|eng={engine}", direction.short_name()).unwrap();
+    Key::new(s)
+}
+
+/// Key of one cached discrete decision (e.g. vednn's algorithm chooser).
+pub fn choice_key(arch: &ArchParams, p: &ConvProblem, direction: Direction, what: &str) -> Key {
+    let mut s = String::with_capacity(256);
+    s.push_str(SCHEMA);
+    s.push_str("|kind=choice");
+    push_arch(&mut s, arch);
+    push_problem(&mut s, p);
+    write!(s, "|dir={}|what={what}", direction.short_name()).unwrap();
+    Key::new(s)
+}
+
+/// One stored result.
+// Slice records dominate the in-process map, so the size skew vs the
+// two small variants buys nothing by boxing — it would only add a pointer
+// chase to every warm slice lookup.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A simulated core slice: `(a, b)` is `(cold, steady)` for the
+    /// minibatch-parallel directions and `(cycles, 0)` for one bwd-weights
+    /// reduction run, plus the measured slice's raw counters.
+    Slice {
+        /// First payload word (cold-image or total cycles).
+        a: u64,
+        /// Second payload word (steady-image cycles, or 0).
+        b: u64,
+        /// Raw statistics of the measured slice.
+        report: ExecReport,
+    },
+    /// A validation outcome, f32 values stored bit-exactly.
+    Validation {
+        /// `max_abs_err.to_bits()`.
+        max_abs_bits: u32,
+        /// `rel_err.to_bits()`.
+        rel_bits: u32,
+        /// Whether the error passed the tolerance.
+        passed: bool,
+    },
+    /// A small discrete decision (e.g. a chosen algorithm), as a tag byte.
+    Choice(u8),
+}
+
+const REPORT_WORDS: usize = 26;
+
+fn report_to_words(r: &ExecReport) -> [u64; REPORT_WORDS] {
+    let ExecReport {
+        cycles,
+        insts,
+        cache,
+        stall_scalar,
+        stall_dep,
+        stall_port,
+        bank_serial_cycles,
+    } = *r;
+    let InstCounters {
+        scalar_loads,
+        scalar_ops,
+        vloads,
+        vstores,
+        vfmas,
+        gathers,
+        scatters,
+        fma_elems,
+    } = insts;
+    let HierarchyStats {
+        l1,
+        l2,
+        llc,
+        mem_fetches,
+    } = cache;
+    let mut w = [0u64; REPORT_WORDS];
+    w[0] = cycles;
+    w[1..9].copy_from_slice(&[
+        scalar_loads,
+        scalar_ops,
+        vloads,
+        vstores,
+        vfmas,
+        gathers,
+        scatters,
+        fma_elems,
+    ]);
+    for (i, lv) in [l1, l2, llc].into_iter().enumerate() {
+        let LevelStats {
+            hits,
+            misses,
+            conflict_misses,
+            writebacks,
+        } = lv;
+        w[9 + 4 * i..13 + 4 * i].copy_from_slice(&[hits, misses, conflict_misses, writebacks]);
+    }
+    w[21] = mem_fetches;
+    w[22..26].copy_from_slice(&[stall_scalar, stall_dep, stall_port, bank_serial_cycles]);
+    w
+}
+
+fn report_from_words(w: &[u64; REPORT_WORDS]) -> ExecReport {
+    let level = |i: usize| LevelStats {
+        hits: w[9 + 4 * i],
+        misses: w[10 + 4 * i],
+        conflict_misses: w[11 + 4 * i],
+        writebacks: w[12 + 4 * i],
+    };
+    ExecReport {
+        cycles: w[0],
+        insts: InstCounters {
+            scalar_loads: w[1],
+            scalar_ops: w[2],
+            vloads: w[3],
+            vstores: w[4],
+            vfmas: w[5],
+            gathers: w[6],
+            scatters: w[7],
+            fma_elems: w[8],
+        },
+        cache: HierarchyStats {
+            l1: level(0),
+            l2: level(1),
+            llc: level(2),
+            mem_fetches: w[21],
+        },
+        stall_scalar: w[22],
+        stall_dep: w[23],
+        stall_port: w[24],
+        bank_serial_cycles: w[25],
+    }
+}
+
+fn record_to_line(rec: &Record) -> String {
+    match rec {
+        Record::Slice { a, b, report } => {
+            let mut s = format!("slice {a} {b}");
+            for w in report_to_words(report) {
+                write!(s, " {w}").unwrap();
+            }
+            s
+        }
+        Record::Validation {
+            max_abs_bits,
+            rel_bits,
+            passed,
+        } => format!("val {max_abs_bits:08x} {rel_bits:08x} {}", *passed as u8),
+        Record::Choice(tag) => format!("choice {tag}"),
+    }
+}
+
+fn record_from_line(line: &str) -> Result<Record, String> {
+    let mut it = it_words(line);
+    match it.next() {
+        Some("slice") => {
+            let a = parse_u64(it.next())?;
+            let b = parse_u64(it.next())?;
+            let mut w = [0u64; REPORT_WORDS];
+            for slot in &mut w {
+                *slot = parse_u64(it.next())?;
+            }
+            if it.next().is_some() {
+                return Err("trailing words after slice record".into());
+            }
+            Ok(Record::Slice {
+                a,
+                b,
+                report: report_from_words(&w),
+            })
+        }
+        Some("val") => {
+            let max_abs_bits = parse_hex32(it.next())?;
+            let rel_bits = parse_hex32(it.next())?;
+            let passed = match it.next() {
+                Some("0") => false,
+                Some("1") => true,
+                other => return Err(format!("bad passed flag {other:?}")),
+            };
+            Ok(Record::Validation {
+                max_abs_bits,
+                rel_bits,
+                passed,
+            })
+        }
+        Some("choice") => {
+            let tag = parse_u64(it.next())?;
+            u8::try_from(tag)
+                .map(Record::Choice)
+                .map_err(|_| format!("choice tag {tag} out of range"))
+        }
+        other => Err(format!("unknown record kind {other:?}")),
+    }
+}
+
+fn it_words(line: &str) -> impl Iterator<Item = &str> {
+    line.split_ascii_whitespace()
+}
+
+fn parse_u64(tok: Option<&str>) -> Result<u64, String> {
+    tok.ok_or_else(|| "record truncated".to_string())?
+        .parse()
+        .map_err(|e| format!("bad number: {e}"))
+}
+
+fn parse_hex32(tok: Option<&str>) -> Result<u32, String> {
+    u32::from_str_radix(tok.ok_or_else(|| "record truncated".to_string())?, 16)
+        .map_err(|e| format!("bad hex: {e}"))
+}
+
+/// Construction-time knobs of a [`LayerStore`].
+#[derive(Debug, Clone, Default)]
+pub struct StoreConfig {
+    /// Disable every tier (the `--no-store` path): every lookup misses
+    /// without counting, every insert is dropped.
+    pub disabled: bool,
+    /// Directory of the persistent tier; `None` keeps the store in-process
+    /// only.
+    pub dir: Option<PathBuf>,
+    /// Percentage (0-100) of hits to re-simulate and assert against.
+    pub paranoid_pct: u8,
+}
+
+impl StoreConfig {
+    /// Read the process-wide defaults: `LSV_STORE=0` disables, a non-empty
+    /// `LSV_STORE_DIR` enables the persistent tier, `LSV_STORE_PARANOID`
+    /// sets the recheck percentage.
+    pub fn from_env() -> Self {
+        let disabled = std::env::var("LSV_STORE")
+            .map(|v| v == "0")
+            .unwrap_or(false);
+        let dir = std::env::var("LSV_STORE_DIR")
+            .ok()
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from);
+        let paranoid_pct = std::env::var("LSV_STORE_PARANOID")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(|p| p.min(100) as u8)
+            .unwrap_or(0);
+        Self {
+            disabled,
+            dir,
+            paranoid_pct,
+        }
+    }
+}
+
+/// Cumulative counters of one store (all process-lifetime totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups served by the in-process map.
+    pub mem_hits: u64,
+    /// Lookups served by the persistent tier.
+    pub disk_hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Records inserted (simulated fresh this process).
+    pub inserts: u64,
+    /// Hits re-simulated and asserted by paranoid mode.
+    pub paranoid_rechecks: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    paranoid_rechecks: AtomicU64,
+}
+
+/// The content-addressed result store (see module docs).
+pub struct LayerStore {
+    disabled: bool,
+    dir: Option<PathBuf>,
+    paranoid_pct: u8,
+    mem: Mutex<HashMap<u128, (Box<str>, Record)>>,
+    naive: Mutex<HashMap<String, Arc<Vec<f32>>>>,
+    counters: Counters,
+}
+
+impl LayerStore {
+    /// Build a store from explicit knobs (tests and tools; the process-wide
+    /// instance comes from [`store`]).
+    pub fn new(cfg: StoreConfig) -> Self {
+        if let Some(dir) = &cfg.dir {
+            if !cfg.disabled {
+                std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                    panic!("layer store: cannot create {}: {e}", dir.display())
+                });
+            }
+        }
+        Self {
+            disabled: cfg.disabled,
+            dir: if cfg.disabled { None } else { cfg.dir },
+            paranoid_pct: cfg.paranoid_pct,
+            mem: Mutex::new(HashMap::new()),
+            naive: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// A store with every tier disabled.
+    pub fn disabled() -> Self {
+        Self::new(StoreConfig {
+            disabled: true,
+            ..StoreConfig::default()
+        })
+    }
+
+    /// Whether lookups can ever hit.
+    pub fn enabled(&self) -> bool {
+        !self.disabled
+    }
+
+    /// Whether `key` falls in the deterministic paranoid re-check sample.
+    pub fn paranoid_sample(&self, key: &Key) -> bool {
+        self.paranoid_pct > 0 && (key.hash128() as u64 % 100) < self.paranoid_pct as u64
+    }
+
+    /// Count one paranoid re-check (the caller re-simulated and asserted).
+    pub fn note_paranoid_recheck(&self) {
+        self.counters
+            .paranoid_rechecks
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Look up a record, promoting disk hits into the in-process map.
+    pub fn get(&self, key: &Key) -> Option<Record> {
+        if self.disabled {
+            return None;
+        }
+        {
+            let mem = self.mem.lock().unwrap();
+            if let Some((canon, rec)) = mem.get(&key.hash128()) {
+                if canon.as_ref() == key.canonical() {
+                    self.counters.mem_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(rec.clone());
+                }
+            }
+        }
+        if let Some(dir) = &self.dir {
+            if let Some(rec) = read_entry(&entry_path(dir, key), key) {
+                self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.mem
+                    .lock()
+                    .unwrap()
+                    .insert(key.hash128(), (key.canonical().into(), rec.clone()));
+                return Some(rec);
+            }
+        }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Insert a record into both tiers (atomic `.tmp` + rename on disk).
+    pub fn put(&self, key: &Key, rec: Record) {
+        if self.disabled {
+            return;
+        }
+        self.counters.inserts.fetch_add(1, Ordering::Relaxed);
+        if let Some(dir) = &self.dir {
+            write_entry(dir, key, &rec);
+        }
+        self.mem
+            .lock()
+            .unwrap()
+            .insert(key.hash128(), (key.canonical().into(), rec));
+    }
+
+    /// Typed access: one simulated slice.
+    pub fn get_slice(&self, key: &Key) -> Option<(u64, u64, ExecReport)> {
+        match self.get(key) {
+            Some(Record::Slice { a, b, report }) => Some((a, b, report)),
+            _ => None,
+        }
+    }
+
+    /// Typed insert: one simulated slice.
+    pub fn put_slice(&self, key: &Key, a: u64, b: u64, report: &ExecReport) {
+        self.put(
+            key,
+            Record::Slice {
+                a,
+                b,
+                report: *report,
+            },
+        );
+    }
+
+    /// Typed access: one validation outcome (bit-exact f32 round-trip).
+    pub fn get_validation(&self, key: &Key) -> Option<ValidationReport> {
+        match self.get(key) {
+            Some(Record::Validation {
+                max_abs_bits,
+                rel_bits,
+                passed,
+            }) => Some(ValidationReport {
+                max_abs_err: f32::from_bits(max_abs_bits),
+                rel_err: f32::from_bits(rel_bits),
+                passed,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Typed insert: one validation outcome.
+    pub fn put_validation(&self, key: &Key, r: &ValidationReport) {
+        self.put(
+            key,
+            Record::Validation {
+                max_abs_bits: r.max_abs_err.to_bits(),
+                rel_bits: r.rel_err.to_bits(),
+                passed: r.passed,
+            },
+        );
+    }
+
+    /// Typed access: one discrete decision.
+    pub fn get_choice(&self, key: &Key) -> Option<u8> {
+        match self.get(key) {
+            Some(Record::Choice(tag)) => Some(tag),
+            _ => None,
+        }
+    }
+
+    /// Typed insert: one discrete decision.
+    pub fn put_choice(&self, key: &Key, tag: u8) {
+        self.put(key, Record::Choice(tag));
+    }
+
+    /// Memoize a pure host-side f32 computation (the validate sweep's naive
+    /// reference, identical across the three direct algorithms). In-process
+    /// only — never persisted.
+    pub fn naive_ref(&self, tag: &str, compute: impl FnOnce() -> Vec<f32>) -> Arc<Vec<f32>> {
+        if self.disabled {
+            return Arc::new(compute());
+        }
+        if let Some(v) = self.naive.lock().unwrap().get(tag) {
+            return Arc::clone(v);
+        }
+        let v = Arc::new(compute());
+        self.naive
+            .lock()
+            .unwrap()
+            .entry(tag.to_string())
+            .or_insert_with(|| Arc::clone(&v))
+            .clone()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            mem_hits: self.counters.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.counters.disk_hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            inserts: self.counters.inserts.load(Ordering::Relaxed),
+            paranoid_rechecks: self.counters.paranoid_rechecks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bytes currently persisted (0 without a disk tier).
+    pub fn disk_bytes(&self) -> u64 {
+        let Some(dir) = &self.dir else { return 0 };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return 0;
+        };
+        entries
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "entry"))
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum()
+    }
+}
+
+fn entry_path(dir: &Path, key: &Key) -> PathBuf {
+    dir.join(format!("{}.entry", key.file_stem()))
+}
+
+fn write_entry(dir: &Path, key: &Key, rec: &Record) {
+    let path = entry_path(dir, key);
+    if let Ok(resident) = std::fs::read_to_string(&path) {
+        if resident.lines().next() == Some(SCHEMA) {
+            // Entries are deterministic; the resident copy is as good as ours.
+            return;
+        }
+        // Stale schema (or damaged header): fall through and overwrite.
+    }
+    let text = format!(
+        "{SCHEMA}\nkey {}\n{}\n",
+        key.canonical(),
+        record_to_line(rec)
+    );
+    let tmp = dir.join(format!("{}.tmp.{}", key.file_stem(), std::process::id()));
+    std::fs::write(&tmp, text)
+        .unwrap_or_else(|e| panic!("layer store: cannot write {}: {e}", tmp.display()));
+    std::fs::rename(&tmp, &path)
+        .unwrap_or_else(|e| panic!("layer store: cannot publish {}: {e}", path.display()));
+}
+
+/// Read and verify one persisted entry. Version mismatch and hash-collision
+/// key mismatch are silent misses; truncation or corruption is a loud error.
+fn read_entry(path: &Path, key: &Key) -> Option<Record> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) => panic!("layer store: unreadable entry {}: {e}", path.display()),
+    };
+    let mut lines = text.lines();
+    let version = lines
+        .next()
+        .unwrap_or_else(|| panic!("layer store: truncated entry {} (empty)", path.display()));
+    if version != SCHEMA {
+        return None; // stale schema: silent miss, next put overwrites
+    }
+    let key_line = lines.next().unwrap_or_else(|| {
+        panic!(
+            "layer store: truncated entry {} (missing key)",
+            path.display()
+        )
+    });
+    let canon = key_line.strip_prefix("key ").unwrap_or_else(|| {
+        panic!(
+            "layer store: corrupt entry {} (bad key line)",
+            path.display()
+        )
+    });
+    if canon != key.canonical() {
+        return None; // 128-bit hash collision: astronomically unlikely
+    }
+    let rec_line = lines.next().unwrap_or_else(|| {
+        panic!(
+            "layer store: truncated entry {} (missing record)",
+            path.display()
+        )
+    });
+    match record_from_line(rec_line) {
+        Ok(rec) => Some(rec),
+        Err(why) => panic!("layer store: corrupt entry {}: {why}", path.display()),
+    }
+}
+
+static CONFIG: Mutex<Option<StoreConfig>> = Mutex::new(None);
+static STORE: OnceLock<LayerStore> = OnceLock::new();
+
+/// Set the process-wide store configuration (CLI flags). Must run before the
+/// first [`store`] access; returns `Err` if the store is already live.
+pub fn configure(cfg: StoreConfig) -> Result<(), &'static str> {
+    if STORE.get().is_some() {
+        return Err("layer store already initialized");
+    }
+    *CONFIG.lock().unwrap() = Some(cfg);
+    Ok(())
+}
+
+/// The process-wide store, lazily built from [`configure`]d knobs or the
+/// environment (`LSV_STORE`, `LSV_STORE_DIR`, `LSV_STORE_PARANOID`).
+pub fn store() -> &'static LayerStore {
+    STORE.get_or_init(|| {
+        let cfg = CONFIG
+            .lock()
+            .unwrap()
+            .take()
+            .unwrap_or_else(StoreConfig::from_env);
+        LayerStore::new(cfg)
+    })
+}
+
+/// Write this process's store counters as one JSON object to the path in
+/// `LSV_STORE_STATS` (regen bins call this on exit; bench-simulator collects
+/// the files into BENCH_simulator.json).
+pub fn dump_stats_to_env_file() {
+    let Ok(path) = std::env::var("LSV_STORE_STATS") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let st = store();
+    let s = st.stats();
+    let json = format!(
+        "{{\"mem_hits\":{},\"disk_hits\":{},\"misses\":{},\"inserts\":{},\
+         \"paranoid_rechecks\":{},\"disk_bytes\":{}}}\n",
+        s.mem_hits,
+        s.disk_hits,
+        s.misses,
+        s.inserts,
+        s.paranoid_rechecks,
+        st.disk_bytes()
+    );
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    if std::fs::write(&tmp, json).is_ok() {
+        let _ = std::fs::rename(&tmp, &path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Algorithm;
+    use lsv_arch::presets::sx_aurora;
+
+    fn key_a() -> Key {
+        let arch = sx_aurora();
+        let p = ConvProblem::new(2, 64, 64, 14, 14, 3, 3, 1, 1);
+        let cfg = crate::tuning::kernel_config(&arch, &p, Direction::Fwd, Algorithm::Bdc, 8);
+        slice_key(
+            &arch,
+            &p,
+            Direction::Fwd,
+            "direct",
+            8,
+            ExecutionMode::TimingOnly,
+            Some(&cfg),
+        )
+    }
+
+    fn report_fixture() -> ExecReport {
+        let mut w = [0u64; REPORT_WORDS];
+        for (i, slot) in w.iter_mut().enumerate() {
+            *slot = (i as u64 + 1) * 7919;
+        }
+        report_from_words(&w)
+    }
+
+    #[test]
+    fn key_is_deterministic() {
+        let (a, b) = (key_a(), key_a());
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.hash128(), b.hash128());
+    }
+
+    #[test]
+    fn renamed_identical_arch_shares_keys() {
+        let arch = sx_aurora();
+        let renamed = lsv_arch::presets::aurora_with_vlen_bits(arch.vlen_bits);
+        assert_ne!(arch.name, renamed.name, "preset rename is the premise");
+        let p = ConvProblem::new(2, 64, 64, 14, 14, 3, 3, 1, 1);
+        let k1 = validation_key(&arch, &p, Direction::Fwd, "dc");
+        let k2 = validation_key(&renamed, &p, Direction::Fwd, "dc");
+        assert_eq!(k1, k2, "arch name must not enter the key");
+    }
+
+    #[test]
+    fn mode_cores_engine_and_kind_discriminate() {
+        let arch = sx_aurora();
+        let p = ConvProblem::new(2, 64, 64, 14, 14, 3, 3, 1, 1);
+        let base = slice_key(
+            &arch,
+            &p,
+            Direction::Fwd,
+            "direct",
+            8,
+            ExecutionMode::TimingOnly,
+            None,
+        );
+        let func = slice_key(
+            &arch,
+            &p,
+            Direction::Fwd,
+            "direct",
+            8,
+            ExecutionMode::Functional,
+            None,
+        );
+        let cores1 = slice_key(
+            &arch,
+            &p,
+            Direction::Fwd,
+            "direct",
+            1,
+            ExecutionMode::TimingOnly,
+            None,
+        );
+        let vednn = slice_key(
+            &arch,
+            &p,
+            Direction::Fwd,
+            "vednn:gemm",
+            8,
+            ExecutionMode::TimingOnly,
+            None,
+        );
+        let val = validation_key(&arch, &p, Direction::Fwd, "direct");
+        let choice = choice_key(&arch, &p, Direction::Fwd, "direct");
+        let all = [&base, &func, &cores1, &vednn, &val, &choice];
+        for (i, x) in all.iter().enumerate() {
+            for y in &all[i + 1..] {
+                assert_ne!(x.hash128(), y.hash128());
+            }
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_through_text() {
+        let recs = [
+            Record::Slice {
+                a: 123,
+                b: u64::MAX,
+                report: report_fixture(),
+            },
+            Record::Validation {
+                max_abs_bits: 0x3f80_0001,
+                rel_bits: 0x0000_0000,
+                passed: true,
+            },
+            Record::Choice(7),
+        ];
+        for rec in recs {
+            let line = record_to_line(&rec);
+            assert_eq!(record_from_line(&line).unwrap(), rec, "{line}");
+        }
+    }
+
+    #[test]
+    fn memory_tier_roundtrip_and_stats() {
+        let st = LayerStore::new(StoreConfig::default());
+        let key = key_a();
+        assert!(st.get_slice(&key).is_none());
+        st.put_slice(&key, 10, 20, &report_fixture());
+        let (a, b, rep) = st.get_slice(&key).expect("hit");
+        assert_eq!((a, b), (10, 20));
+        assert_eq!(rep, report_fixture());
+        let s = st.stats();
+        assert_eq!((s.mem_hits, s.misses, s.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn disabled_store_never_hits() {
+        let st = LayerStore::disabled();
+        let key = key_a();
+        st.put_slice(&key, 1, 2, &report_fixture());
+        assert!(st.get_slice(&key).is_none());
+        assert_eq!(st.stats(), StoreStats::default());
+    }
+
+    #[test]
+    fn validation_roundtrip_is_bit_exact() {
+        let st = LayerStore::new(StoreConfig::default());
+        let key = validation_key(
+            &sx_aurora(),
+            &ConvProblem::new(1, 8, 8, 6, 6, 3, 3, 1, 1),
+            Direction::Fwd,
+            "dc",
+        );
+        let r = ValidationReport {
+            max_abs_err: 1.1920929e-7,
+            rel_err: 3.5762787e-7,
+            passed: true,
+        };
+        st.put_validation(&key, &r);
+        let got = st.get_validation(&key).expect("hit");
+        assert_eq!(got.max_abs_err.to_bits(), r.max_abs_err.to_bits());
+        assert_eq!(got.rel_err.to_bits(), r.rel_err.to_bits());
+        assert_eq!(got.passed, r.passed);
+    }
+
+    #[test]
+    fn paranoid_sampling_is_deterministic_and_proportional() {
+        let st = LayerStore::new(StoreConfig {
+            paranoid_pct: 25,
+            ..StoreConfig::default()
+        });
+        let arch = sx_aurora();
+        let mut sampled = 0;
+        for i in 1..=400usize {
+            let p = ConvProblem::new(i, 8, 8, 6 + i % 13, 6 + i % 13, 3, 3, 1, 1);
+            let key = validation_key(&arch, &p, Direction::Fwd, "dc");
+            let s1 = st.paranoid_sample(&key);
+            assert_eq!(s1, st.paranoid_sample(&key));
+            sampled += s1 as usize;
+        }
+        assert!(
+            (40..=200).contains(&sampled),
+            "25% of 400 keys, got {sampled}"
+        );
+    }
+}

@@ -9,6 +9,7 @@ use lsv_arch::{
     bdc_register_block_range, formula2_rb_min, formula3_predicts_conflicts, ArchParams,
 };
 use lsv_tensor::{ActivationLayout, WeightLayout};
+use std::collections::HashSet;
 
 /// Spatial register blocking factors (`RB_w`, `RB_h` of Section 4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -363,6 +364,186 @@ pub fn kernel_config(
             }
         }
     }
+}
+
+/// Outcome of the empirical register-block sweep (`lsvconv tune`).
+///
+/// `generated` raw candidate targets normalize (clamping to the output
+/// shape, the register file, and the weight-buffer depth rule) down to
+/// `unique` distinct effective configurations — the dedupe that keeps the
+/// tuner from simulating the same kernel twice. Each unique configuration is
+/// evaluated through the layer store, so `store_hits + simulated` equals the
+/// number of slice evaluations issued.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// Raw candidate targets enumerated.
+    pub generated: usize,
+    /// Distinct effective configurations after key normalization.
+    pub unique: usize,
+    /// Slice evaluations served by the layer store.
+    pub store_hits: u64,
+    /// Slice evaluations actually simulated.
+    pub simulated: u64,
+    /// Chip cycles of the analytic (Formula-driven) configuration.
+    pub analytic_cycles: u64,
+    /// Best configuration found by the sweep (ties keep the analytic pick).
+    pub best_cfg: KernelConfig,
+    /// Chip cycles of the best configuration.
+    pub best_cycles: u64,
+}
+
+/// Empirically sweep the register-block target for one (problem, direction,
+/// algorithm): enumerate every combined target the register file admits,
+/// normalize each to its effective [`KernelConfig`], dedupe candidates whose
+/// canonical store key coincides, and simulate only the unique survivors
+/// (each through the layer store, so a warm store pays for nothing twice).
+pub fn tune_empirical(
+    arch: &ArchParams,
+    problem: &ConvProblem,
+    direction: Direction,
+    algorithm: Algorithm,
+    mode: lsv_vengine::ExecutionMode,
+) -> Result<TuneReport, crate::primitive::UnsupportedReason> {
+    use crate::perf::{bench_bwdw_parallel_with, bench_minibatch_parallel_with};
+    use crate::primitive::ConvDesc;
+
+    let cores = arch.cores.max(1);
+    let base = *ConvDesc::new(*problem, direction, algorithm)
+        .create(arch, cores)?
+        .cfg();
+    let budget = arch.n_vregs;
+
+    // Candidate generation: every combined register-block target the
+    // register file could admit, normalized exactly like `create` would.
+    let mut generated = 0usize;
+    let mut seen = HashSet::new();
+    let mut unique_cfgs: Vec<KernelConfig> = Vec::new();
+    // The key a candidate's evaluation will be cached under (the principal
+    // simulated slice): dedupe on the same canonical string.
+    let p_key = match direction {
+        Direction::BwdWeights => problem.with_minibatch(2.min(problem.n.max(1))),
+        _ => problem.with_minibatch(problem.n.div_ceil(cores).clamp(1, 2)),
+    };
+    let mut admit = |cfg: KernelConfig, unique_cfgs: &mut Vec<KernelConfig>| {
+        let key =
+            crate::store::slice_key(arch, &p_key, direction, "direct", cores, mode, Some(&cfg));
+        if seen.insert(key.canonical().to_string()) {
+            unique_cfgs.push(cfg);
+        }
+    };
+    // The analytic configuration is always a candidate (and is evaluated
+    // first, so ties keep it).
+    admit(base, &mut unique_cfgs);
+    match direction {
+        Direction::Fwd | Direction::BwdData => {
+            let (ow, oh, ab, c_str_eff) = match direction {
+                Direction::Fwd => (
+                    problem.ow(),
+                    problem.oh(),
+                    act_cb(arch, algorithm, problem.ic),
+                    problem.stride_w,
+                ),
+                _ => (
+                    problem.iw,
+                    problem.ih,
+                    act_cb(arch, algorithm, problem.oc),
+                    1,
+                ),
+            };
+            for target in 1..=budget.saturating_sub(2) {
+                generated += 1;
+                let mut cfg = base;
+                cfg.rb = split_register_block_capped(target, ow, oh);
+                cfg.wbuf = wbuf_depth(arch, cfg.vl, cfg.rb.combined());
+                // Register-pressure clamp, same rule as `ConvDesc::create`.
+                while cfg.rb.combined() + cfg.wbuf > budget {
+                    if cfg.rb.rb_h > 1 {
+                        cfg.rb.rb_h -= 1;
+                    } else if cfg.rb.rb_w > 1 {
+                        cfg.rb.rb_w -= 1;
+                    } else {
+                        break;
+                    }
+                    cfg.wbuf = wbuf_depth(arch, cfg.vl, cfg.rb.combined());
+                }
+                if cfg.rb.combined() + cfg.wbuf > budget {
+                    continue;
+                }
+                cfg.conflicts_predicted =
+                    formula3_predicts_conflicts(arch, ab, cfg.rb.combined(), c_str_eff);
+                admit(cfg, &mut unique_cfgs);
+            }
+        }
+        Direction::BwdWeights => {
+            let c_small = if base.vec_over_ic {
+                problem.oc
+            } else {
+                problem.ic
+            };
+            let (ab, c_str_eff) = if base.vec_over_ic {
+                (act_cb(arch, algorithm, problem.oc), 1)
+            } else {
+                (act_cb(arch, algorithm, problem.ic), problem.stride_w)
+            };
+            for target in 1..=budget.saturating_sub(2) {
+                generated += 1;
+                let mut cfg = base;
+                cfg.rb_c = c_small.min(target).max(1);
+                while cfg.rb_c + cfg.wbuf.max(2) > budget && cfg.rb_c > 1 {
+                    cfg.rb_c -= 1;
+                }
+                if cfg.rb_c + cfg.wbuf.max(2) > budget {
+                    continue;
+                }
+                cfg.tile.c_i = cfg.rb_c;
+                cfg.conflicts_predicted =
+                    formula3_predicts_conflicts(arch, ab, cfg.rb_c, c_str_eff);
+                admit(cfg, &mut unique_cfgs);
+            }
+        }
+    }
+
+    // Evaluate every unique survivor through the store.
+    let st = crate::store::store();
+    let before = st.stats();
+    let mut calls = 0u64;
+    let mut analytic_cycles = 0u64;
+    let mut best: Option<(u64, KernelConfig)> = None;
+    for (i, cfg) in unique_cfgs.iter().enumerate() {
+        let slice = match direction {
+            Direction::Fwd | Direction::BwdData => {
+                calls += 1;
+                bench_minibatch_parallel_with(arch, problem, direction, mode, cores, &|p_sim| {
+                    ConvDesc::new(p_sim, direction, algorithm).create_with_config(arch, *cfg, cores)
+                })
+            }
+            Direction::BwdWeights => {
+                calls += 2;
+                bench_bwdw_parallel_with(arch, problem, mode, cores, &|p_sim| {
+                    ConvDesc::new(p_sim, direction, algorithm).create_with_config(arch, *cfg, cores)
+                })
+            }
+        };
+        if i == 0 {
+            analytic_cycles = slice.chip_cycles;
+        }
+        if best.map(|(c, _)| slice.chip_cycles < c).unwrap_or(true) {
+            best = Some((slice.chip_cycles, *cfg));
+        }
+    }
+    let after = st.stats();
+    let store_hits =
+        (after.mem_hits + after.disk_hits).saturating_sub(before.mem_hits + before.disk_hits);
+    let (best_cycles, best_cfg) = best.expect("at least the analytic candidate");
+    Ok(TuneReport {
+        generated,
+        unique: unique_cfgs.len(),
+        store_hits,
+        simulated: calls.saturating_sub(store_hits),
+        analytic_cycles,
+        best_cfg,
+        best_cycles,
+    })
 }
 
 #[cfg(test)]

@@ -124,11 +124,56 @@ impl VednnConv {
     /// The chooser: probe every supported kernel family on a single image in
     /// timing-only mode and keep the fastest — the paper's "we always use
     /// the best performing algorithm in vednn".
+    ///
+    /// The decision is a pure function of (arch, single-image problem,
+    /// direction), so it is served from the layer store when available;
+    /// paranoid mode re-probes a sampled fraction of hits.
     pub fn best(arch: &ArchParams, problem: ConvProblem, direction: Direction) -> Self {
+        let st = lsv_conv::store::store();
+        let key =
+            lsv_conv::store::choice_key(arch, &problem.with_minibatch(1), direction, "vednn-best");
+        let from_tag = |tag: u8| match tag {
+            0 => VednnAlgo::DirectSpatial,
+            _ => VednnAlgo::Im2colGemm,
+        };
+        let algo = if let Some(tag) = st.get_choice(&key) {
+            if st.paranoid_sample(&key) {
+                let probed = Self::probe_best(arch, &problem, direction);
+                assert_eq!(
+                    probed,
+                    from_tag(tag),
+                    "paranoid store recheck diverged for key {}",
+                    key.canonical()
+                );
+                st.note_paranoid_recheck();
+            }
+            from_tag(tag)
+        } else {
+            let algo = Self::probe_best(arch, &problem, direction);
+            st.put_choice(
+                &key,
+                match algo {
+                    VednnAlgo::DirectSpatial => 0,
+                    VednnAlgo::Im2colGemm => 1,
+                },
+            );
+            algo
+        };
+        Self {
+            arch: arch.clone(),
+            problem,
+            direction,
+            algo,
+        }
+    }
+
+    /// The uncached chooser probe: simulate every supported family on one
+    /// image and return the fastest.
+    fn probe_best(arch: &ArchParams, problem: &ConvProblem, direction: Direction) -> VednnAlgo {
         let candidates = [VednnAlgo::DirectSpatial, VednnAlgo::Im2colGemm];
         let mut best: Option<(u64, VednnAlgo)> = None;
         for algo in candidates {
-            if !algo.supports(&problem, direction) {
+            if !algo.supports(problem, direction) {
                 continue;
             }
             let probe = Self::with_algo(arch, problem.with_minibatch(1), direction, algo);
@@ -143,13 +188,7 @@ impl VednnConv {
                 best = Some((cycles, algo));
             }
         }
-        let (_, algo) = best.expect("Im2colGemm supports everything");
-        Self {
-            arch: arch.clone(),
-            problem,
-            direction,
-            algo,
-        }
+        best.expect("Im2colGemm supports everything").1
     }
 
     /// The chosen kernel family.

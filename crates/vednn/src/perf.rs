@@ -7,24 +7,21 @@
 //! reduction across cores is not charged (it is negligible next to the
 //! per-core GEMM work).
 
-use crate::VednnConv;
+use crate::{VednnAlgo, VednnConv};
 use lsv_arch::ArchParams;
 use lsv_conv::perf::LayerPerf;
-use lsv_conv::{ConvProblem, Direction, ExecReport, ExecutionMode};
+use lsv_conv::{store, ConvProblem, Direction, ExecReport, ExecutionMode};
 use lsv_vengine::{Arena, VCore};
 
-/// Simulate one layer under the 8-core execution model with the library's
-/// best kernel for the problem.
-pub fn bench_layer_vednn(
+/// Simulate the representative core's slice: one cold image and (if
+/// `n_sim > 1`) one steady-state image.
+fn simulate_slice(
     arch: &ArchParams,
-    problem: &ConvProblem,
+    conv: &VednnConv,
     direction: Direction,
     mode: ExecutionMode,
-) -> LayerPerf {
-    let cores = arch.cores.max(1);
-    let images_per_core = problem.n.div_ceil(cores).max(1);
-    let n_sim = images_per_core.min(2);
-    let conv = VednnConv::best(arch, problem.with_minibatch(n_sim), direction);
+    n_sim: usize,
+) -> (u64, u64, ExecReport) {
     let mut arena = Arena::new();
     let t = conv.alloc_tensors(&mut arena);
     if matches!(mode, ExecutionMode::Functional) {
@@ -50,13 +47,52 @@ pub fn bench_layer_vednn(
     }
     conv.execute_core(&mut core, &mut arena, &t, 0..1);
     let cold = core.drain().cycles;
-    let (steady, report) = if n_sim > 1 {
+    if n_sim > 1 {
         conv.execute_core(&mut core, &mut arena, &t, 1..2);
         let s = core.drain();
-        (s.cycles - cold, ExecReport::from(s))
+        (cold, s.cycles - cold, ExecReport::from(s))
     } else {
         let s = core.drain();
-        (cold, ExecReport::from(s))
+        (cold, cold, ExecReport::from(s))
+    }
+}
+
+/// Simulate one layer under the 8-core execution model with the library's
+/// best kernel for the problem. The representative slice is served from the
+/// layer store (keyed on the chosen kernel family) when available.
+pub fn bench_layer_vednn(
+    arch: &ArchParams,
+    problem: &ConvProblem,
+    direction: Direction,
+    mode: ExecutionMode,
+) -> LayerPerf {
+    let cores = arch.cores.max(1);
+    let images_per_core = problem.n.div_ceil(cores).max(1);
+    let n_sim = images_per_core.min(2);
+    let p_sim = problem.with_minibatch(n_sim);
+    let conv = VednnConv::best(arch, p_sim, direction);
+    let engine = match conv.algo() {
+        VednnAlgo::DirectSpatial => "vednn:spatial",
+        VednnAlgo::Im2colGemm => "vednn:gemm",
+    };
+    let key = store::slice_key(arch, &p_sim, direction, engine, cores, mode, None);
+    let st = store::store();
+    let sim = || simulate_slice(arch, &conv, direction, mode, n_sim);
+    let (cold, steady, report) = if let Some((c, s, r)) = st.get_slice(&key) {
+        if st.paranoid_sample(&key) {
+            assert_eq!(
+                sim(),
+                (c, s, r),
+                "paranoid store recheck diverged for key {}",
+                key.canonical()
+            );
+            st.note_paranoid_recheck();
+        }
+        (c, s, r)
+    } else {
+        let v = sim();
+        st.put_slice(&key, v.0, v.1, &v.2);
+        v
     };
     let chip_cycles = (cold + steady * (images_per_core as u64 - 1)).max(1);
     let secs = chip_cycles as f64 / (arch.freq_ghz * 1e9);

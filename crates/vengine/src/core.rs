@@ -520,12 +520,25 @@ impl VCore {
         self.issue_slot();
     }
 
-    /// `n` scalar ALU instructions (loop bookkeeping).
+    /// `n` scalar ALU instructions (loop bookkeeping). Equivalent to `n`
+    /// [`VCore::scalar_op`] calls, but the frontier advances arithmetically
+    /// in O(1) instead of claiming issue slots one at a time.
     #[inline]
     pub fn scalar_ops(&mut self, n: usize) {
-        for _ in 0..n {
-            self.scalar_op();
+        if n == 0 {
+            return;
         }
+        if self.trace.is_some() || self.introspect {
+            for _ in 0..n {
+                self.scalar_op();
+            }
+            return;
+        }
+        self.counters.scalar_ops += n as u64;
+        let w = self.arch.scalar_issue_width;
+        let total = self.slots_used + n - 1;
+        self.frontier += (total / w) as u64;
+        self.slots_used = total % w + 1;
     }
 
     /// A scalar load through L1 → L2 → LLC → memory.
@@ -580,12 +593,14 @@ impl VCore {
             start = srcs_ready;
         }
         let port = if use_port {
-            let (idx, &free) = self
-                .ports
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, &f)| f)
-                .expect("at least one FMA port");
+            let mut idx = 0;
+            let mut free = self.ports[0];
+            for (i, &f) in self.ports.iter().enumerate().skip(1) {
+                if f < free {
+                    idx = i;
+                    free = f;
+                }
+            }
             if free > start {
                 self.stall_port += free - start;
                 start = free;
