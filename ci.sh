@@ -59,6 +59,20 @@ LSV_STORE=0 ./target/release/mpki 32 >"$STORE_SMOKE_OUT/ci-store-off.csv" 2>/dev
 cmp "$STORE_SMOKE_OUT/ci-store-cold.csv" "$STORE_SMOKE_OUT/ci-store-off.csv"
 rm -rf "$STORE_SMOKE_DIR"
 
+echo "== serving smoke (queue sweep; warm serve replay must be byte-identical)"
+SERVE_STORE_DIR=results/.ci-serve-store
+rm -rf "$SERVE_STORE_DIR"
+./target/release/lsvconv-cli serve --smoke --store-dir "$SERVE_STORE_DIR" \
+    >"$STORE_SMOKE_OUT/ci-serve-cold.txt" 2>/dev/null
+./target/release/lsvconv-cli serve --smoke --store-dir "$SERVE_STORE_DIR" \
+    >"$STORE_SMOKE_OUT/ci-serve-warm.txt" 2>/dev/null
+cmp "$STORE_SMOKE_OUT/ci-serve-cold.txt" "$STORE_SMOKE_OUT/ci-serve-warm.txt"
+
+echo "== bench-serving (smoke; BENCH_serving.json schema validation is a hard error)"
+LSV_STORE_DIR="$SERVE_STORE_DIR" ./target/release/bench-serving --smoke \
+    --json "$STORE_SMOKE_OUT/ci-serving.json" >"$STORE_SMOKE_OUT/ci-serving.csv" 2>/dev/null
+rm -rf "$SERVE_STORE_DIR"
+
 echo "== bench-native (smoke: layer GFLOP/s + sim-vs-native corpus speedup)"
 cargo run --release -p lsv-bench --bin bench-native -- --smoke
 

@@ -1,0 +1,165 @@
+//! The serving load sweep: (arrival shape x offered load x batching policy
+//! x engine) over a whole model on the simulated chip.
+//!
+//! Emits `serving.csv` rows on stdout and (with `--json PATH`) the
+//! `BENCH_serving.json` document, schema-validated through
+//! `lsv_obs::validate_serving_json` after writing — like `lint.json`.
+//!
+//! Every service time comes from the `ModelRunner` / vednn latency tables
+//! through the layer store: a warm store replays the whole sweep without
+//! simulating a single slice (the queue simulation itself is host-side
+//! arithmetic on the simulated clock).
+//!
+//! Usage: `bench-serving [--smoke] [--json PATH] [--model resnet-50]
+//!         [--pass infer|train] [--requests N] [--seed N]`
+
+use lsv_arch::presets::sx_aurora;
+use lsv_conv::{ExecutionMode, Pass};
+use lsv_models::ResNetModel;
+use lsv_serve::{
+    best_by_load, csv_header, csv_row, run_sweep, serving_json, ArrivalShape, BatchPolicy,
+    LatencyTable, ServeEngine, SweepConfig, SweepMeta,
+};
+use std::process::exit;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .filter(|v| !v.starts_with("--"))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let model = match flag_value(&args, "--model").as_deref() {
+        None | Some("resnet-50") => ResNetModel::R50,
+        Some("resnet-101") => ResNetModel::R101,
+        Some("resnet-152") => ResNetModel::R152,
+        Some(other) => {
+            eprintln!("error: unknown model '{other}' (resnet-50|resnet-101|resnet-152)");
+            exit(2);
+        }
+    };
+    let pass = match flag_value(&args, "--pass").as_deref() {
+        None | Some("infer") => Pass::Inference,
+        Some("train") => Pass::TrainingStep,
+        Some(other) => {
+            eprintln!("error: unknown pass '{other}' (infer|train)");
+            exit(2);
+        }
+    };
+    let seed: u64 = flag_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let requests: usize = flag_value(&args, "--requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 200 } else { 3000 });
+
+    let arch = sx_aurora();
+    let mode = ExecutionMode::TimingOnly;
+    let max_batch = if smoke { 4 } else { 16 };
+    let engines: Vec<ServeEngine> = if smoke {
+        vec![ServeEngine::Fixed(lsv_conv::Algorithm::Bdc)]
+    } else {
+        vec![
+            ServeEngine::Vednn,
+            ServeEngine::Fixed(lsv_conv::Algorithm::Bdc),
+            ServeEngine::Tuned,
+        ]
+    };
+
+    eprintln!(
+        "building latency tables: {} {} on {}, batches 1..={max_batch}, {} engine(s)...",
+        model.name(),
+        pass.name(),
+        arch.name,
+        engines.len()
+    );
+    let table = LatencyTable::build(&arch, model, pass, &engines, max_batch, mode);
+    for (ei, e) in table.engines.iter().enumerate() {
+        eprintln!(
+            "  {:>6}: b1 {:.2} ms .. b{max_batch} {:.2} ms",
+            e.name(),
+            table.latency_ms(ei, 1),
+            table.latency_ms(ei, max_batch)
+        );
+    }
+
+    // SLO: twice the fastest engine's full-batch service time — generous
+    // enough that a well-batched server meets it, tight enough that queueing
+    // pathologies (idle waiting at low load, saturation at high load) fail
+    // it. Derived from simulated latencies only, so the artifact stays
+    // deterministic.
+    let slo_ms = 2.0 * table.best(max_batch).1;
+    let timeout_ms = slo_ms / 4.0;
+    let cfg = SweepConfig {
+        shapes: if smoke {
+            vec![ArrivalShape::Poisson]
+        } else {
+            vec![
+                ArrivalShape::Poisson,
+                ArrivalShape::Bursty {
+                    burst: 4.0,
+                    period_ms: 8.0 * slo_ms,
+                },
+            ]
+        },
+        policies: vec![
+            BatchPolicy::Adaptive { max_batch },
+            BatchPolicy::Fixed { batch: max_batch },
+            BatchPolicy::Timeout {
+                max_batch,
+                timeout_ms,
+            },
+        ],
+        utilizations: if smoke {
+            vec![0.3, 0.9]
+        } else {
+            vec![0.15, 0.4, 0.7, 0.9, 1.1]
+        },
+        requests,
+        seed,
+        slo_ms,
+    };
+
+    let rows = run_sweep(&cfg, &table);
+    let best = best_by_load(&rows);
+
+    println!("{}", csv_header());
+    for r in &rows {
+        println!("{}", csv_row(r, cfg.requests, cfg.slo_ms));
+    }
+
+    for b in &best {
+        eprintln!(
+            "best @ {} {:.0} rps: {} + {}",
+            b.arrival, b.offered_rps, b.policy, b.engine
+        );
+    }
+
+    if let Some(path) = flag_value(&args, "--json") {
+        let meta = SweepMeta {
+            arch: arch.name.clone(),
+            model: model.name().to_string(),
+            pass: pass.name().to_string(),
+            mode: "timing-only".to_string(),
+            max_batch,
+        };
+        let doc = serving_json(&meta, &cfg, &table, &rows, &best);
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("error: cannot write {path}: {e}");
+            exit(1);
+        }
+        // Re-read and validate what actually landed on disk.
+        let text = std::fs::read_to_string(&path).expect("just wrote it");
+        if let Err(e) = lsv_obs::validate_serving_json(&text) {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+        eprintln!("wrote {path} (schema-valid)");
+    }
+
+    lsv_conv::store::dump_stats_to_env_file();
+}

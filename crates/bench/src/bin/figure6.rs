@@ -33,7 +33,7 @@ fn main() {
     let tables = layer_time_tables(&configs, ExecutionMode::TimingOnly);
     println!("minibatch,algorithm,step_ms,gflops");
     for (ci, &(_, mb, e)) in configs.iter().enumerate() {
-        let flops = 3.0 * model.total_flops(mb) as f64;
+        let flops = model.training_flops(mb) as f64;
         let ms = model_time_from_table(&tables[ci], model);
         let gflops = flops / (ms / 1e3) / 1e9;
         println!("{},{},{:.2},{:.1}", mb, e.name(), ms, gflops);

@@ -8,6 +8,7 @@
 //! lsvconv tune   --layer 16 --dir fwdd --alg BDC  # show the generated config
 //! lsvconv fuzz   [--cases 500] [--seed 1] [--smoke]  # differential fuzzing
 //! lsvconv profile <layer> [--dir fwdd] [--alg BDC] [--out results/profile] [--smoke]
+//! lsvconv serve  [--model resnet-50] [--pass infer] [--engine BDC] [--smoke]
 //! ```
 
 use lsv_arch::presets::{a64fx_sve, rvv_longvector, skylake_avx512, sx_aurora};
@@ -17,9 +18,13 @@ use lsv_bench::{bench_engine, Engine};
 use lsv_conv::fuzz::{self, FuzzOutcome};
 use lsv_conv::{
     bench_layer_profiled, validate_with_backend, Algorithm, BackendKind, ConvDesc, ConvProblem,
-    Direction, ExecutionMode,
+    Direction, ExecutionMode, Pass,
 };
-use lsv_models::resnet_layer;
+use lsv_models::{resnet_layer, ResNetModel};
+use lsv_serve::{
+    best_by_load, csv_header, csv_row, reference_capacity_rps, run_sweep, ArrivalShape,
+    BatchPolicy, LatencyTable, ServeEngine, SweepConfig,
+};
 use lsv_vengine::CoreStats;
 use std::collections::HashMap;
 use std::path::Path;
@@ -187,7 +192,7 @@ fn report_fuzz(label: &str, out: &FuzzOutcome) {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!();
-    eprintln!("usage: lsvconv <info|bench|verify|tune|fuzz|profile> [flags]");
+    eprintln!("usage: lsvconv <info|bench|verify|tune|fuzz|profile|serve> [flags]");
     eprintln!("  common flags: --arch <sx-aurora|skylake|rvv|a64fx|aurora-vl<bits>>");
     eprintln!("                --layer <0..18> | --ic N --oc N --hw N --k N --stride N --pad N");
     eprintln!("                --dir <fwdd|bwdd|bwdw>  --alg <DC|BDC|MBDC|vednn>  --minibatch N");
@@ -199,6 +204,9 @@ fn usage(msg: &str) -> ! {
     eprintln!("                --agreement (cross-check symbolic vs replay verdicts per case)");
     eprintln!("  profile:      profile <layer> [--dir D] [--alg A] [--out DIR] [--smoke]");
     eprintln!("                writes profile.json + trace.json (Perfetto) + profile.folded");
+    eprintln!("  serve flags:  --model <resnet-50|resnet-101|resnet-152>  --pass <infer|train>");
+    eprintln!("                --engine <DC|BDC|MBDC|vednn|tuned>  --max-batch N  --requests N");
+    eprintln!("                --seed N  --slo MS  --arrival <poisson|bursty>  --smoke");
     exit(2);
 }
 
@@ -487,6 +495,116 @@ fn main() {
             println!(
                 "folded:  {} (flamegraph.pl input)",
                 artifacts.folded.display()
+            );
+        }
+        "serve" => {
+            backend_from_flags(&flags, "serve", false);
+            configure_store(&flags);
+            let smoke = argv.iter().any(|a| a == "--smoke");
+            let model = match flags.get("model").map(String::as_str) {
+                None | Some("resnet-50") => ResNetModel::R50,
+                Some("resnet-101") => ResNetModel::R101,
+                Some("resnet-152") => ResNetModel::R152,
+                Some(other) => usage(&format!(
+                    "unknown model '{other}' (resnet-50|resnet-101|resnet-152)"
+                )),
+            };
+            let pass = match flags.get("pass").map(String::as_str) {
+                None | Some("infer") => Pass::Inference,
+                Some("train") => Pass::TrainingStep,
+                Some(other) => usage(&format!("unknown pass '{other}' (infer|train)")),
+            };
+            let engine = match flags.get("engine").map(String::as_str) {
+                None | Some("") => ServeEngine::Fixed(Algorithm::Bdc),
+                Some(name) => ServeEngine::parse(name)
+                    .unwrap_or_else(|| usage(&format!("unknown engine '{name}'"))),
+            };
+            let shape = match flags.get("arrival").map(String::as_str) {
+                None | Some("poisson") => ArrivalShape::Poisson,
+                Some("bursty") => ArrivalShape::Bursty {
+                    burst: 4.0,
+                    period_ms: 200.0,
+                },
+                Some(other) => usage(&format!("unknown arrival '{other}' (poisson|bursty)")),
+            };
+            let max_batch: usize = flags
+                .get("max-batch")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(if smoke { 4 } else { 8 });
+            let requests: usize = flags
+                .get("requests")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(if smoke { 200 } else { 1000 });
+            let seed: u64 = flags.get("seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+
+            let table = LatencyTable::build(
+                &arch,
+                model,
+                pass,
+                &[engine],
+                max_batch,
+                ExecutionMode::TimingOnly,
+            );
+            let slo_ms = flags
+                .get("slo")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| 2.0 * table.best(max_batch).1);
+            let cfg = SweepConfig {
+                shapes: vec![shape],
+                policies: vec![
+                    BatchPolicy::Adaptive { max_batch },
+                    BatchPolicy::Fixed { batch: max_batch },
+                    BatchPolicy::Timeout {
+                        max_batch,
+                        timeout_ms: slo_ms / 2.0,
+                    },
+                ],
+                utilizations: if smoke {
+                    vec![0.3, 0.9]
+                } else {
+                    vec![0.2, 0.5, 0.8, 1.0]
+                },
+                requests,
+                seed,
+                slo_ms,
+            };
+
+            println!(
+                "serving {} {} with engine {} on {} ({} cores)",
+                model.name(),
+                pass.name(),
+                engine.name(),
+                arch.name,
+                arch.cores
+            );
+            for b in 1..=max_batch {
+                println!(
+                    "  batch {b:>2}: {:.3} ms / dispatch",
+                    table.latency_ms(0, b)
+                );
+            }
+            println!(
+                "  capacity {:.1} rps (back-to-back batch-{max_batch}), SLO {slo_ms:.2} ms",
+                reference_capacity_rps(&table)
+            );
+            println!();
+            let rows = run_sweep(&cfg, &table);
+            println!("{}", csv_header());
+            for r in &rows {
+                println!("{}", csv_row(r, cfg.requests, cfg.slo_ms));
+            }
+            println!();
+            for b in best_by_load(&rows) {
+                println!(
+                    "best @ {} {:.1} rps: {}",
+                    b.arrival, b.offered_rps, b.policy
+                );
+            }
+
+            let st = lsv_conv::store::store().stats();
+            eprintln!(
+                "store: {} mem hits, {} disk hits, {} misses, {} inserts",
+                st.mem_hits, st.disk_hits, st.misses, st.inserts
             );
         }
         _ => usage("missing or unknown command"),

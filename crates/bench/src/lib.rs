@@ -229,7 +229,8 @@ pub fn model_step_time_ms(
     model_time_from_table(&layer_time_table(arch, minibatch, engine, mode), model)
 }
 
-/// Model-level GFLOP/s of one training step (3 passes x conv flops / time).
+/// Model-level GFLOP/s of one training step (all passes' conv flops / time,
+/// with the pass-count factor owned by [`ResNetModel::training_flops`]).
 pub fn model_step_gflops(
     arch: &ArchParams,
     model: ResNetModel,
@@ -238,7 +239,7 @@ pub fn model_step_gflops(
     mode: ExecutionMode,
 ) -> f64 {
     let time_ms = model_step_time_ms(arch, model, minibatch, engine, mode);
-    let flops = 3.0 * model.total_flops(minibatch) as f64;
+    let flops = model.training_flops(minibatch) as f64;
     flops / (time_ms / 1e3) / 1e9
 }
 

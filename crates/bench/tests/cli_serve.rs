@@ -1,0 +1,87 @@
+//! CLI contract tests for `lsvconv serve`: the backend guard and the store
+//! flags must behave exactly like the other store-backed subcommands
+//! (`bench`, `tune`, `profile`).
+
+use std::process::Command;
+
+fn lsvconv(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_lsvconv-cli"))
+        .args(args)
+        .env_remove("LSV_STORE_DIR")
+        .env_remove("LSV_STORE")
+        .output()
+        .expect("lsvconv runs")
+}
+
+#[test]
+fn serve_rejects_native_backend_with_the_standard_error() {
+    let out = lsvconv(&["serve", "--backend", "native", "--smoke"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--backend native is not valid for `serve`"),
+        "stderr: {err}"
+    );
+    assert!(
+        err.contains("only the simulator models time"),
+        "stderr: {err}"
+    );
+}
+
+#[test]
+fn serve_rejects_no_store_combined_with_store_dir() {
+    let out = lsvconv(&["serve", "--no-store", "--store-dir", "/tmp/x", "--smoke"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--no-store and --store-dir are mutually exclusive"),
+        "stderr: {err}"
+    );
+}
+
+#[test]
+fn serve_rejects_store_dir_without_a_path() {
+    // `--store-dir --smoke`: a following `--flag` is never a value.
+    let out = lsvconv(&["serve", "--store-dir", "--smoke"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--store-dir requires a path"), "stderr: {err}");
+}
+
+#[test]
+fn serve_rejects_a_value_on_no_store() {
+    let out = lsvconv(&["serve", "--no-store", "yes", "--smoke"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--no-store takes no value"), "stderr: {err}");
+}
+
+#[test]
+fn serve_accepts_no_store_and_emits_the_sweep() {
+    // Smallest real run: one engine, batch 1, few requests. `--no-store`
+    // must be accepted (and simply skips persistence).
+    let out = lsvconv(&[
+        "serve",
+        "--no-store",
+        "--smoke",
+        "--max-batch",
+        "1",
+        "--requests",
+        "40",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("arrival,policy,engine,offered_rps"),
+        "stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("poisson,adaptive1,BDC,"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("best @ poisson"), "stdout: {stdout}");
+}

@@ -40,6 +40,7 @@ pub mod perf;
 pub mod primitive;
 pub mod problem;
 pub mod reorder;
+pub mod runner;
 pub mod store;
 pub mod tuning;
 pub mod verify;
@@ -50,6 +51,7 @@ pub use multicore::{execute_multicore, MulticoreReport};
 pub use perf::{bench_layer, bench_layer_native, bench_layer_profiled, LayerPerf, NativePerf};
 pub use primitive::{ConvDesc, ConvPrimitive, ConvTensors, ExecReport, UnsupportedReason};
 pub use problem::{Algorithm, ConvProblem, Direction};
+pub use runner::{LayerSpec, ModelPlan, ModelRunner, Pass, PlanEntry, TunePolicy};
 pub use store::{LayerStore, StoreConfig, StoreStats};
 pub use tuning::{
     autotune_microkernel, tune_empirical, KernelConfig, MicroTile, RegisterBlocking, TuneReport,

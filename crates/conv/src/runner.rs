@@ -1,0 +1,431 @@
+//! Whole-network model runner: schedule every convolution of a model
+//! (inference = forward; training step = all three directions) on the
+//! 8-core shared-LLC execution model, with the best algorithm per
+//! (layer, direction) chosen analytically or by the empirical tuner.
+//!
+//! The runner is the model-level counterpart of [`crate::perf::bench_layer`]:
+//! every slice evaluation — analytic benches and [`tune_empirical`] sweep
+//! candidates alike — goes through the content-addressed layer store, so a
+//! warm store replays a whole-model plan without re-simulating anything.
+//! The representative-core model keys slices on `min(images_per_core, 2)`
+//! simulated images, which makes batch-size sweeps (the serving harness's
+//! latency tables) nearly free: all minibatches with two or more images per
+//! core share one store entry per (layer, direction, kernel config).
+//!
+//! The runner is model-agnostic: it consumes a list of [`LayerSpec`]s
+//! (problem + occurrence count), so `lsv-models` stays a dependency of the
+//! callers (`lsv-serve`, the bench bins), not of this crate.
+//!
+//! Fidelity: the plan's per-entry times come from the representative-core
+//! model; [`ModelRunner::execute_entry_detailed`] runs the same entry
+//! through the detailed all-cores simulation ([`execute_multicore`], shared
+//! LLC) for cross-checks — the conservation tests pin the two against each
+//! other.
+
+use crate::multicore::{execute_multicore, MulticoreReport};
+use crate::perf::bench_layer;
+use crate::primitive::ConvDesc;
+use crate::problem::{Algorithm, ConvProblem, Direction};
+use crate::store;
+use crate::tuning::tune_empirical;
+use lsv_arch::ArchParams;
+use lsv_vengine::{Arena, ExecutionMode};
+
+/// One distinct convolution shape of a model and how often it occurs per
+/// pass (e.g. a Table 3 layer and its ResNet frequency).
+#[derive(Debug, Clone)]
+pub struct LayerSpec {
+    /// The convolution (its `n` is the minibatch the model runs at).
+    pub problem: ConvProblem,
+    /// Occurrences of this shape in one pass over the model.
+    pub count: usize,
+}
+
+impl LayerSpec {
+    /// A layer occurring `count` times per pass.
+    pub fn new(problem: ConvProblem, count: usize) -> Self {
+        Self { problem, count }
+    }
+}
+
+/// What one request to the model executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Forward only.
+    Inference,
+    /// Forward + backward-data + backward-weights (one training step).
+    TrainingStep,
+}
+
+impl Pass {
+    /// The directions this pass executes, in schedule order.
+    pub fn directions(self) -> &'static [Direction] {
+        match self {
+            Pass::Inference => &[Direction::Fwd],
+            Pass::TrainingStep => &Direction::ALL,
+        }
+    }
+
+    /// Short name used in CSV/JSON artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Inference => "infer",
+            Pass::TrainingStep => "train",
+        }
+    }
+}
+
+/// How the runner picks the kernel for each (layer, direction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TunePolicy {
+    /// Compare the three direct algorithms under their analytic (Formula 2/4)
+    /// register blocking and keep the fastest.
+    #[default]
+    Analytic,
+    /// Run the empirical register-block sweep ([`tune_empirical`]) for every
+    /// algorithm and keep the fastest tuned kernel. Store-backed: expensive
+    /// once, free on replay.
+    Empirical,
+}
+
+/// The chosen kernel and its cost for one (layer, direction).
+#[derive(Debug, Clone)]
+pub struct PlanEntry {
+    /// Index into the runner's layer list.
+    pub layer: usize,
+    /// Pass direction.
+    pub direction: Direction,
+    /// Winning algorithm.
+    pub algorithm: Algorithm,
+    /// Occurrences per pass (copied from the [`LayerSpec`]).
+    pub count: usize,
+    /// Chip wall-clock cycles for one occurrence (whole minibatch).
+    pub cycles: u64,
+    /// Wall time of one occurrence in milliseconds.
+    pub time_ms: f64,
+    /// Cycles of the winning algorithm under its *analytic* configuration;
+    /// equals `cycles` unless the empirical sweep found a faster kernel.
+    pub analytic_cycles: u64,
+}
+
+/// A static schedule for one pass over the model: one entry per
+/// (layer, direction), plus the store traffic planning generated.
+#[derive(Debug, Clone)]
+pub struct ModelPlan {
+    /// One entry per (layer, direction), layers outer, directions inner.
+    pub entries: Vec<PlanEntry>,
+    /// Store lookups served from memory or disk while planning.
+    pub store_hits: u64,
+    /// Slices actually simulated while planning (0 on a warm replay).
+    pub simulated: u64,
+}
+
+impl ModelPlan {
+    /// Chip cycles of one pass: sum of `cycles x count` over all entries.
+    pub fn total_cycles(&self) -> u64 {
+        self.entries.iter().map(|e| e.cycles * e.count as u64).sum()
+    }
+
+    /// Wall milliseconds of one pass: sum of `time_ms x count`.
+    pub fn total_time_ms(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| e.time_ms * e.count as f64)
+            .sum()
+    }
+
+    /// The entry for one (layer, direction), if planned.
+    pub fn entry(&self, layer: usize, direction: Direction) -> Option<&PlanEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.layer == layer && e.direction == direction)
+    }
+}
+
+/// Executes a whole model (a list of [`LayerSpec`]s) for one [`Pass`] on
+/// the 8-core execution model.
+#[derive(Debug, Clone)]
+pub struct ModelRunner {
+    arch: ArchParams,
+    layers: Vec<LayerSpec>,
+    pass: Pass,
+    tune: TunePolicy,
+    mode: ExecutionMode,
+}
+
+impl ModelRunner {
+    /// A runner for `layers` executing `pass`, with the analytic kernel
+    /// policy and timing-only simulation.
+    pub fn new(arch: &ArchParams, layers: Vec<LayerSpec>, pass: Pass) -> Self {
+        Self {
+            arch: arch.clone(),
+            layers,
+            pass,
+            tune: TunePolicy::Analytic,
+            mode: ExecutionMode::TimingOnly,
+        }
+    }
+
+    /// Select the kernel policy (builder style).
+    pub fn with_tune(mut self, tune: TunePolicy) -> Self {
+        self.tune = tune;
+        self
+    }
+
+    /// Select the simulation mode (builder style).
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The runner's layer list.
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// The pass this runner executes.
+    pub fn pass(&self) -> Pass {
+        self.pass
+    }
+
+    /// Plan one pass, picking the best algorithm per (layer, direction)
+    /// under the runner's [`TunePolicy`].
+    pub fn plan(&self) -> ModelPlan {
+        self.plan_with(&Algorithm::ALL)
+    }
+
+    /// Plan one pass with a single fixed algorithm everywhere (the
+    /// baseline-comparison path; still store-backed).
+    pub fn plan_fixed(&self, algorithm: Algorithm) -> ModelPlan {
+        self.plan_with(&[algorithm])
+    }
+
+    fn plan_with(&self, candidates: &[Algorithm]) -> ModelPlan {
+        let before = store::store().stats();
+        let jobs: Vec<(usize, Direction)> = (0..self.layers.len())
+            .flat_map(|l| self.pass.directions().iter().map(move |&d| (l, d)))
+            .collect();
+        let entries = par_map_ordered(jobs, |(layer, direction)| {
+            self.plan_entry(layer, direction, candidates)
+        });
+        let after = store::store().stats();
+        ModelPlan {
+            entries,
+            store_hits: (after.mem_hits + after.disk_hits) - (before.mem_hits + before.disk_hits),
+            simulated: after.misses - before.misses,
+        }
+    }
+
+    fn plan_entry(
+        &self,
+        layer: usize,
+        direction: Direction,
+        candidates: &[Algorithm],
+    ) -> PlanEntry {
+        let spec = &self.layers[layer];
+        let mut best: Option<(Algorithm, u64, u64)> = None; // (alg, cycles, analytic)
+        for &alg in candidates {
+            // Skip algorithms the register file cannot host for this shape
+            // (the same gate `ConvDesc::create` applies).
+            if ConvDesc::new(spec.problem, direction, alg)
+                .create(&self.arch, self.arch.cores)
+                .is_err()
+            {
+                continue;
+            }
+            let (cycles, analytic) = match self.tune {
+                TunePolicy::Analytic => {
+                    let perf = bench_layer(&self.arch, &spec.problem, direction, alg, self.mode);
+                    (perf.cycles, perf.cycles)
+                }
+                TunePolicy::Empirical => {
+                    match tune_empirical(&self.arch, &spec.problem, direction, alg, self.mode) {
+                        Ok(t) => (t.best_cycles, t.analytic_cycles),
+                        Err(_) => continue,
+                    }
+                }
+            };
+            if best.map(|(_, c, _)| cycles < c).unwrap_or(true) {
+                best = Some((alg, cycles, analytic));
+            }
+        }
+        let (algorithm, cycles, analytic_cycles) = best.unwrap_or_else(|| {
+            panic!(
+                "no direct algorithm supports layer {layer} ({}) {direction}",
+                spec.problem
+            )
+        });
+        PlanEntry {
+            layer,
+            direction,
+            algorithm,
+            count: spec.count,
+            cycles,
+            time_ms: self.cycles_to_ms(cycles),
+            analytic_cycles,
+        }
+    }
+
+    fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.arch.freq_ghz * 1e6)
+    }
+
+    /// Run one plan entry through the detailed all-cores simulation (every
+    /// core's slice against the shared LLC) instead of the representative-
+    /// core extrapolation. Used to cross-check the static schedule; the
+    /// entry executes under its winning algorithm's *analytic*
+    /// configuration.
+    pub fn execute_entry_detailed(&self, entry: &PlanEntry) -> MulticoreReport {
+        let spec = &self.layers[entry.layer];
+        let prim = ConvDesc::new(spec.problem, entry.direction, entry.algorithm)
+            .create(&self.arch, self.arch.cores)
+            .expect("planned entry must be creatable");
+        let mut arena = Arena::new();
+        let tensors = prim.alloc_tensors(&mut arena);
+        execute_multicore(&prim, &mut arena, &tensors, self.mode)
+    }
+}
+
+/// Minimal order-preserving scoped-thread map (the bench crate's `par_map`
+/// is not visible from here; plan jobs are independent and store access is
+/// thread-safe).
+fn par_map_ordered<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("claimed once");
+                let out = f(item);
+                *results[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("job completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsv_arch::presets::sx_aurora;
+
+    fn two_layer_model(n: usize) -> Vec<LayerSpec> {
+        vec![
+            LayerSpec::new(ConvProblem::new(n, 32, 32, 10, 10, 3, 3, 1, 1), 2),
+            LayerSpec::new(ConvProblem::new(n, 64, 16, 8, 8, 1, 1, 1, 0), 1),
+        ]
+    }
+
+    #[test]
+    fn inference_plan_covers_every_layer_once() {
+        let arch = sx_aurora();
+        let runner = ModelRunner::new(&arch, two_layer_model(8), Pass::Inference);
+        let plan = runner.plan();
+        assert_eq!(plan.entries.len(), 2);
+        assert!(plan.entries.iter().all(|e| e.direction == Direction::Fwd));
+        assert!(plan.total_cycles() > 0);
+        // Totals are the weighted per-entry sums (the conservation law the
+        // serving harness relies on).
+        let hand: f64 = plan
+            .entries
+            .iter()
+            .map(|e| e.time_ms * e.count as f64)
+            .sum();
+        assert!((plan.total_time_ms() - hand).abs() < 1e-12);
+    }
+
+    #[test]
+    fn training_plan_covers_all_three_directions() {
+        let arch = sx_aurora();
+        let runner = ModelRunner::new(&arch, two_layer_model(8), Pass::TrainingStep);
+        let plan = runner.plan();
+        assert_eq!(plan.entries.len(), 6);
+        for d in Direction::ALL {
+            assert!(plan.entries.iter().filter(|e| e.direction == d).count() == 2);
+        }
+    }
+
+    #[test]
+    fn fixed_plan_never_beats_the_picked_plan() {
+        let arch = sx_aurora();
+        let runner = ModelRunner::new(&arch, two_layer_model(8), Pass::Inference);
+        let picked = runner.plan();
+        for alg in Algorithm::ALL {
+            let fixed = runner.plan_fixed(alg);
+            assert!(
+                picked.total_cycles() <= fixed.total_cycles(),
+                "plan() must be at least as fast as fixed {alg}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_replay_simulates_nothing() {
+        let arch = sx_aurora();
+        let runner = ModelRunner::new(&arch, two_layer_model(8), Pass::Inference);
+        let cold = runner.plan();
+        let warm = runner.plan();
+        assert_eq!(warm.simulated, 0, "second plan must be store-served");
+        assert_eq!(cold.total_cycles(), warm.total_cycles());
+    }
+
+    #[test]
+    fn empirical_plan_is_no_slower_than_analytic() {
+        let arch = sx_aurora();
+        let layers = vec![LayerSpec::new(
+            ConvProblem::new(8, 32, 32, 10, 10, 3, 3, 1, 1),
+            1,
+        )];
+        let analytic = ModelRunner::new(&arch, layers.clone(), Pass::Inference).plan();
+        let tuned = ModelRunner::new(&arch, layers, Pass::Inference)
+            .with_tune(TunePolicy::Empirical)
+            .plan();
+        assert!(tuned.total_cycles() <= analytic.total_cycles());
+        for e in &tuned.entries {
+            assert!(e.cycles <= e.analytic_cycles);
+        }
+    }
+
+    #[test]
+    fn detailed_execution_agrees_with_the_static_schedule() {
+        // The representative-core extrapolation and the all-cores detailed
+        // simulation must agree within a modest band on a uniform workload.
+        let arch = sx_aurora();
+        let layers = vec![LayerSpec::new(
+            ConvProblem::new(16, 32, 32, 10, 10, 3, 3, 1, 1),
+            1,
+        )];
+        let runner = ModelRunner::new(&arch, layers, Pass::Inference);
+        let plan = runner.plan();
+        let entry = &plan.entries[0];
+        let detailed = runner.execute_entry_detailed(entry);
+        let ratio = detailed.wall_cycles as f64 / entry.cycles as f64;
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "detailed/static cycle ratio {ratio:.3} out of band"
+        );
+    }
+}

@@ -137,6 +137,23 @@ impl ResNetModel {
             .map(|(p, c)| p.flops() * c as u64)
             .sum()
     }
+
+    /// Passes in one training step: forward + backward-data +
+    /// backward-weights, each touching the same convolution volume.
+    pub const TRAINING_PASSES: u64 = 3;
+
+    /// Flops of one inference pass (forward only) over all convolutions.
+    pub fn inference_flops(&self, minibatch: usize) -> u64 {
+        self.total_flops(minibatch)
+    }
+
+    /// Flops of one training step — the Figures 5/6 "x3 passes" factor.
+    /// Every model-level GFLOP/s number must come through here (or
+    /// [`ResNetModel::inference_flops`]) so the factor cannot drift between
+    /// call sites.
+    pub fn training_flops(&self, minibatch: usize) -> u64 {
+        Self::TRAINING_PASSES * self.total_flops(minibatch)
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +197,16 @@ mod tests {
     fn flops_scale_linearly_with_minibatch() {
         let m = ResNetModel::R101;
         assert_eq!(m.total_flops(32) * 8, m.total_flops(256));
+    }
+
+    #[test]
+    fn training_is_exactly_three_inference_passes() {
+        for m in ResNetModel::ALL {
+            for mb in [1, 8, 256] {
+                assert_eq!(m.inference_flops(mb), m.total_flops(mb));
+                assert_eq!(m.training_flops(mb), 3 * m.inference_flops(mb));
+            }
+        }
     }
 
     #[test]

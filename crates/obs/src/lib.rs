@@ -32,8 +32,8 @@ pub use folded::folded_stacks;
 pub use json::{parse_json, validate_schema, JsonValue};
 pub use perfetto::perfetto_trace_json;
 pub use report::{
-    profile_report_json, validate_lint_json, validate_profile_json, ProfileMeta, LINT_SCHEMA,
-    PROFILE_SCHEMA,
+    profile_report_json, validate_lint_json, validate_profile_json, validate_serving_json,
+    ProfileMeta, LINT_SCHEMA, PROFILE_SCHEMA, SERVING_SCHEMA,
 };
 
 /// Escape a string for inclusion in a JSON document (without the quotes).

@@ -20,6 +20,11 @@ pub const PROFILE_SCHEMA: &str = include_str!("../schemas/profile.schema.json");
 /// schema fails the gate, which is the point.
 pub const LINT_SCHEMA: &str = include_str!("../schemas/lint.schema.json");
 
+/// The checked-in JSON schema `results/BENCH_serving.json` (emitted by the
+/// `bench-serving` binary and `lsvconv serve`) must conform to. The arrival
+/// and pass enums pin the serving sweep's wire format.
+pub const SERVING_SCHEMA: &str = include_str!("../schemas/serving.schema.json");
+
 /// Run metadata and machine constants the report embeds; everything the
 /// exporter cannot read off the [`RegionProfile`] itself.
 #[derive(Debug, Clone)]
@@ -227,6 +232,23 @@ pub fn validate_lint_json(text: &str) -> Result<(), String> {
     })
 }
 
+/// Parse a `BENCH_serving.json` document and validate it against
+/// [`SERVING_SCHEMA`]. `bench-serving` re-reads and validates its own output
+/// through this after writing, so schema drift fails the run that
+/// introduced it.
+pub fn validate_serving_json(text: &str) -> Result<(), String> {
+    let schema = parse_json(SERVING_SCHEMA)
+        .map_err(|e| format!("internal error: serving.schema.json unparseable: {e}"))?;
+    let doc = parse_json(text).map_err(|e| format!("BENCH_serving.json is not valid JSON: {e}"))?;
+    validate_schema(&doc, &schema).map_err(|errors| {
+        format!(
+            "BENCH_serving.json violates schema ({} error(s)):\n  {}",
+            errors.len(),
+            errors.join("\n  ")
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +327,41 @@ mod tests {
         let missing = good.replace("\"replayed\": false,", "");
         assert!(validate_lint_json(&missing).is_err());
         assert!(validate_lint_json("[{]").is_err());
+    }
+
+    #[test]
+    fn serving_schema_accepts_documents_and_catches_drift() {
+        let good = r#"{
+          "version": 1, "tool": "bench-serving", "arch": "sx-aurora",
+          "model": "resnet-50", "pass": "infer", "mode": "timing-only",
+          "seed": 42, "requests": 200, "max_batch": 8, "slo_ms": 120.5,
+          "reference_capacity_rps": 150.0,
+          "engines": ["BDC", "vednn"], "policies": ["adaptive8", "fixed8"],
+          "utilizations": [0.25, 0.9],
+          "rows": [
+            {"arrival": "poisson", "policy": "adaptive8", "engine": "BDC",
+             "offered_rps": 37.5, "utilization": 0.25, "completed": 200,
+             "dispatches": 180, "mean_batch": 1.11, "p50_ms": 20.0,
+             "p95_ms": 31.0, "p99_ms": 35.5, "mean_ms": 21.2,
+             "throughput_rps": 37.1, "slo_attainment": 1.0}
+          ],
+          "best_by_load": [
+            {"arrival": "poisson", "offered_rps": 37.5,
+             "policy": "adaptive8", "engine": "BDC"}
+          ]
+        }"#;
+        validate_serving_json(good).expect("schema-valid");
+
+        // An unknown arrival process is drift: the enum pins the wire format.
+        let drifted = good.replace("\"poisson\"", "\"uniform\"");
+        assert!(validate_serving_json(&drifted).is_err());
+        // Dropping a required member is drift too.
+        let missing = good.replace("\"slo_ms\": 120.5,", "");
+        assert!(validate_serving_json(&missing).is_err());
+        // A negative percentile violates the minimum.
+        let negative = good.replace("\"p99_ms\": 35.5", "\"p99_ms\": -1.0");
+        assert!(validate_serving_json(&negative).is_err());
+        assert!(validate_serving_json("{]").is_err());
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Deterministic-seeded request arrival processes.
+//!
+//! The harness runs on a *simulated* clock: an arrival process is just a
+//! nondecreasing vector of timestamps (milliseconds from t=0), generated
+//! from a seed with no dependence on wall time, thread scheduling or HashMap
+//! iteration order — the property the determinism tests pin.
+
+/// SplitMix64: the tiny, well-distributed PRNG used for arrivals. Kept
+/// local (rather than the dev-only `rand` shim) so determinism is a
+/// property of this crate's release code path.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeded generator; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 random bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// How requests arrive at the queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential inter-arrival gaps at `rate_rps`.
+    Poisson {
+        /// Mean offered load in requests per second.
+        rate_rps: f64,
+    },
+    /// On/off bursts with the same *mean* rate: arrivals are Poisson at
+    /// `burst x rate_rps` during the ON fraction (`1/burst`) of each
+    /// `period_ms` window and silent otherwise. `burst` is the
+    /// peak-to-mean ratio.
+    Bursty {
+        /// Mean offered load in requests per second.
+        rate_rps: f64,
+        /// Peak-to-mean ratio (> 1).
+        burst: f64,
+        /// Length of one on/off window in milliseconds.
+        period_ms: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Short name used in CSV/JSON artifacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Bursty { .. } => "bursty",
+        }
+    }
+
+    /// The process's mean rate in requests per second.
+    pub fn rate_rps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_rps } => rate_rps,
+            ArrivalProcess::Bursty { rate_rps, .. } => rate_rps,
+        }
+    }
+
+    /// Generate `n` arrival timestamps (milliseconds, nondecreasing).
+    ///
+    /// # Panics
+    /// On a non-positive rate, a burst ratio <= 1, or a non-positive
+    /// period.
+    pub fn generate(&self, seed: u64, n: usize) -> Vec<f64> {
+        let mut rng = SplitMix64::new(seed);
+        // Exponential gap at `rate` (per ms): -ln(1-u)/rate.
+        let gap = |rng: &mut SplitMix64, rate_per_ms: f64| {
+            assert!(rate_per_ms > 0.0, "arrival rate must be positive");
+            -(1.0 - rng.unit_f64()).ln() / rate_per_ms
+        };
+        match *self {
+            ArrivalProcess::Poisson { rate_rps } => {
+                let per_ms = rate_rps / 1e3;
+                let mut t = 0.0;
+                (0..n)
+                    .map(|_| {
+                        t += gap(&mut rng, per_ms);
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Bursty {
+                rate_rps,
+                burst,
+                period_ms,
+            } => {
+                assert!(burst > 1.0, "burst must exceed 1 (peak-to-mean ratio)");
+                assert!(period_ms > 0.0, "period must be positive");
+                // Homogeneous Poisson on the concatenated ON windows
+                // ("active time"), then mapped back to real time by
+                // inserting the OFF gap after each ON window.
+                let on_ms = period_ms / burst;
+                let peak_per_ms = rate_rps * burst / 1e3;
+                let mut active = 0.0;
+                (0..n)
+                    .map(|_| {
+                        active += gap(&mut rng, peak_per_ms);
+                        let window = (active / on_ms).floor();
+                        window * period_ms + (active - window * on_ms)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// An arrival process family with the rate left open — the load sweep
+/// instantiates one [`ArrivalProcess`] per offered-load point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalShape {
+    /// Memoryless arrivals.
+    Poisson,
+    /// On/off bursts with a peak-to-mean ratio and window length.
+    Bursty {
+        /// Peak-to-mean ratio (> 1).
+        burst: f64,
+        /// Length of one on/off window in milliseconds.
+        period_ms: f64,
+    },
+}
+
+impl ArrivalShape {
+    /// Short name used in CSV/JSON artifacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalShape::Poisson => "poisson",
+            ArrivalShape::Bursty { .. } => "bursty",
+        }
+    }
+
+    /// Instantiate at a mean rate.
+    pub fn at_rate(&self, rate_rps: f64) -> ArrivalProcess {
+        match *self {
+            ArrivalShape::Poisson => ArrivalProcess::Poisson { rate_rps },
+            ArrivalShape::Bursty { burst, period_ms } => ArrivalProcess::Bursty {
+                rate_rps,
+                burst,
+                period_ms,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let a = ArrivalProcess::Poisson { rate_rps: 200.0 }.generate(7, 20_000);
+        let mean_gap = a.last().unwrap() / a.len() as f64;
+        assert!((mean_gap - 5.0).abs() < 0.2, "mean gap {mean_gap} != 5ms");
+    }
+
+    #[test]
+    fn arrivals_are_nondecreasing() {
+        for p in [
+            ArrivalProcess::Poisson { rate_rps: 50.0 },
+            ArrivalProcess::Bursty {
+                rate_rps: 50.0,
+                burst: 5.0,
+                period_ms: 100.0,
+            },
+        ] {
+            let a = p.generate(3, 5_000);
+            assert!(a.windows(2).all(|w| w[0] <= w[1]), "{} sorted", p.name());
+        }
+    }
+
+    #[test]
+    fn bursty_preserves_mean_rate_but_clusters() {
+        let p = ArrivalProcess::Bursty {
+            rate_rps: 100.0,
+            burst: 5.0,
+            period_ms: 200.0,
+        };
+        let a = p.generate(11, 20_000);
+        let mean_gap = a.last().unwrap() / a.len() as f64;
+        assert!((mean_gap - 10.0).abs() < 0.5, "mean gap {mean_gap} != 10ms");
+        // Clustering: the median gap is far below the mean gap.
+        let mut gaps: Vec<f64> = a.windows(2).map(|w| w[1] - w[0]).collect();
+        gaps.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let median = gaps[gaps.len() / 2];
+        assert!(
+            median < 0.5 * mean_gap,
+            "bursty median gap {median} not clustered vs mean {mean_gap}"
+        );
+    }
+}

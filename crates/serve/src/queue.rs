@@ -1,0 +1,264 @@
+//! The dynamic batching queue and its event-driven, simulated-clock
+//! single-server model.
+//!
+//! The model: requests arrive at given timestamps, wait in a FIFO queue,
+//! and are dispatched to the chip in batches. The chip serves one batch at
+//! a time (the 8-core model already parallelizes *inside* a batch across
+//! cores); a batch of `k` requests runs the whole network at minibatch `k`
+//! and every request in it completes when the batch does. Service times
+//! come from a [`crate::latency::LatencyTable`] — i.e. from the simulator,
+//! through the layer store.
+
+use std::collections::VecDeque;
+
+/// When the queue hands a batch to the chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchPolicy {
+    /// Wait until exactly `batch` requests are queued (the trailing partial
+    /// batch at end-of-stream is drained as-is). Maximizes batch efficiency,
+    /// unbounded wait at low load.
+    Fixed {
+        /// The target batch size.
+        batch: usize,
+    },
+    /// Dispatch when `max_batch` requests are queued or the oldest request
+    /// has waited `timeout_ms`, whichever is first.
+    Timeout {
+        /// Upper bound on the batch size.
+        max_batch: usize,
+        /// Longest the oldest queued request may wait (while the server is
+        /// free) before a partial batch is dispatched.
+        timeout_ms: f64,
+    },
+    /// Dispatch whatever is queued (up to `max_batch`) the moment the
+    /// server is free — batch size adapts to the backlog.
+    Adaptive {
+        /// Upper bound on the batch size.
+        max_batch: usize,
+    },
+}
+
+impl BatchPolicy {
+    /// Name used in CSV/JSON artifacts, parameters included.
+    pub fn name(&self) -> String {
+        match self {
+            BatchPolicy::Fixed { batch } => format!("fixed{batch}"),
+            BatchPolicy::Timeout {
+                max_batch,
+                timeout_ms,
+            } => format!("timeout{max_batch}-{timeout_ms:.0}ms"),
+            BatchPolicy::Adaptive { max_batch } => format!("adaptive{max_batch}"),
+        }
+    }
+
+    /// The policy's batch-size cap.
+    pub fn max_batch(&self) -> usize {
+        match *self {
+            BatchPolicy::Fixed { batch } => batch,
+            BatchPolicy::Timeout { max_batch, .. } => max_batch,
+            BatchPolicy::Adaptive { max_batch } => max_batch,
+        }
+    }
+}
+
+/// The lifecycle of one request through the queue.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestRecord {
+    /// Index into the arrival vector.
+    pub id: usize,
+    /// Arrival timestamp (ms).
+    pub arrival_ms: f64,
+    /// When its batch was handed to the chip (ms).
+    pub dispatch_ms: f64,
+    /// When its batch completed (ms).
+    pub done_ms: f64,
+    /// Size of the batch it rode in.
+    pub batch: usize,
+    /// Index (into the sweep's engine list) of the engine that served it.
+    pub engine: usize,
+}
+
+impl RequestRecord {
+    /// End-to-end latency: queueing wait + service (ms).
+    pub fn latency_ms(&self) -> f64 {
+        self.done_ms - self.arrival_ms
+    }
+}
+
+/// One batch handed to the chip.
+#[derive(Debug, Clone, Copy)]
+pub struct Dispatch {
+    /// Dispatch timestamp (ms).
+    pub at_ms: f64,
+    /// Requests in the batch.
+    pub batch: usize,
+    /// Engine index chosen for the batch.
+    pub engine: usize,
+    /// Service time of the batch (ms).
+    pub service_ms: f64,
+}
+
+/// Everything the simulation produced: one record per request (in arrival
+/// order) and the dispatch log.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Per-request lifecycle, indexed by arrival id.
+    pub records: Vec<RequestRecord>,
+    /// Every batch handed to the chip, in time order.
+    pub dispatches: Vec<Dispatch>,
+}
+
+/// Simulate the queue + single-server chip over `arrivals` (nondecreasing
+/// timestamps in ms). `service` maps a batch size to the (engine index,
+/// service ms) pair that serves it — typically
+/// [`crate::latency::LatencyTable::best`] or a fixed engine's column.
+pub fn simulate(
+    arrivals: &[f64],
+    policy: BatchPolicy,
+    service: &dyn Fn(usize) -> (usize, f64),
+) -> SimOutcome {
+    assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrivals must be nondecreasing"
+    );
+    let n = arrivals.len();
+    let max_batch = policy.max_batch().max(1);
+    let mut pending: VecDeque<usize> = VecDeque::new();
+    let mut next = 0usize; // next arrival not yet queued
+    let mut t_free = 0.0f64; // when the server finishes its current batch
+    let mut records: Vec<Option<RequestRecord>> = vec![None; n];
+    let mut dispatches = Vec::new();
+
+    while next < n || !pending.is_empty() {
+        if pending.is_empty() {
+            pending.push_back(next);
+            next += 1;
+        }
+        let head_arrival = arrivals[pending[0]];
+        // When the batch would be full: the arrival time of the
+        // max_batch-th request (already queued or still in the future).
+        let fill_time = if pending.len() >= max_batch {
+            arrivals[pending[max_batch - 1]]
+        } else {
+            let missing = max_batch - pending.len();
+            match next.checked_add(missing - 1).filter(|&i| i < n) {
+                Some(i) => arrivals[i],
+                None => f64::INFINITY,
+            }
+        };
+        let dispatch_at = match policy {
+            BatchPolicy::Adaptive { .. } => t_free.max(head_arrival),
+            BatchPolicy::Timeout { timeout_ms, .. } => {
+                t_free.max(fill_time.min(head_arrival + timeout_ms))
+            }
+            BatchPolicy::Fixed { .. } => {
+                if fill_time.is_finite() {
+                    t_free.max(fill_time)
+                } else {
+                    // End-of-stream drain: everything left goes at once.
+                    t_free.max(arrivals[n - 1])
+                }
+            }
+        };
+        // Everyone who has arrived by the dispatch moment joins the queue;
+        // the batch takes the oldest `max_batch` of them (FIFO).
+        while next < n && arrivals[next] <= dispatch_at {
+            pending.push_back(next);
+            next += 1;
+        }
+        let k = pending.len().min(max_batch);
+        let (engine, service_ms) = service(k);
+        assert!(service_ms > 0.0, "service time must be positive");
+        let done = dispatch_at + service_ms;
+        for _ in 0..k {
+            let id = pending.pop_front().expect("batch members are queued");
+            records[id] = Some(RequestRecord {
+                id,
+                arrival_ms: arrivals[id],
+                dispatch_ms: dispatch_at,
+                done_ms: done,
+                batch: k,
+                engine,
+            });
+        }
+        dispatches.push(Dispatch {
+            at_ms: dispatch_at,
+            batch: k,
+            engine,
+            service_ms,
+        });
+        t_free = done;
+    }
+
+    SimOutcome {
+        records: records
+            .into_iter()
+            .map(|r| r.expect("every request is served exactly once"))
+            .collect(),
+        dispatches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_service(_k: usize) -> (usize, f64) {
+        (0, 10.0)
+    }
+
+    #[test]
+    fn adaptive_serves_immediately_when_idle() {
+        let out = simulate(
+            &[0.0, 1.0, 2.0],
+            BatchPolicy::Adaptive { max_batch: 8 },
+            &unit_service,
+        );
+        // Request 0 dispatches alone at t=0; 1 and 2 batch at t=10.
+        assert_eq!(out.dispatches.len(), 2);
+        assert_eq!(out.dispatches[0].batch, 1);
+        assert_eq!(out.dispatches[1].batch, 2);
+        assert_eq!(out.records[0].latency_ms(), 10.0);
+        assert_eq!(out.records[2].done_ms, 20.0);
+    }
+
+    #[test]
+    fn fixed_waits_for_a_full_batch_and_drains_the_tail() {
+        let arr = [0.0, 5.0, 30.0];
+        let out = simulate(&arr, BatchPolicy::Fixed { batch: 2 }, &unit_service);
+        assert_eq!(out.dispatches[0].at_ms, 5.0, "waits for the 2nd arrival");
+        assert_eq!(out.dispatches[0].batch, 2);
+        assert_eq!(out.dispatches[1].batch, 1, "tail drained partial");
+    }
+
+    #[test]
+    fn timeout_fires_on_the_oldest_request() {
+        let arr = [0.0, 100.0];
+        let out = simulate(
+            &arr,
+            BatchPolicy::Timeout {
+                max_batch: 4,
+                timeout_ms: 15.0,
+            },
+            &unit_service,
+        );
+        assert_eq!(out.dispatches[0].at_ms, 15.0, "deadline, not fill");
+        assert_eq!(out.dispatches[0].batch, 1);
+    }
+
+    #[test]
+    fn busy_server_defers_past_the_timeout() {
+        // Request 0 occupies the server until t=10; request 1 arrives at 1
+        // with a 2ms timeout but can only dispatch at t=10.
+        let arr = [0.0, 1.0];
+        let out = simulate(
+            &arr,
+            BatchPolicy::Timeout {
+                max_batch: 1,
+                timeout_ms: 2.0,
+            },
+            &unit_service,
+        );
+        assert_eq!(out.dispatches[1].at_ms, 10.0);
+    }
+}

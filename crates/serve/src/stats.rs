@@ -1,0 +1,100 @@
+//! Latency percentiles and per-load-point summaries.
+
+use crate::queue::SimOutcome;
+
+/// Nearest-rank percentile of an ascending-sorted sample: the smallest
+/// element with at least `pct`% of the sample at or below it. Matches the
+/// exact quantile definition the property tests check against.
+///
+/// # Panics
+/// On an empty sample or a percentile outside `(0, 100]`.
+pub fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    assert!((0.0..=100.0).contains(&pct) && pct > 0.0, "pct in (0,100]");
+    let rank = (pct / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Summary of one (policy, engine, load) simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadStats {
+    /// Requests served.
+    pub completed: usize,
+    /// Batches handed to the chip.
+    pub dispatches: usize,
+    /// Mean batch size over dispatches.
+    pub mean_batch: f64,
+    /// Median end-to-end latency (ms).
+    pub p50_ms: f64,
+    /// 95th-percentile latency (ms).
+    pub p95_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// Mean end-to-end latency (ms).
+    pub mean_ms: f64,
+    /// Served requests per second over the makespan (first arrival to last
+    /// completion).
+    pub throughput_rps: f64,
+    /// Fraction of requests whose latency met the SLO.
+    pub slo_attainment: f64,
+}
+
+/// Summarize a simulation outcome against an SLO (ms).
+pub fn summarize(outcome: &SimOutcome, slo_ms: f64) -> LoadStats {
+    let n = outcome.records.len();
+    assert!(n > 0, "summary of an empty run");
+    let mut lat: Vec<f64> = outcome.records.iter().map(|r| r.latency_ms()).collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean_ms = lat.iter().sum::<f64>() / n as f64;
+    let first_arrival = outcome
+        .records
+        .iter()
+        .map(|r| r.arrival_ms)
+        .fold(f64::INFINITY, f64::min);
+    let last_done = outcome
+        .records
+        .iter()
+        .map(|r| r.done_ms)
+        .fold(0.0f64, f64::max);
+    let makespan_s = ((last_done - first_arrival) / 1e3).max(1e-9);
+    let met = lat.iter().filter(|&&l| l <= slo_ms).count();
+    let dispatches = outcome.dispatches.len();
+    let mean_batch = if dispatches == 0 {
+        0.0
+    } else {
+        outcome.dispatches.iter().map(|d| d.batch).sum::<usize>() as f64 / dispatches as f64
+    };
+    LoadStats {
+        completed: n,
+        dispatches,
+        mean_batch,
+        p50_ms: percentile(&lat, 50.0),
+        p95_ms: percentile(&lat, 95.0),
+        p99_ms: percentile(&lat, 99.0),
+        mean_ms,
+        throughput_rps: n as f64 / makespan_s,
+        slo_attainment: met as f64 / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_on_a_known_sample() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&s, 50.0), 5.0);
+        assert_eq!(percentile(&s, 95.0), 10.0);
+        assert_eq!(percentile(&s, 99.0), 10.0);
+        assert_eq!(percentile(&s, 100.0), 10.0);
+        assert_eq!(percentile(&s, 10.0), 1.0);
+        assert_eq!(percentile(&s, 10.1), 2.0);
+    }
+
+    #[test]
+    fn single_element_sample() {
+        assert_eq!(percentile(&[7.5], 50.0), 7.5);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+    }
+}

@@ -1,0 +1,269 @@
+//! The offered-load sweep: (arrival shape x load x policy x engine) grid,
+//! one queue simulation per cell, with CSV/JSON emitters for the
+//! `serving.csv` / `BENCH_serving.json` artifacts.
+
+use crate::arrivals::ArrivalShape;
+use crate::latency::LatencyTable;
+use crate::queue::{simulate, BatchPolicy};
+use crate::stats::{summarize, LoadStats};
+
+/// Everything one sweep varies and holds fixed.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Arrival process families to sweep.
+    pub shapes: Vec<ArrivalShape>,
+    /// Batching policies to sweep.
+    pub policies: Vec<BatchPolicy>,
+    /// Offered load as a fraction of the reference capacity (see
+    /// [`reference_capacity_rps`]); one sweep point each.
+    pub utilizations: Vec<f64>,
+    /// Requests per sweep point.
+    pub requests: usize,
+    /// Base seed; each (shape, load) point derives its own arrival stream
+    /// from it, shared across policies and engines for a fair comparison.
+    pub seed: u64,
+    /// The latency SLO in milliseconds.
+    pub slo_ms: f64,
+}
+
+/// One sweep cell: a (arrival, load, policy, engine) simulation summary.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Arrival shape name.
+    pub arrival: &'static str,
+    /// Policy name (parameters included).
+    pub policy: String,
+    /// Engine name.
+    pub engine: &'static str,
+    /// Offered load (requests per second).
+    pub offered_rps: f64,
+    /// Offered load as a fraction of the reference capacity.
+    pub utilization: f64,
+    /// The simulation summary.
+    pub stats: LoadStats,
+}
+
+/// The winning (policy, engine) of one (arrival, load) point.
+#[derive(Debug, Clone)]
+pub struct BestPick {
+    /// Arrival shape name.
+    pub arrival: &'static str,
+    /// Offered load (requests per second).
+    pub offered_rps: f64,
+    /// Winning policy name.
+    pub policy: String,
+    /// Winning engine name.
+    pub engine: &'static str,
+}
+
+/// The sweep's load scale: the throughput of the *fastest* engine running
+/// back-to-back full batches — `max_batch / min_e latency(e, max_batch)`.
+/// Utilization 1.0 offers exactly this rate.
+pub fn reference_capacity_rps(table: &LatencyTable) -> f64 {
+    let (_, ms) = table.best(table.max_batch);
+    table.max_batch as f64 / (ms / 1e3)
+}
+
+/// Derive the arrival seed of one (shape, load) point from the base seed.
+/// A pure function of indices: re-running the sweep replays identical
+/// request streams.
+fn point_seed(base: u64, shape_idx: usize, load_idx: usize) -> u64 {
+    base.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((shape_idx as u64) << 32 | load_idx as u64)
+}
+
+/// Run the full grid. Rows come out in (shape, load, policy, engine) order.
+pub fn run_sweep(cfg: &SweepConfig, table: &LatencyTable) -> Vec<SweepRow> {
+    let capacity = reference_capacity_rps(table);
+    let mut rows = Vec::new();
+    for (si, shape) in cfg.shapes.iter().enumerate() {
+        for (li, &util) in cfg.utilizations.iter().enumerate() {
+            let offered = util * capacity;
+            let arrivals = shape
+                .at_rate(offered)
+                .generate(point_seed(cfg.seed, si, li), cfg.requests);
+            for policy in &cfg.policies {
+                for (ei, engine) in table.engines.iter().enumerate() {
+                    let service = |k: usize| (ei, table.latency_ms(ei, k));
+                    let outcome = simulate(&arrivals, *policy, &service);
+                    rows.push(SweepRow {
+                        arrival: shape.name(),
+                        policy: policy.name(),
+                        engine: engine.name(),
+                        offered_rps: offered,
+                        utilization: util,
+                        stats: summarize(&outcome, cfg.slo_ms),
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Pick the best (policy, engine) per (arrival, load): highest SLO
+/// attainment, then highest throughput, then lowest p99; final tie-break on
+/// names for determinism.
+pub fn best_by_load(rows: &[SweepRow]) -> Vec<BestPick> {
+    let mut picks: Vec<BestPick> = Vec::new();
+    let mut seen: Vec<(&'static str, f64)> = Vec::new();
+    for r in rows {
+        if seen.contains(&(r.arrival, r.offered_rps)) {
+            continue;
+        }
+        seen.push((r.arrival, r.offered_rps));
+        let group = rows
+            .iter()
+            .filter(|x| x.arrival == r.arrival && x.offered_rps == r.offered_rps);
+        let best = group
+            .min_by(|a, b| {
+                let ka = (
+                    -a.stats.slo_attainment,
+                    -a.stats.throughput_rps,
+                    a.stats.p99_ms,
+                );
+                let kb = (
+                    -b.stats.slo_attainment,
+                    -b.stats.throughput_rps,
+                    b.stats.p99_ms,
+                );
+                ka.partial_cmp(&kb)
+                    .unwrap()
+                    .then_with(|| (&a.policy, a.engine).cmp(&(&b.policy, b.engine)))
+            })
+            .expect("group is nonempty");
+        picks.push(BestPick {
+            arrival: best.arrival,
+            offered_rps: best.offered_rps,
+            policy: best.policy.clone(),
+            engine: best.engine,
+        });
+    }
+    picks
+}
+
+/// The `serving.csv` header.
+pub fn csv_header() -> &'static str {
+    "arrival,policy,engine,offered_rps,utilization,requests,completed,dispatches,\
+     mean_batch,p50_ms,p95_ms,p99_ms,mean_ms,throughput_rps,slo_ms,slo_attainment"
+}
+
+/// One `serving.csv` line.
+pub fn csv_row(r: &SweepRow, requests: usize, slo_ms: f64) -> String {
+    let s = &r.stats;
+    format!(
+        "{},{},{},{:.2},{:.2},{},{},{},{:.2},{:.3},{:.3},{:.3},{:.3},{:.2},{:.1},{:.4}",
+        r.arrival,
+        r.policy,
+        r.engine,
+        r.offered_rps,
+        r.utilization,
+        requests,
+        s.completed,
+        s.dispatches,
+        s.mean_batch,
+        s.p50_ms,
+        s.p95_ms,
+        s.p99_ms,
+        s.mean_ms,
+        s.throughput_rps,
+        slo_ms,
+        s.slo_attainment,
+    )
+}
+
+/// Fixed facts the JSON artifact records next to the rows.
+#[derive(Debug, Clone)]
+pub struct SweepMeta {
+    /// Architecture name (e.g. `sx-aurora`).
+    pub arch: String,
+    /// Model name (e.g. `resnet-50`).
+    pub model: String,
+    /// Pass name (`infer` / `train`).
+    pub pass: String,
+    /// Simulation mode name.
+    pub mode: String,
+    /// Largest batch size tabulated.
+    pub max_batch: usize,
+}
+
+/// Build the `BENCH_serving.json` document (validated by
+/// `lsv_obs::validate_serving_json` against `serving.schema.json`).
+pub fn serving_json(
+    meta: &SweepMeta,
+    cfg: &SweepConfig,
+    table: &LatencyTable,
+    rows: &[SweepRow],
+    best: &[BestPick],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str("  \"tool\": \"bench-serving\",\n");
+    out.push_str(&format!("  \"arch\": \"{}\",\n", meta.arch));
+    out.push_str(&format!("  \"model\": \"{}\",\n", meta.model));
+    out.push_str(&format!("  \"pass\": \"{}\",\n", meta.pass));
+    out.push_str(&format!("  \"mode\": \"{}\",\n", meta.mode));
+    out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!("  \"requests\": {},\n", cfg.requests));
+    out.push_str(&format!("  \"max_batch\": {},\n", meta.max_batch));
+    out.push_str(&format!("  \"slo_ms\": {:.3},\n", cfg.slo_ms));
+    out.push_str(&format!(
+        "  \"reference_capacity_rps\": {:.2},\n",
+        reference_capacity_rps(table)
+    ));
+    let quoted: Vec<String> = table
+        .engines
+        .iter()
+        .map(|e| format!("\"{}\"", e.name()))
+        .collect();
+    out.push_str(&format!("  \"engines\": [{}],\n", quoted.join(", ")));
+    let quoted: Vec<String> = cfg
+        .policies
+        .iter()
+        .map(|p| format!("\"{}\"", p.name()))
+        .collect();
+    out.push_str(&format!("  \"policies\": [{}],\n", quoted.join(", ")));
+    let utils: Vec<String> = cfg.utilizations.iter().map(|u| format!("{u:.2}")).collect();
+    out.push_str(&format!("  \"utilizations\": [{}],\n", utils.join(", ")));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let s = &r.stats;
+        out.push_str(&format!(
+            "    {{\"arrival\": \"{}\", \"policy\": \"{}\", \"engine\": \"{}\", \
+             \"offered_rps\": {:.2}, \"utilization\": {:.2}, \"completed\": {}, \
+             \"dispatches\": {}, \"mean_batch\": {:.2}, \"p50_ms\": {:.3}, \
+             \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \
+             \"throughput_rps\": {:.2}, \"slo_attainment\": {:.4}}}{}\n",
+            r.arrival,
+            r.policy,
+            r.engine,
+            r.offered_rps,
+            r.utilization,
+            s.completed,
+            s.dispatches,
+            s.mean_batch,
+            s.p50_ms,
+            s.p95_ms,
+            s.p99_ms,
+            s.mean_ms,
+            s.throughput_rps,
+            s.slo_attainment,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"best_by_load\": [\n");
+    for (i, b) in best.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"arrival\": \"{}\", \"offered_rps\": {:.2}, \"policy\": \"{}\", \
+             \"engine\": \"{}\"}}{}\n",
+            b.arrival,
+            b.offered_rps,
+            b.policy,
+            b.engine,
+            if i + 1 == best.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

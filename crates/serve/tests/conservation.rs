@@ -1,0 +1,75 @@
+//! Conservation: the ModelRunner's static-schedule total must equal the
+//! hand-summed per-layer `time_ms x layer_counts()` product — no hidden
+//! overheads, no double counting, same store-served slices either way.
+
+use lsv_arch::presets::sx_aurora;
+use lsv_conv::{bench_layer, Direction, ExecutionMode, LayerSpec, ModelRunner, Pass};
+use lsv_models::{resnet_layers, ResNetModel};
+use lsv_serve::resnet_specs;
+
+#[test]
+fn inference_schedule_equals_hand_summed_layer_times() {
+    let arch = sx_aurora();
+    let model = ResNetModel::R50;
+    let mb = 8; // one image per core: the cheapest real sweep point
+    let runner = ModelRunner::new(&arch, resnet_specs(model, mb), Pass::Inference);
+    let plan = runner.plan();
+
+    let counts = model.layer_counts();
+    let mut hand = 0.0;
+    for (id, p) in resnet_layers(mb).iter().enumerate() {
+        let e = plan.entry(id, Direction::Fwd).expect("entry per layer");
+        let perf = bench_layer(
+            &arch,
+            p,
+            Direction::Fwd,
+            e.algorithm,
+            ExecutionMode::TimingOnly,
+        );
+        hand += perf.time_ms * counts[id] as f64;
+    }
+    let total = plan.total_time_ms();
+    assert!(
+        (total - hand).abs() <= 1e-9 * hand.max(1.0),
+        "runner total {total} ms != hand-summed {hand} ms"
+    );
+    assert_eq!(
+        plan.entries.iter().map(|e| e.count).sum::<usize>(),
+        model.total_conv_layers(),
+        "plan covers every conv occurrence exactly once"
+    );
+}
+
+#[test]
+fn training_schedule_equals_hand_summed_layer_times() {
+    // Small synthetic model: the same conservation law over all three
+    // directions without a debug-build 19-layer bwdw sweep.
+    let arch = sx_aurora();
+    let layers = vec![
+        LayerSpec::new(lsv_conv::ConvProblem::new(8, 32, 32, 10, 10, 3, 3, 1, 1), 3),
+        LayerSpec::new(lsv_conv::ConvProblem::new(8, 64, 16, 8, 8, 1, 1, 1, 0), 2),
+    ];
+    let runner = ModelRunner::new(&arch, layers.clone(), Pass::TrainingStep);
+    let plan = runner.plan();
+    assert_eq!(plan.entries.len(), layers.len() * 3);
+
+    let mut hand = 0.0;
+    for (id, spec) in layers.iter().enumerate() {
+        for d in Direction::ALL {
+            let e = plan.entry(id, d).expect("entry per (layer, dir)");
+            let perf = bench_layer(
+                &arch,
+                &spec.problem,
+                d,
+                e.algorithm,
+                ExecutionMode::TimingOnly,
+            );
+            hand += perf.time_ms * spec.count as f64;
+        }
+    }
+    let total = plan.total_time_ms();
+    assert!(
+        (total - hand).abs() <= 1e-9 * hand.max(1.0),
+        "runner total {total} ms != hand-summed {hand} ms"
+    );
+}

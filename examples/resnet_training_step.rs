@@ -1,58 +1,18 @@
 //! Model-level scenario: estimate one full ResNet training step (forward +
 //! backward-data + backward-weights over every convolution) on the simulated
 //! SX-Aurora for each convolution engine — a miniature of the paper's
-//! Figures 5/6 methodology.
+//! Figures 5/6 methodology, driven by the [`ModelRunner`].
+//!
+//! Every slice result flows through the layer store, so a second run with
+//! `LSV_STORE_DIR` set replays from disk in seconds without re-simulating.
 //!
 //! Run with: `cargo run --release --example resnet_training_step [minibatch]`
 
-use lsv_bench_shim::*;
-use lsvconv::conv::ExecutionMode;
+use lsvconv::conv::{Algorithm, ExecutionMode, ModelRunner, Pass, TunePolicy};
 use lsvconv::models::ResNetModel;
 use lsvconv::prelude::sx_aurora;
-
-// The bench crate is not a dependency of the facade; inline the tiny amount
-// of aggregation logic the example needs.
-mod lsv_bench_shim {
-    use super::*;
-    use lsvconv::conv::{bench_layer, Algorithm, Direction};
-    use lsvconv::models::resnet_layers;
-    use lsvconv::vednn::bench_layer_vednn;
-
-    pub enum Engine {
-        Direct(Algorithm),
-        Vednn,
-    }
-
-    impl Engine {
-        pub fn name(&self) -> &'static str {
-            match self {
-                Engine::Vednn => "vednn",
-                Engine::Direct(a) => a.short_name(),
-            }
-        }
-    }
-
-    pub fn step_time_ms(
-        arch: &lsvconv::arch::ArchParams,
-        model: ResNetModel,
-        minibatch: usize,
-        engine: &Engine,
-    ) -> f64 {
-        let layers = resnet_layers(minibatch);
-        let counts = model.layer_counts();
-        let mut total = 0.0;
-        for (id, p) in layers.iter().enumerate() {
-            for dir in Direction::ALL {
-                let perf = match engine {
-                    Engine::Direct(a) => bench_layer(arch, p, dir, *a, ExecutionMode::TimingOnly),
-                    Engine::Vednn => bench_layer_vednn(arch, p, dir, ExecutionMode::TimingOnly),
-                };
-                total += perf.time_ms * counts[id] as f64;
-            }
-        }
-        total
-    }
-}
+use lsvconv::serve::resnet_specs;
+use lsvconv::vednn::bench_layer_vednn;
 
 fn main() {
     let minibatch: usize = std::env::args()
@@ -61,29 +21,59 @@ fn main() {
         .unwrap_or(32);
     let arch = sx_aurora();
     let model = ResNetModel::R101;
-    let flops = 3.0 * model.total_flops(minibatch) as f64;
+    let flops = model.training_flops(minibatch) as f64;
     println!(
-        "{} training step, minibatch {minibatch}: {:.1} GFLOP over {} conv layers x 3 passes",
+        "{} training step, minibatch {minibatch}: {:.1} GFLOP over {} conv layers x {} passes",
         model.name(),
         flops / 1e9,
-        model.total_conv_layers()
+        model.total_conv_layers(),
+        ResNetModel::TRAINING_PASSES,
     );
     println!("engine,step_ms,gflops,images/s");
-    use lsvconv::conv::Algorithm;
-    let engines = [
-        Engine::Vednn,
-        Engine::Direct(Algorithm::Dc),
-        Engine::Direct(Algorithm::Bdc),
-        Engine::Direct(Algorithm::Mbdc),
-    ];
-    for e in &engines {
-        let ms = step_time_ms(&arch, model, minibatch, e);
+
+    let specs = resnet_specs(model, minibatch);
+    let runner = |tune| {
+        ModelRunner::new(&arch, specs.clone(), Pass::TrainingStep)
+            .with_tune(tune)
+            .with_mode(ExecutionMode::TimingOnly)
+    };
+    let row = |name: &str, ms: f64| {
         println!(
-            "{},{:.1},{:.0},{:.1}",
-            e.name(),
+            "{name},{:.1},{:.0},{:.1}",
             ms,
             flops / (ms / 1e3) / 1e9,
             minibatch as f64 / (ms / 1e3)
         );
+    };
+
+    // The vednn baseline has no plan to make: sum the library's per-layer
+    // times over every direction, weighted by how often the shape repeats.
+    let vednn_ms: f64 = specs
+        .iter()
+        .map(|s| {
+            Pass::TrainingStep
+                .directions()
+                .iter()
+                .map(|&d| {
+                    bench_layer_vednn(&arch, &s.problem, d, ExecutionMode::TimingOnly).time_ms
+                })
+                .sum::<f64>()
+                * s.count as f64
+        })
+        .sum();
+    row("vednn", vednn_ms);
+
+    for alg in [Algorithm::Dc, Algorithm::Bdc, Algorithm::Mbdc] {
+        let plan = runner(TunePolicy::Analytic).plan_fixed(alg);
+        row(alg.short_name(), plan.total_time_ms());
     }
+
+    // The tuned engine empirically sweeps register blockings per (layer,
+    // direction) and picks the best algorithm for each.
+    let plan = runner(TunePolicy::Empirical).plan();
+    row("tuned", plan.total_time_ms());
+    eprintln!(
+        "tuned plan: {} store hits, {} slices simulated",
+        plan.store_hits, plan.simulated
+    );
 }

@@ -66,6 +66,11 @@ run performance performance.csv 256
 run figure3 figure3.txt 8
 run crossisa crossisa.csv 32
 run validate validate.csv 1
+# The serving sweep reuses the shared store: its latency tables revisit the
+# same (layer, direction) slices the figure sweeps already simulated. The
+# JSON artifact is written (and schema-validated) by the bin itself; only
+# the CSV goes through the tmp-and-move stdout path.
+run bench-serving serving.csv --json results/BENCH_serving.json
 
 run report report.txt results
 echo ALL_DONE

@@ -25,6 +25,8 @@
 //!   folded flamegraph stacks, schema-validated `profile.json`).
 //! * [`vednn`] — the baseline proprietary-library stand-in.
 //! * [`models`] — ResNet workloads (Table 3 layer suite, model frequencies).
+//! * [`serve`] — the model-level serving harness: whole-network runner glue,
+//!   arrival processes, dynamic batching queues, latency/SLO sweeps.
 
 pub use lsv_analyze as analyze;
 pub use lsv_arch as arch;
@@ -32,6 +34,7 @@ pub use lsv_cache as cache;
 pub use lsv_conv as conv;
 pub use lsv_models as models;
 pub use lsv_obs as obs;
+pub use lsv_serve as serve;
 pub use lsv_tensor as tensor;
 pub use lsv_vednn as vednn;
 pub use lsv_vengine as vengine;
