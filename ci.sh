@@ -59,14 +59,32 @@ LSV_STORE=0 ./target/release/mpki 32 >"$STORE_SMOKE_OUT/ci-store-off.csv" 2>/dev
 cmp "$STORE_SMOKE_OUT/ci-store-cold.csv" "$STORE_SMOKE_OUT/ci-store-off.csv"
 rm -rf "$STORE_SMOKE_DIR"
 
-echo "== serving smoke (queue sweep; warm serve replay must be byte-identical)"
+echo "== serving smoke (queue sweep + trace; warm replay must be byte-identical)"
 SERVE_STORE_DIR=results/.ci-serve-store
-rm -rf "$SERVE_STORE_DIR"
+SERVE_TRACE_COLD=results/.ci-serve-trace-cold
+SERVE_TRACE_WARM=results/.ci-serve-trace-warm
+rm -rf "$SERVE_STORE_DIR" "$SERVE_TRACE_COLD" "$SERVE_TRACE_WARM"
 ./target/release/lsvconv-cli serve --smoke --store-dir "$SERVE_STORE_DIR" \
+    --trace "$SERVE_TRACE_COLD" \
     >"$STORE_SMOKE_OUT/ci-serve-cold.txt" 2>/dev/null
 ./target/release/lsvconv-cli serve --smoke --store-dir "$SERVE_STORE_DIR" \
+    --trace "$SERVE_TRACE_WARM" \
     >"$STORE_SMOKE_OUT/ci-serve-warm.txt" 2>/dev/null
-cmp "$STORE_SMOKE_OUT/ci-serve-cold.txt" "$STORE_SMOKE_OUT/ci-serve-warm.txt"
+# The `wrote <path>` lines name the (different) cold/warm trace dirs;
+# everything else on stdout must replay byte-identically.
+grep -v '^wrote ' "$STORE_SMOKE_OUT/ci-serve-cold.txt" >"$STORE_SMOKE_OUT/ci-serve-cold.cmp"
+grep -v '^wrote ' "$STORE_SMOKE_OUT/ci-serve-warm.txt" >"$STORE_SMOKE_OUT/ci-serve-warm.cmp"
+cmp "$STORE_SMOKE_OUT/ci-serve-cold.cmp" "$STORE_SMOKE_OUT/ci-serve-warm.cmp"
+# The trace must reconcile bit-for-bit (the CLI exits 1 otherwise, but the
+# explicit grep keeps the contract visible in the CI transcript) and the
+# warm-store replay must reproduce every trace artifact byte-identically.
+# metrics.json is excluded on purpose: cold and warm runs legitimately
+# differ in store hit/miss counters.
+grep -q "trace reconciliation: exact" "$STORE_SMOKE_OUT/ci-serve-cold.txt"
+cmp "$SERVE_TRACE_COLD/serving_trace.json" "$SERVE_TRACE_WARM/serving_trace.json"
+cmp "$SERVE_TRACE_COLD/serving_trace.perfetto.json" "$SERVE_TRACE_WARM/serving_trace.perfetto.json"
+cmp "$SERVE_TRACE_COLD/serving_timeseries.csv" "$SERVE_TRACE_WARM/serving_timeseries.csv"
+rm -rf "$SERVE_TRACE_COLD" "$SERVE_TRACE_WARM"
 
 echo "== bench-serving (smoke; BENCH_serving.json schema validation is a hard error)"
 LSV_STORE_DIR="$SERVE_STORE_DIR" ./target/release/bench-serving --smoke \

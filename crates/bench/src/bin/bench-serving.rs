@@ -10,15 +10,20 @@
 //! simulating a single slice (the queue simulation itself is host-side
 //! arithmetic on the simulated clock).
 //!
-//! Usage: `bench-serving [--smoke] [--json PATH] [--model resnet-50]
-//!         [--pass infer|train] [--requests N] [--seed N]`
+//! Usage: `bench-serving [--smoke] [--json PATH] [--timeseries PATH]
+//!         [--model resnet-50] [--pass infer|train] [--requests N] [--seed N]`
+//!
+//! `--timeseries PATH` writes `serving_timeseries.csv`: the sampled
+//! queue-depth / occupancy / rolling-p99 / SLO-burn series for every
+//! (arrival, load, policy) cell on the fixed-BDC engine. The same series,
+//! summarized per cell, lands in the JSON's `timeseries` section.
 
 use lsv_arch::presets::sx_aurora;
 use lsv_conv::{ExecutionMode, Pass};
 use lsv_models::ResNetModel;
 use lsv_serve::{
-    best_by_load, csv_header, csv_row, run_sweep, serving_json, ArrivalShape, BatchPolicy,
-    LatencyTable, ServeEngine, SweepConfig, SweepMeta,
+    best_by_load, csv_header, csv_row, run_sweep, run_timeseries, serving_json, ArrivalShape,
+    BatchPolicy, LatencyTable, ServeEngine, SweepConfig, SweepMeta,
 };
 use std::process::exit;
 
@@ -127,6 +132,15 @@ fn main() {
     let rows = run_sweep(&cfg, &table);
     let best = best_by_load(&rows);
 
+    // Time-series telemetry rides on one engine: the fixed BDC engine when
+    // present (it is in every engine list, smoke and full), engine 0 otherwise.
+    let ts_engine = table
+        .engines
+        .iter()
+        .position(|e| matches!(e, ServeEngine::Fixed(lsv_conv::Algorithm::Bdc)))
+        .unwrap_or(0);
+    let (ts, ts_csv) = run_timeseries(&cfg, &table, ts_engine);
+
     println!("{}", csv_header());
     for r in &rows {
         println!("{}", csv_row(r, cfg.requests, cfg.slo_ms));
@@ -139,6 +153,19 @@ fn main() {
         );
     }
 
+    if let Some(path) = flag_value(&args, "--timeseries") {
+        if let Err(e) = std::fs::write(&path, &ts_csv) {
+            eprintln!("error: cannot write {path}: {e}");
+            exit(1);
+        }
+        eprintln!(
+            "wrote {path} ({} cells x {} samples, engine {})",
+            ts.cells.len(),
+            ts.samples_per_cell,
+            ts.engine
+        );
+    }
+
     if let Some(path) = flag_value(&args, "--json") {
         let meta = SweepMeta {
             arch: arch.name.clone(),
@@ -147,7 +174,7 @@ fn main() {
             mode: "timing-only".to_string(),
             max_batch,
         };
-        let doc = serving_json(&meta, &cfg, &table, &rows, &best);
+        let doc = serving_json(&meta, &cfg, &table, &rows, &best, &ts);
         if let Err(e) = std::fs::write(&path, &doc) {
             eprintln!("error: cannot write {path}: {e}");
             exit(1);

@@ -97,42 +97,63 @@ fn timings_json(pairs: &[(String, u64)]) -> String {
     s
 }
 
-/// Collect every `<bin>.store.json` one-line counter object a regen run's
-/// bins dumped into `dir`, sorted by bin name. Each value is embedded
-/// verbatim (the bins write valid JSON), plus a tally of the numeric fields
-/// across all bins.
+/// Collect every `<bin>.store.json` metrics document a regen run's bins
+/// dumped into `dir` (the `metrics.schema.json` shape: `store.*` counters
+/// plus the `store.disk_bytes` gauge), sorted by bin name. Each bin is
+/// re-rendered as a compact one-line counter object, plus a tally of the
+/// counters across all bins.
 fn store_stats_json(dir: &str) -> String {
-    let mut per_bin: Vec<(String, String)> = Vec::new();
+    // (bin, [(short counter name, value)]) — `store.mem_hits` → `mem_hits`.
+    let mut per_bin: Vec<(String, Vec<(String, u64)>)> = Vec::new();
     if let Ok(entries) = std::fs::read_dir(dir) {
         for e in entries.flatten() {
             let name = e.file_name().to_string_lossy().into_owned();
             let Some(bin) = name.strip_suffix(".store.json") else {
                 continue;
             };
-            if let Ok(text) = std::fs::read_to_string(e.path()) {
-                per_bin.push((bin.to_string(), text.trim().to_string()));
+            let Ok(text) = std::fs::read_to_string(e.path()) else {
+                continue;
+            };
+            let Ok(doc) = lsv_obs::parse_json(&text) else {
+                continue;
+            };
+            let mut fields: Vec<(String, u64)> = Vec::new();
+            if let Some(lsv_obs::JsonValue::Arr(counters)) = doc.get("counters") {
+                for c in counters {
+                    let (Some(lsv_obs::JsonValue::Str(cname)), Some(lsv_obs::JsonValue::Num(v))) =
+                        (c.get("name"), c.get("value"))
+                    else {
+                        continue;
+                    };
+                    let short = cname.strip_prefix("store.").unwrap_or(cname);
+                    fields.push((short.to_string(), *v as u64));
+                }
             }
+            per_bin.push((bin.to_string(), fields));
         }
     }
     per_bin.sort();
     let field_total = |key: &str| -> u64 {
         per_bin
             .iter()
-            .filter_map(|(_, json)| {
-                let tail = json.split(&format!("\"{key}\":")).nth(1)?;
-                tail.split(|c: char| !c.is_ascii_digit())
-                    .next()?
-                    .parse::<u64>()
-                    .ok()
-            })
+            .flat_map(|(_, fields)| fields.iter())
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v)
             .sum()
     };
     let mut s = String::from("{\n      \"per_bin\": {");
-    for (i, (bin, json)) in per_bin.iter().enumerate() {
+    for (i, (bin, fields)) in per_bin.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
-        let _ = write!(s, "\n        \"{bin}\": {json}");
+        let _ = write!(s, "\n        \"{bin}\": {{");
+        for (j, (k, v)) in fields.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{k}\": {v}");
+        }
+        s.push('}');
     }
     s.push_str("\n      },\n");
     let hits = field_total("mem_hits") + field_total("disk_hits");

@@ -22,8 +22,9 @@ use lsv_conv::{
 };
 use lsv_models::{resnet_layer, ResNetModel};
 use lsv_serve::{
-    best_by_load, csv_header, csv_row, reference_capacity_rps, run_sweep, ArrivalShape,
-    BatchPolicy, LatencyTable, ServeEngine, SweepConfig,
+    best_by_load, cell_outcome, collect_plans, csv_header, csv_row, perfetto_trace_json,
+    reference_capacity_rps, run_sweep, run_timeseries, serving_trace_json, ArrivalShape,
+    BatchPolicy, LatencyTable, Reconciliation, ServeEngine, SweepConfig, TraceMeta,
 };
 use lsv_vengine::CoreStats;
 use std::collections::HashMap;
@@ -207,6 +208,9 @@ fn usage(msg: &str) -> ! {
     eprintln!("  serve flags:  --model <resnet-50|resnet-101|resnet-152>  --pass <infer|train>");
     eprintln!("                --engine <DC|BDC|MBDC|vednn|tuned>  --max-batch N  --requests N");
     eprintln!("                --seed N  --slo MS  --arrival <poisson|bursty>  --smoke");
+    eprintln!("                --trace DIR (write serving_trace.json + Perfetto timeline +");
+    eprintln!("                serving_timeseries.csv + metrics.json for the heaviest-load");
+    eprintln!("                cell)  --metrics (print the metrics registry; tune too)");
     exit(2);
 }
 
@@ -377,6 +381,16 @@ fn main() {
                                     ""
                                 }
                             );
+                            if flags.contains_key("metrics") {
+                                let reg = lsv_obs::registry();
+                                t.publish_metrics(reg);
+                                lsv_conv::store::store().stats().publish(reg);
+                                println!();
+                                println!("metrics:");
+                                for line in reg.summary_lines() {
+                                    println!("  {line}");
+                                }
+                            }
                         }
                         Err(e) => eprintln!("empirical sweep skipped: {e}"),
                     }
@@ -536,6 +550,18 @@ fn main() {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(if smoke { 200 } else { 1000 });
             let seed: u64 = flags.get("seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+            // Validate the observability flags before the (expensive) table
+            // build so a bad invocation fails fast.
+            let trace_dir = match flags.get("trace").map(String::as_str) {
+                None => None,
+                Some("") => usage("--trace requires a path"),
+                Some(d) => Some(std::path::PathBuf::from(d)),
+            };
+            let metrics = match flags.get("metrics").map(String::as_str) {
+                None => false,
+                Some("") => true,
+                Some(v) => usage(&format!("--metrics takes no value (got '{v}')")),
+            };
 
             let table = LatencyTable::build(
                 &arch,
@@ -601,11 +627,136 @@ fn main() {
                 );
             }
 
+            if let Some(dir) = &trace_dir {
+                let reg = lsv_obs::registry();
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("error: cannot create {}: {e}", dir.display());
+                    exit(1);
+                }
+                // The traced cell: the configured arrival shape at the
+                // heaviest sampled load under the adaptive policy — the cell
+                // where batching decisions actually vary.
+                let load_idx = cfg.utilizations.len() - 1;
+                let policy = cfg.policies[0];
+                let (offered_rps, outcome) = cell_outcome(&cfg, &table, 0, load_idx, policy, 0);
+                // Per-(layer, direction) breakdown for every distinct
+                // dispatched batch size, recomputed by the exact code path
+                // the latency table used — bit-identical by construction,
+                // asserted by the reconciliation below. The vednn baseline
+                // has no layer plan; its trace carries batch spans only.
+                let plan_for = |batch: usize| -> Option<lsv_conv::ModelPlan> {
+                    let specs = lsv_serve::resnet_specs(model, batch);
+                    let runner = lsv_conv::ModelRunner::new(&arch, specs, pass)
+                        .with_mode(ExecutionMode::TimingOnly);
+                    match engine {
+                        ServeEngine::Tuned => {
+                            Some(runner.with_tune(lsv_conv::TunePolicy::Empirical).plan())
+                        }
+                        ServeEngine::Fixed(alg) => Some(runner.plan_fixed(alg)),
+                        ServeEngine::Vednn => None,
+                    }
+                };
+                let plans = collect_plans(&outcome, &plan_for);
+                for (_, p) in &plans {
+                    p.publish_metrics(reg);
+                }
+                outcome.publish_metrics(reg);
+                let recon = Reconciliation::compute(&outcome, &plans);
+                let meta = TraceMeta {
+                    arch: arch.name.clone(),
+                    model: model.name().to_string(),
+                    pass: pass.name().to_string(),
+                    engine: engine.name().to_string(),
+                    arrival: shape.name(),
+                    policy: policy.name(),
+                    utilization: cfg.utilizations[load_idx],
+                    offered_rps,
+                    seed,
+                    slo_ms,
+                    max_batch,
+                };
+
+                let write = |name: &str, doc: &str| -> std::path::PathBuf {
+                    let path = dir.join(name);
+                    if let Err(e) = std::fs::write(&path, doc) {
+                        eprintln!("error: cannot write {}: {e}", path.display());
+                        exit(1);
+                    }
+                    path
+                };
+                let trace_doc = serving_trace_json(&meta, &outcome, &plans, &recon);
+                let tpath = write("serving_trace.json", &trace_doc);
+                // Validate what actually landed on disk, like lint.json.
+                let text = std::fs::read_to_string(&tpath).expect("just wrote it");
+                if let Err(e) = lsv_obs::validate_serving_trace_json(&text) {
+                    eprintln!("error: {e}");
+                    exit(1);
+                }
+                write(
+                    "serving_trace.perfetto.json",
+                    &perfetto_trace_json(&meta, &outcome, &plans),
+                );
+                let (_, ts_csv) = run_timeseries(&cfg, &table, 0);
+                write("serving_timeseries.csv", &ts_csv);
+
+                println!();
+                if recon.exact {
+                    println!(
+                        "trace reconciliation: exact ({} requests, {} batches, \
+                         wait {:.3} ms, service {:.3} ms)",
+                        recon.requests, recon.batches, recon.wait_sum_ms, recon.service_sum_ms
+                    );
+                } else {
+                    eprintln!(
+                        "error: trace reconciliation FAILED (service {:?} ms vs layers {:?} ms)",
+                        recon.service_sum_ms, recon.layer_sum_ms
+                    );
+                    exit(1);
+                }
+                println!("wrote {} (schema-valid)", tpath.display());
+                println!(
+                    "wrote {}",
+                    dir.join("serving_trace.perfetto.json").display()
+                );
+                println!("wrote {}", dir.join("serving_timeseries.csv").display());
+            }
+
             let st = lsv_conv::store::store().stats();
             eprintln!(
                 "store: {} mem hits, {} disk hits, {} misses, {} inserts",
                 st.mem_hits, st.disk_hits, st.misses, st.inserts
             );
+            if trace_dir.is_some() || metrics {
+                // One registry, one publication: everything the run touched
+                // (queue + runner via the trace block, the store here).
+                let reg = lsv_obs::registry();
+                st.publish(reg);
+                reg.gauge_set(
+                    "store.disk_bytes",
+                    lsv_conv::store::store().disk_bytes() as f64,
+                );
+                if let Some(dir) = &trace_dir {
+                    let doc = reg.to_json("lsvconv serve");
+                    let mpath = dir.join("metrics.json");
+                    if let Err(e) = std::fs::write(&mpath, &doc) {
+                        eprintln!("error: cannot write {}: {e}", mpath.display());
+                        exit(1);
+                    }
+                    let text = std::fs::read_to_string(&mpath).expect("just wrote it");
+                    if let Err(e) = lsv_obs::validate_metrics_json(&text) {
+                        eprintln!("error: {e}");
+                        exit(1);
+                    }
+                    println!("wrote {} (schema-valid)", mpath.display());
+                }
+                if metrics {
+                    println!();
+                    println!("metrics:");
+                    for line in reg.summary_lines() {
+                        println!("  {line}");
+                    }
+                }
+            }
         }
         _ => usage("missing or unknown command"),
     }

@@ -85,3 +85,65 @@ fn serve_accepts_no_store_and_emits_the_sweep() {
     );
     assert!(stdout.contains("best @ poisson"), "stdout: {stdout}");
 }
+
+#[test]
+fn serve_rejects_trace_without_a_path() {
+    let out = lsvconv(&["serve", "--trace", "--smoke"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--trace requires a path"), "stderr: {err}");
+}
+
+#[test]
+fn serve_rejects_a_value_on_metrics() {
+    let out = lsvconv(&["serve", "--metrics", "yes", "--smoke"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--metrics takes no value"), "stderr: {err}");
+}
+
+#[test]
+fn serve_trace_writes_reconciled_schema_valid_artifacts() {
+    let dir = std::env::temp_dir().join(format!("lsv-trace-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = lsvconv(&[
+        "serve",
+        "--no-store",
+        "--smoke",
+        "--max-batch",
+        "2",
+        "--requests",
+        "40",
+        "--metrics",
+        "--trace",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("trace reconciliation: exact"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("metrics:"), "stdout: {stdout}");
+    assert!(stdout.contains("queue.requests"), "stdout: {stdout}");
+
+    // Every artifact landed and revalidates from disk.
+    let trace = std::fs::read_to_string(dir.join("serving_trace.json")).expect("trace written");
+    lsv_obs::validate_serving_trace_json(&trace).expect("schema-valid trace");
+    let metrics = std::fs::read_to_string(dir.join("metrics.json")).expect("metrics written");
+    lsv_obs::validate_metrics_json(&metrics).expect("schema-valid metrics");
+    let perfetto =
+        std::fs::read_to_string(dir.join("serving_trace.perfetto.json")).expect("perfetto written");
+    lsv_obs::parse_json(&perfetto).expect("perfetto is valid JSON");
+    let ts = std::fs::read_to_string(dir.join("serving_timeseries.csv")).expect("csv written");
+    assert!(
+        ts.starts_with("arrival,policy,engine,utilization,sample,t_ms,"),
+        "csv header: {}",
+        ts.lines().next().unwrap_or("")
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -52,7 +52,7 @@ pub use perf::{bench_layer, bench_layer_native, bench_layer_profiled, LayerPerf,
 pub use primitive::{ConvDesc, ConvPrimitive, ConvTensors, ExecReport, UnsupportedReason};
 pub use problem::{Algorithm, ConvProblem, Direction};
 pub use runner::{LayerSpec, ModelPlan, ModelRunner, Pass, PlanEntry, TunePolicy};
-pub use store::{LayerStore, StoreConfig, StoreStats};
+pub use store::{stats_metrics_json, LayerStore, StoreConfig, StoreStats};
 pub use tuning::{
     autotune_microkernel, tune_empirical, KernelConfig, MicroTile, RegisterBlocking, TuneReport,
 };

@@ -140,6 +140,15 @@ impl ModelPlan {
             .iter()
             .find(|e| e.layer == layer && e.direction == direction)
     }
+
+    /// Publish this plan's provenance into a metrics registry under the
+    /// `runner.` namespace.
+    pub fn publish_metrics(&self, reg: &lsv_obs::MetricsRegistry) {
+        reg.counter_add("runner.plans", 1);
+        reg.counter_add("runner.store_hits", self.store_hits);
+        reg.counter_add("runner.simulated", self.simulated);
+        reg.observe("runner.plan_total_ms", self.total_time_ms());
+    }
 }
 
 /// Executes a whole model (a list of [`LayerSpec`]s) for one [`Pass`] on
@@ -208,11 +217,11 @@ impl ModelRunner {
         let entries = par_map_ordered(jobs, |(layer, direction)| {
             self.plan_entry(layer, direction, candidates)
         });
-        let after = store::store().stats();
+        let delta = store::store().stats().delta(&before);
         ModelPlan {
             entries,
-            store_hits: (after.mem_hits + after.disk_hits) - (before.mem_hits + before.disk_hits),
-            simulated: after.misses - before.misses,
+            store_hits: delta.hits(),
+            simulated: delta.misses,
         }
     }
 

@@ -542,6 +542,40 @@ pub struct StoreStats {
     pub paranoid_rechecks: u64,
 }
 
+impl StoreStats {
+    /// Lookups served from either tier.
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.disk_hits
+    }
+
+    /// Counter movement since an earlier snapshot of the *same* store
+    /// (saturating, so a stale `since` cannot underflow). This is how
+    /// callers attribute store traffic to one planning/tuning phase of a
+    /// process-lifetime shared store.
+    pub fn delta(&self, since: &StoreStats) -> StoreStats {
+        StoreStats {
+            mem_hits: self.mem_hits.saturating_sub(since.mem_hits),
+            disk_hits: self.disk_hits.saturating_sub(since.disk_hits),
+            misses: self.misses.saturating_sub(since.misses),
+            inserts: self.inserts.saturating_sub(since.inserts),
+            paranoid_rechecks: self
+                .paranoid_rechecks
+                .saturating_sub(since.paranoid_rechecks),
+        }
+    }
+
+    /// Publish these counters into a metrics registry under the `store.`
+    /// namespace. Pass a [`delta`](Self::delta) when attributing one phase;
+    /// pass a snapshot when the registry is fresh.
+    pub fn publish(&self, reg: &lsv_obs::MetricsRegistry) {
+        reg.counter_add("store.mem_hits", self.mem_hits);
+        reg.counter_add("store.disk_hits", self.disk_hits);
+        reg.counter_add("store.misses", self.misses);
+        reg.counter_add("store.inserts", self.inserts);
+        reg.counter_add("store.paranoid_rechecks", self.paranoid_rechecks);
+    }
+}
+
 #[derive(Default)]
 struct Counters {
     mem_hits: AtomicU64,
@@ -849,9 +883,20 @@ pub fn store() -> &'static LayerStore {
     })
 }
 
-/// Write this process's store counters as one JSON object to the path in
-/// `LSV_STORE_STATS` (regen bins call this on exit; bench-simulator collects
-/// the files into BENCH_simulator.json).
+/// This process's store counters as one metrics document (the
+/// `metrics.schema.json` shape): `store.*` counters plus the
+/// `store.disk_bytes` gauge, serialized by the one registry code path.
+pub fn stats_metrics_json(st: &LayerStore) -> String {
+    let reg = lsv_obs::MetricsRegistry::new();
+    st.stats().publish(&reg);
+    reg.gauge_set("store.disk_bytes", st.disk_bytes() as f64);
+    reg.to_json("layer-store")
+}
+
+/// Write this process's store counters as one metrics document to the path
+/// in `LSV_STORE_STATS` (regen bins call this on exit; bench-simulator
+/// collects the files into BENCH_simulator.json). Same wire format as
+/// `lsvconv serve --trace`'s metrics.json — one serializer, one schema.
 pub fn dump_stats_to_env_file() {
     let Ok(path) = std::env::var("LSV_STORE_STATS") else {
         return;
@@ -859,18 +904,7 @@ pub fn dump_stats_to_env_file() {
     if path.is_empty() {
         return;
     }
-    let st = store();
-    let s = st.stats();
-    let json = format!(
-        "{{\"mem_hits\":{},\"disk_hits\":{},\"misses\":{},\"inserts\":{},\
-         \"paranoid_rechecks\":{},\"disk_bytes\":{}}}\n",
-        s.mem_hits,
-        s.disk_hits,
-        s.misses,
-        s.inserts,
-        s.paranoid_rechecks,
-        st.disk_bytes()
-    );
+    let json = stats_metrics_json(store());
     let tmp = format!("{path}.tmp.{}", std::process::id());
     if std::fs::write(&tmp, json).is_ok() {
         let _ = std::fs::rename(&tmp, &path);
@@ -1036,6 +1070,43 @@ mod tests {
         assert_eq!(got.max_abs_err.to_bits(), r.max_abs_err.to_bits());
         assert_eq!(got.rel_err.to_bits(), r.rel_err.to_bits());
         assert_eq!(got.passed, r.passed);
+    }
+
+    #[test]
+    fn delta_attributes_one_phase_and_saturates() {
+        let st = LayerStore::new(StoreConfig::default());
+        let key = key_a();
+        st.put_slice(&key, 1, 2, &report_fixture());
+        let before = st.stats();
+        st.get_slice(&key).expect("hit");
+        st.get_slice(&key).expect("hit");
+        let d = st.stats().delta(&before);
+        assert_eq!((d.mem_hits, d.misses, d.inserts), (2, 0, 0));
+        assert_eq!(d.hits(), 2);
+        // A stale snapshot (taken from a different store) cannot underflow.
+        let stale = StoreStats {
+            mem_hits: u64::MAX,
+            ..StoreStats::default()
+        };
+        assert_eq!(st.stats().delta(&stale).mem_hits, 0);
+    }
+
+    #[test]
+    fn stats_dump_is_a_schema_valid_metrics_document() {
+        let st = LayerStore::new(StoreConfig::default());
+        let key = key_a();
+        assert!(st.get_slice(&key).is_none());
+        st.put_slice(&key, 1, 2, &report_fixture());
+        let doc = stats_metrics_json(&st);
+        lsv_obs::validate_metrics_json(&doc).expect("metrics schema");
+        let v = lsv_obs::parse_json(&doc).expect("valid JSON");
+        assert_eq!(
+            v.get("tool"),
+            Some(&lsv_obs::JsonValue::Str("layer-store".into()))
+        );
+        assert!(doc.contains("\"name\": \"store.misses\", \"value\": 1"));
+        assert!(doc.contains("\"name\": \"store.inserts\", \"value\": 1"));
+        assert!(doc.contains("store.disk_bytes"));
     }
 
     #[test]

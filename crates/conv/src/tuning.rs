@@ -392,6 +392,18 @@ pub struct TuneReport {
     pub best_cycles: u64,
 }
 
+impl TuneReport {
+    /// Publish this sweep's counters into a metrics registry under the
+    /// `tuner.` namespace.
+    pub fn publish_metrics(&self, reg: &lsv_obs::MetricsRegistry) {
+        reg.counter_add("tuner.sweeps", 1);
+        reg.counter_add("tuner.generated", self.generated as u64);
+        reg.counter_add("tuner.unique", self.unique as u64);
+        reg.counter_add("tuner.store_hits", self.store_hits);
+        reg.counter_add("tuner.simulated", self.simulated);
+    }
+}
+
 /// Empirically sweep the register-block target for one (problem, direction,
 /// algorithm): enumerate every combined target the register file admits,
 /// normalize each to its effective [`KernelConfig`], dedupe candidates whose
@@ -531,9 +543,7 @@ pub fn tune_empirical(
             best = Some((slice.chip_cycles, *cfg));
         }
     }
-    let after = st.stats();
-    let store_hits =
-        (after.mem_hits + after.disk_hits).saturating_sub(before.mem_hits + before.disk_hits);
+    let store_hits = st.stats().delta(&before).hits();
     let (best_cycles, best_cfg) = best.expect("at least the analytic candidate");
     Ok(TuneReport {
         generated,

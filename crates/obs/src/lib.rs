@@ -25,19 +25,24 @@
 
 pub mod folded;
 pub mod json;
+pub mod metrics;
 pub mod perfetto;
 pub mod report;
+pub mod timeline;
 
 pub use folded::folded_stacks;
 pub use json::{parse_json, validate_schema, JsonValue};
+pub use metrics::{registry, HistogramSummary, MetricsRegistry};
 pub use perfetto::perfetto_trace_json;
 pub use report::{
-    profile_report_json, validate_lint_json, validate_profile_json, validate_serving_json,
-    ProfileMeta, LINT_SCHEMA, PROFILE_SCHEMA, SERVING_SCHEMA,
+    profile_report_json, validate_lint_json, validate_metrics_json, validate_profile_json,
+    validate_serving_json, validate_serving_trace_json, ProfileMeta, LINT_SCHEMA, METRICS_SCHEMA,
+    PROFILE_SCHEMA, SERVING_SCHEMA, SERVING_TRACE_SCHEMA,
 };
+pub use timeline::TimelineBuilder;
 
 /// Escape a string for inclusion in a JSON document (without the quotes).
-pub(crate) fn escape_json(s: &str) -> String {
+pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -53,9 +58,12 @@ pub(crate) fn escape_json(s: &str) -> String {
     out
 }
 
-/// Format an `f64` as a JSON number (finite values only; non-finite values
-/// are clamped to `0` so the document stays valid JSON).
-pub(crate) fn json_f64(x: f64) -> String {
+/// Format an `f64` as a JSON number. Non-finite values become `null` —
+/// JSON has no NaN/Inf literal, and clamping them to `0` would let an
+/// undefined percentile masquerade as a real measurement in a committed
+/// artifact. Schemas permit the fields where this can occur via
+/// `"type": ["number", "null"]`.
+pub fn json_f64(x: f64) -> String {
     if x.is_finite() {
         let s = format!("{x}");
         // `{}` prints integral floats without a dot; keep them numbers anyway
@@ -66,7 +74,7 @@ pub(crate) fn json_f64(x: f64) -> String {
             s
         }
     } else {
-        "0".to_string()
+        "null".to_string()
     }
 }
 
@@ -82,8 +90,17 @@ mod tests {
 
     #[test]
     fn f64_formatting_is_json_safe() {
-        assert_eq!(json_f64(f64::NAN), "0");
-        assert_eq!(json_f64(f64::INFINITY), "0");
         assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(-0.0), "0");
+        assert_eq!(json_f64(3.0), "3");
+    }
+
+    #[test]
+    fn non_finite_f64_becomes_null_not_zero() {
+        // A NaN percentile must never masquerade as a real zero in a
+        // committed artifact; `null` is the schema-permitted spelling.
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "null");
     }
 }

@@ -25,6 +25,16 @@ pub const LINT_SCHEMA: &str = include_str!("../schemas/lint.schema.json");
 /// and pass enums pin the serving sweep's wire format.
 pub const SERVING_SCHEMA: &str = include_str!("../schemas/serving.schema.json");
 
+/// The checked-in JSON schema every [`crate::MetricsRegistry`] document
+/// (`metrics.json`, the per-bin `*.store.json` dumps) must conform to —
+/// one wire format for every metrics publisher.
+pub const METRICS_SCHEMA: &str = include_str!("../schemas/metrics.schema.json");
+
+/// The checked-in JSON schema `serving_trace.json` (emitted by
+/// `lsvconv serve --trace`) must conform to. The dispatch-reason and
+/// direction enums pin the trace wire format.
+pub const SERVING_TRACE_SCHEMA: &str = include_str!("../schemas/serving_trace.schema.json");
+
 /// Run metadata and machine constants the report embeds; everything the
 /// exporter cannot read off the [`RegionProfile`] itself.
 #[derive(Debug, Clone)]
@@ -249,6 +259,38 @@ pub fn validate_serving_json(text: &str) -> Result<(), String> {
     })
 }
 
+/// Parse a metrics-registry document (`metrics.json`, `*.store.json`) and
+/// validate it against [`METRICS_SCHEMA`].
+pub fn validate_metrics_json(text: &str) -> Result<(), String> {
+    let schema = parse_json(METRICS_SCHEMA)
+        .map_err(|e| format!("internal error: metrics.schema.json unparseable: {e}"))?;
+    let doc = parse_json(text).map_err(|e| format!("metrics.json is not valid JSON: {e}"))?;
+    validate_schema(&doc, &schema).map_err(|errors| {
+        format!(
+            "metrics.json violates schema ({} error(s)):\n  {}",
+            errors.len(),
+            errors.join("\n  ")
+        )
+    })
+}
+
+/// Parse a `serving_trace.json` document and validate it against
+/// [`SERVING_TRACE_SCHEMA`]. `lsvconv serve --trace` re-reads and validates
+/// its own output through this after writing, so schema drift fails the run
+/// that introduced it.
+pub fn validate_serving_trace_json(text: &str) -> Result<(), String> {
+    let schema = parse_json(SERVING_TRACE_SCHEMA)
+        .map_err(|e| format!("internal error: serving_trace.schema.json unparseable: {e}"))?;
+    let doc = parse_json(text).map_err(|e| format!("serving_trace.json is not valid JSON: {e}"))?;
+    validate_schema(&doc, &schema).map_err(|errors| {
+        format!(
+            "serving_trace.json violates schema ({} error(s)):\n  {}",
+            errors.len(),
+            errors.join("\n  ")
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,7 +390,16 @@ mod tests {
           "best_by_load": [
             {"arrival": "poisson", "offered_rps": 37.5,
              "policy": "adaptive8", "engine": "BDC"}
-          ]
+          ],
+          "timeseries": {
+            "engine": "BDC", "samples_per_cell": 120,
+            "cells": [
+              {"arrival": "poisson", "policy": "adaptive8", "utilization": 0.25,
+               "peak_queue_depth": 3, "mean_queue_depth": 0.4,
+               "mean_utilization": 0.31, "max_slo_burn": 0.0,
+               "final_p99_ms": 35.5}
+            ]
+          }
         }"#;
         validate_serving_json(good).expect("schema-valid");
 
@@ -361,6 +412,12 @@ mod tests {
         // A negative percentile violates the minimum.
         let negative = good.replace("\"p99_ms\": 35.5", "\"p99_ms\": -1.0");
         assert!(validate_serving_json(&negative).is_err());
+        // The time-series summary is required, and an undefined rolling p99
+        // is spelled null (never a fake zero — the json_f64 contract).
+        let no_ts = good.replace("\"timeseries\"", "\"timeserie\"");
+        assert!(validate_serving_json(&no_ts).is_err());
+        let null_p99 = good.replace("\"final_p99_ms\": 35.5", "\"final_p99_ms\": null");
+        validate_serving_json(&null_p99).expect("null p99 is schema-permitted");
         assert!(validate_serving_json("{]").is_err());
     }
 

@@ -20,6 +20,11 @@
 //! * [`sweep`] — the offered-load sweep producing the `serving.csv` /
 //!   `BENCH_serving.json` artifacts and the best-(policy, engine)-per-load
 //!   verdicts.
+//! * [`trace`] — request-lifecycle traces of one cell: the analyzable
+//!   `serving_trace.json` span tree (with per-layer plan breakdowns and a
+//!   bit-exact reconciliation record) and the Perfetto timeline.
+//! * [`timeseries`] — queue depth, batch occupancy, rolling p99 and SLO
+//!   burn sampled on the simulated clock (`serving_timeseries.csv`).
 //!
 //! The interesting output is the *crossover*: at low load the adaptive
 //! policy wins (small batches, no waiting — lowest p99), while near
@@ -33,12 +38,22 @@ pub mod latency;
 pub mod queue;
 pub mod stats;
 pub mod sweep;
+pub mod timeseries;
+pub mod trace;
 
 pub use arrivals::{ArrivalProcess, ArrivalShape, SplitMix64};
 pub use latency::{resnet_specs, LatencyTable, ServeEngine};
-pub use queue::{simulate, BatchPolicy, Dispatch, RequestRecord, SimOutcome};
+pub use queue::{simulate, BatchPolicy, Dispatch, DispatchReason, RequestRecord, SimOutcome};
 pub use stats::{percentile, summarize, LoadStats};
 pub use sweep::{
-    best_by_load, csv_header, csv_row, reference_capacity_rps, run_sweep, serving_json, BestPick,
-    SweepConfig, SweepMeta, SweepRow,
+    best_by_load, cell_outcome, csv_header, csv_row, reference_capacity_rps, run_sweep,
+    run_timeseries, serving_json, BestPick, SweepConfig, SweepMeta, SweepRow, TimeseriesCell,
+    TimeseriesSection,
+};
+pub use timeseries::{
+    sample_outcome, summarize_cell, timeseries_csv_header, timeseries_csv_row, CellSummary,
+    TimePoint, ROLLING_WINDOW, SAMPLES_PER_CELL,
+};
+pub use trace::{
+    collect_plans, perfetto_trace_json, serving_trace_json, Reconciliation, TraceMeta,
 };

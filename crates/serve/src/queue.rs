@@ -38,6 +38,35 @@ pub enum BatchPolicy {
     },
 }
 
+/// Why a batch left the queue when it did. Recorded on every [`Dispatch`]
+/// and stamped onto each [`RequestRecord`] that rode in it, so traces can
+/// distinguish "the batch filled" from "the deadline fired" without
+/// re-deriving policy internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchReason {
+    /// The batch reached the policy's size cap.
+    Full,
+    /// The oldest request's wait hit the timeout deadline.
+    Timeout,
+    /// The server came free and took the backlog as-is.
+    Adaptive,
+    /// End-of-stream: the trailing partial batch was flushed.
+    Drain,
+}
+
+impl DispatchReason {
+    /// Wire name used in trace artifacts (matches the serving_trace schema
+    /// enum).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DispatchReason::Full => "full",
+            DispatchReason::Timeout => "timeout",
+            DispatchReason::Adaptive => "adaptive",
+            DispatchReason::Drain => "drain",
+        }
+    }
+}
+
 impl BatchPolicy {
     /// Name used in CSV/JSON artifacts, parameters included.
     pub fn name(&self) -> String {
@@ -76,6 +105,11 @@ pub struct RequestRecord {
     pub batch: usize,
     /// Index (into the sweep's engine list) of the engine that served it.
     pub engine: usize,
+    /// How many earlier requests were still waiting (arrived but not yet
+    /// dispatched) at this request's arrival instant.
+    pub depth_at_arrival: usize,
+    /// Why its batch left the queue.
+    pub reason: DispatchReason,
 }
 
 impl RequestRecord {
@@ -96,6 +130,8 @@ pub struct Dispatch {
     pub engine: usize,
     /// Service time of the batch (ms).
     pub service_ms: f64,
+    /// Why the batch left the queue.
+    pub reason: DispatchReason,
 }
 
 /// Everything the simulation produced: one record per request (in arrival
@@ -106,6 +142,24 @@ pub struct SimOutcome {
     pub records: Vec<RequestRecord>,
     /// Every batch handed to the chip, in time order.
     pub dispatches: Vec<Dispatch>,
+}
+
+impl SimOutcome {
+    /// Publish this simulation's counters and latency distributions into a
+    /// metrics registry under the `queue.` namespace. Per-reason dispatch
+    /// counters are named `queue.dispatch.<reason>`.
+    pub fn publish_metrics(&self, reg: &lsv_obs::MetricsRegistry) {
+        reg.counter_add("queue.requests", self.records.len() as u64);
+        reg.counter_add("queue.dispatches", self.dispatches.len() as u64);
+        for d in &self.dispatches {
+            reg.counter_add(&format!("queue.dispatch.{}", d.reason.name()), 1);
+        }
+        for r in &self.records {
+            reg.observe("queue.wait_ms", r.dispatch_ms - r.arrival_ms);
+            reg.observe("queue.ride_ms", r.done_ms - r.dispatch_ms);
+            reg.observe("queue.batch", r.batch as f64);
+        }
+    }
 }
 
 /// Simulate the queue + single-server chip over `arrivals` (nondecreasing
@@ -169,6 +223,16 @@ pub fn simulate(
         let k = pending.len().min(max_batch);
         let (engine, service_ms) = service(k);
         assert!(service_ms > 0.0, "service time must be positive");
+        let reason = if k == max_batch {
+            DispatchReason::Full
+        } else {
+            match policy {
+                // A partial fixed batch only ever leaves at end-of-stream.
+                BatchPolicy::Fixed { .. } => DispatchReason::Drain,
+                BatchPolicy::Timeout { .. } => DispatchReason::Timeout,
+                BatchPolicy::Adaptive { .. } => DispatchReason::Adaptive,
+            }
+        };
         let done = dispatch_at + service_ms;
         for _ in 0..k {
             let id = pending.pop_front().expect("batch members are queued");
@@ -179,6 +243,8 @@ pub fn simulate(
                 done_ms: done,
                 batch: k,
                 engine,
+                depth_at_arrival: 0, // filled in below, once all dispatches are known
+                reason,
             });
         }
         dispatches.push(Dispatch {
@@ -186,15 +252,28 @@ pub fn simulate(
             batch: k,
             engine,
             service_ms,
+            reason,
         });
         t_free = done;
     }
 
+    let mut records: Vec<RequestRecord> = records
+        .into_iter()
+        .map(|r| r.expect("every request is served exactly once"))
+        .collect();
+    // Queue depth seen by each arriving request: earlier arrivals whose
+    // batch had not yet been handed to the chip. A dispatch at the same
+    // instant still counts as waiting — arrivals order before dispatches at
+    // ties (the arrival that *triggers* a dispatch sees the queue it
+    // joined). FIFO makes dispatch_ms nondecreasing in id order, so a
+    // partition point suffices.
+    for i in 0..records.len() {
+        let dispatched = records[..i].partition_point(|r| r.dispatch_ms < arrivals[i]);
+        records[i].depth_at_arrival = i - dispatched;
+    }
+
     SimOutcome {
-        records: records
-            .into_iter()
-            .map(|r| r.expect("every request is served exactly once"))
-            .collect(),
+        records,
         dispatches,
     }
 }
@@ -220,6 +299,11 @@ mod tests {
         assert_eq!(out.dispatches[1].batch, 2);
         assert_eq!(out.records[0].latency_ms(), 10.0);
         assert_eq!(out.records[2].done_ms, 20.0);
+        assert_eq!(out.dispatches[0].reason, DispatchReason::Adaptive);
+        assert_eq!(out.records[0].depth_at_arrival, 0);
+        // Requests 1 and 2 arrive while request 0's batch occupies the chip.
+        assert_eq!(out.records[1].depth_at_arrival, 0);
+        assert_eq!(out.records[2].depth_at_arrival, 1);
     }
 
     #[test]
@@ -229,6 +313,10 @@ mod tests {
         assert_eq!(out.dispatches[0].at_ms, 5.0, "waits for the 2nd arrival");
         assert_eq!(out.dispatches[0].batch, 2);
         assert_eq!(out.dispatches[1].batch, 1, "tail drained partial");
+        assert_eq!(out.dispatches[0].reason, DispatchReason::Full);
+        assert_eq!(out.dispatches[1].reason, DispatchReason::Drain);
+        assert_eq!(out.records[0].depth_at_arrival, 0);
+        assert_eq!(out.records[1].depth_at_arrival, 1, "request 0 still queued");
     }
 
     #[test]
@@ -244,6 +332,7 @@ mod tests {
         );
         assert_eq!(out.dispatches[0].at_ms, 15.0, "deadline, not fill");
         assert_eq!(out.dispatches[0].batch, 1);
+        assert_eq!(out.dispatches[0].reason, DispatchReason::Timeout);
     }
 
     #[test]

@@ -4,8 +4,12 @@
 
 use crate::arrivals::ArrivalShape;
 use crate::latency::LatencyTable;
-use crate::queue::{simulate, BatchPolicy};
+use crate::queue::{simulate, BatchPolicy, SimOutcome};
 use crate::stats::{summarize, LoadStats};
+use crate::timeseries::{
+    sample_outcome, summarize_cell, timeseries_csv_header, timeseries_csv_row, CellSummary,
+    SAMPLES_PER_CELL,
+};
 
 /// Everything one sweep varies and holds fixed.
 #[derive(Debug, Clone)]
@@ -70,6 +74,100 @@ pub fn reference_capacity_rps(table: &LatencyTable) -> f64 {
 fn point_seed(base: u64, shape_idx: usize, load_idx: usize) -> u64 {
     base.wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .wrapping_add((shape_idx as u64) << 32 | load_idx as u64)
+}
+
+/// Re-run one sweep cell: the same derived arrival seed and service-time
+/// lookups as the matching [`run_sweep`] row, returned as the raw
+/// simulation outcome (for traces and time series) together with the cell's
+/// offered rate. Indices refer to `cfg.shapes` / `cfg.utilizations` /
+/// `table.engines`.
+pub fn cell_outcome(
+    cfg: &SweepConfig,
+    table: &LatencyTable,
+    shape_idx: usize,
+    load_idx: usize,
+    policy: BatchPolicy,
+    engine_idx: usize,
+) -> (f64, SimOutcome) {
+    let capacity = reference_capacity_rps(table);
+    let offered = cfg.utilizations[load_idx] * capacity;
+    let arrivals = cfg.shapes[shape_idx]
+        .at_rate(offered)
+        .generate(point_seed(cfg.seed, shape_idx, load_idx), cfg.requests);
+    let service = |k: usize| (engine_idx, table.latency_ms(engine_idx, k));
+    (offered, simulate(&arrivals, policy, &service))
+}
+
+/// One cell of the time-series sweep: identity plus its sampled summary.
+#[derive(Debug, Clone)]
+pub struct TimeseriesCell {
+    /// Arrival shape name.
+    pub arrival: &'static str,
+    /// Policy name (parameters included).
+    pub policy: String,
+    /// Offered load as a fraction of the reference capacity.
+    pub utilization: f64,
+    /// Summary of the sampled series.
+    pub summary: CellSummary,
+}
+
+/// The `timeseries` section of `BENCH_serving.json`: one engine's cells.
+#[derive(Debug, Clone)]
+pub struct TimeseriesSection {
+    /// Engine the series were sampled on.
+    pub engine: &'static str,
+    /// Samples per cell.
+    pub samples_per_cell: usize,
+    /// Cells in (shape, load, policy) order.
+    pub cells: Vec<TimeseriesCell>,
+}
+
+/// Sample every (shape, load, policy) cell of one engine and emit the
+/// `serving_timeseries.csv` document plus the JSON summary section. Cell
+/// order matches [`run_sweep`] with the engine dimension fixed.
+pub fn run_timeseries(
+    cfg: &SweepConfig,
+    table: &LatencyTable,
+    engine_idx: usize,
+) -> (TimeseriesSection, String) {
+    let engine = table.engines[engine_idx].name();
+    let mut csv = String::from(timeseries_csv_header());
+    csv.push('\n');
+    let mut cells = Vec::new();
+    for (si, shape) in cfg.shapes.iter().enumerate() {
+        for (li, &util) in cfg.utilizations.iter().enumerate() {
+            for policy in &cfg.policies {
+                let (_, outcome) = cell_outcome(cfg, table, si, li, *policy, engine_idx);
+                let points = sample_outcome(&outcome, cfg.slo_ms, SAMPLES_PER_CELL);
+                let pname = policy.name();
+                for (i, p) in points.iter().enumerate() {
+                    csv.push_str(&timeseries_csv_row(
+                        shape.name(),
+                        &pname,
+                        engine,
+                        util,
+                        i,
+                        p,
+                    ));
+                    csv.push('\n');
+                }
+                cells.push(TimeseriesCell {
+                    arrival: shape.name(),
+                    policy: pname,
+                    utilization: util,
+                    summary: summarize_cell(&points),
+                });
+            }
+        }
+    }
+    (
+        TimeseriesSection {
+            engine,
+            samples_per_cell: SAMPLES_PER_CELL,
+            cells,
+        },
+        csv,
+    )
 }
 
 /// Run the full grid. Rows come out in (shape, load, policy, engine) order.
@@ -195,6 +293,7 @@ pub fn serving_json(
     table: &LatencyTable,
     rows: &[SweepRow],
     best: &[BestPick],
+    ts: &TimeseriesSection,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"version\": 1,\n");
@@ -264,6 +363,39 @@ pub fn serving_json(
             if i + 1 == best.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str("  \"timeseries\": {\n");
+    out.push_str(&format!("    \"engine\": \"{}\",\n", ts.engine));
+    out.push_str(&format!(
+        "    \"samples_per_cell\": {},\n",
+        ts.samples_per_cell
+    ));
+    out.push_str("    \"cells\": [\n");
+    for (i, c) in ts.cells.iter().enumerate() {
+        let s = &c.summary;
+        let p99 = if s.final_p99_ms.is_finite() {
+            format!("{:.3}", s.final_p99_ms)
+        } else {
+            // An undefined rolling percentile stays undefined in the
+            // artifact — the schema admits null here.
+            "null".to_string()
+        };
+        out.push_str(&format!(
+            "      {{\"arrival\": \"{}\", \"policy\": \"{}\", \"utilization\": {:.2}, \
+             \"peak_queue_depth\": {}, \"mean_queue_depth\": {:.3}, \
+             \"mean_utilization\": {:.4}, \"max_slo_burn\": {:.4}, \
+             \"final_p99_ms\": {}}}{}\n",
+            c.arrival,
+            c.policy,
+            c.utilization,
+            s.peak_queue_depth,
+            s.mean_queue_depth,
+            s.mean_utilization,
+            s.max_slo_burn,
+            p99,
+            if i + 1 == ts.cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("    ]\n  }\n}\n");
     out
 }

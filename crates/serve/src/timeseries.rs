@@ -1,0 +1,283 @@
+//! Time-series telemetry of one serving cell on the simulated clock.
+//!
+//! A queue simulation is summarized by [`crate::stats::LoadStats`] into one
+//! row; this module keeps the *shape over time* instead: queue depth, batch
+//! occupancy, cumulative utilization, a rolling p99 and the SLO burn rate,
+//! sampled at uniform simulated-time instants. The sweep emitter writes one
+//! CSV block per (arrival, policy, load) cell (`serving_timeseries.csv`)
+//! and a per-cell summary into `BENCH_serving.json`'s `timeseries` section.
+//!
+//! Everything is a pure function of the [`SimOutcome`] — a warm-store
+//! replay reproduces the CSV byte-for-byte.
+
+use crate::queue::SimOutcome;
+use crate::stats::percentile;
+
+/// Samples per cell in the emitted time series.
+pub const SAMPLES_PER_CELL: usize = 120;
+
+/// Completions the rolling p99 looks back over.
+pub const ROLLING_WINDOW: usize = 100;
+
+/// One sampled instant.
+#[derive(Debug, Clone, Copy)]
+pub struct TimePoint {
+    /// Sample timestamp (simulated ms).
+    pub t_ms: f64,
+    /// Requests arrived but not yet dispatched at `t`.
+    pub queue_depth: usize,
+    /// Size of the batch occupying the chip at `t` (0 when idle).
+    pub in_flight_batch: usize,
+    /// Whether the chip is serving a batch at `t`.
+    pub busy: bool,
+    /// Cumulative busy fraction of `[first_arrival, t]`.
+    pub util_cum: f64,
+    /// p99 latency over the last [`ROLLING_WINDOW`] completions by `t`
+    /// (`None` until the first completion).
+    pub rolling_p99_ms: f64,
+    /// Fraction of completions since the previous sample that missed the
+    /// SLO (0 when none completed).
+    pub slo_burn: f64,
+}
+
+/// Per-cell summary of the sampled series, recorded in
+/// `BENCH_serving.json`'s `timeseries` section.
+#[derive(Debug, Clone, Copy)]
+pub struct CellSummary {
+    /// Largest sampled queue depth.
+    pub peak_queue_depth: usize,
+    /// Mean sampled queue depth.
+    pub mean_queue_depth: f64,
+    /// Busy fraction of the whole run (final cumulative utilization).
+    pub mean_utilization: f64,
+    /// Worst per-sample SLO burn rate.
+    pub max_slo_burn: f64,
+    /// Rolling p99 at the final sample (NaN if nothing completed — the
+    /// JSON emitter turns that into `null`).
+    pub final_p99_ms: f64,
+}
+
+/// Sample `outcome` at `samples` uniform instants spanning first arrival to
+/// last completion.
+pub fn sample_outcome(outcome: &SimOutcome, slo_ms: f64, samples: usize) -> Vec<TimePoint> {
+    assert!(samples >= 2, "need at least the two endpoint samples");
+    let n = outcome.records.len();
+    assert!(n > 0, "time series of an empty run");
+    let first = outcome.records[0].arrival_ms;
+    let last = outcome
+        .records
+        .iter()
+        .map(|r| r.done_ms)
+        .fold(0.0f64, f64::max);
+
+    // Arrival and dispatch timestamps are nondecreasing in id order (FIFO),
+    // so queue depth at `t` is a pair of partition points.
+    let arrivals: Vec<f64> = outcome.records.iter().map(|r| r.arrival_ms).collect();
+    let dispatches_by_id: Vec<f64> = outcome.records.iter().map(|r| r.dispatch_ms).collect();
+    // Completions in done order, with their latencies.
+    let mut completions: Vec<(f64, f64)> = outcome
+        .records
+        .iter()
+        .map(|r| (r.done_ms, r.latency_ms()))
+        .collect();
+    completions.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    // Busy time before each dispatch (prefix sums of service times).
+    let mut busy_prefix = Vec::with_capacity(outcome.dispatches.len() + 1);
+    busy_prefix.push(0.0f64);
+    for d in &outcome.dispatches {
+        busy_prefix.push(busy_prefix.last().unwrap() + d.service_ms);
+    }
+
+    let mut points = Vec::with_capacity(samples);
+    let mut prev_done_count = 0usize;
+    for i in 0..samples {
+        let t = first + (last - first) * i as f64 / (samples - 1) as f64;
+        let arrived = arrivals.partition_point(|&a| a <= t);
+        let dispatched = dispatches_by_id.partition_point(|&d| d <= t);
+        let queue_depth = arrived - dispatched;
+
+        // The dispatch in flight at `t`, if any.
+        let di = outcome.dispatches.partition_point(|d| d.at_ms <= t);
+        let (in_flight_batch, busy, busy_ms) = if di == 0 {
+            (0, false, 0.0)
+        } else {
+            let d = &outcome.dispatches[di - 1];
+            let active = t < d.at_ms + d.service_ms;
+            let busy_ms = busy_prefix[di - 1] + if active { t - d.at_ms } else { d.service_ms };
+            (if active { d.batch } else { 0 }, active, busy_ms)
+        };
+        let util_cum = if t > first {
+            busy_ms / (t - first)
+        } else {
+            0.0
+        };
+
+        let done_count = completions.partition_point(|c| c.0 <= t);
+        let rolling_p99_ms = if done_count == 0 {
+            f64::NAN
+        } else {
+            let lo = done_count.saturating_sub(ROLLING_WINDOW);
+            let mut window: Vec<f64> = completions[lo..done_count].iter().map(|c| c.1).collect();
+            window.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            percentile(&window, 99.0)
+        };
+        let newly_done = done_count - prev_done_count;
+        let slo_burn = if newly_done == 0 {
+            0.0
+        } else {
+            let missed = completions[prev_done_count..done_count]
+                .iter()
+                .filter(|c| c.1 > slo_ms)
+                .count();
+            missed as f64 / newly_done as f64
+        };
+        prev_done_count = done_count;
+
+        points.push(TimePoint {
+            t_ms: t,
+            queue_depth,
+            in_flight_batch,
+            busy,
+            util_cum,
+            rolling_p99_ms,
+            slo_burn,
+        });
+    }
+    points
+}
+
+/// Summarize a sampled series.
+pub fn summarize_cell(points: &[TimePoint]) -> CellSummary {
+    assert!(!points.is_empty(), "summary of an empty series");
+    let peak_queue_depth = points.iter().map(|p| p.queue_depth).max().unwrap();
+    let mean_queue_depth =
+        points.iter().map(|p| p.queue_depth as f64).sum::<f64>() / points.len() as f64;
+    let last = points.last().unwrap();
+    let max_slo_burn = points.iter().map(|p| p.slo_burn).fold(0.0f64, f64::max);
+    CellSummary {
+        peak_queue_depth,
+        mean_queue_depth,
+        mean_utilization: last.util_cum,
+        max_slo_burn,
+        final_p99_ms: last.rolling_p99_ms,
+    }
+}
+
+/// The `serving_timeseries.csv` header.
+pub fn timeseries_csv_header() -> &'static str {
+    "arrival,policy,engine,utilization,sample,t_ms,queue_depth,in_flight_batch,\
+     busy,util_cum,rolling_p99_ms,slo_burn"
+}
+
+/// One `serving_timeseries.csv` line. `rolling_p99_ms` prints as `NaN`
+/// before the first completion — an undefined percentile, not zero.
+pub fn timeseries_csv_row(
+    arrival: &str,
+    policy: &str,
+    engine: &str,
+    utilization: f64,
+    sample: usize,
+    p: &TimePoint,
+) -> String {
+    format!(
+        "{},{},{},{:.2},{},{:.3},{},{},{},{:.4},{:.3},{:.4}",
+        arrival,
+        policy,
+        engine,
+        utilization,
+        sample,
+        p.t_ms,
+        p.queue_depth,
+        p.in_flight_batch,
+        u8::from(p.busy),
+        p.util_cum,
+        p.rolling_p99_ms,
+        p.slo_burn,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::{simulate, BatchPolicy};
+
+    fn outcome() -> SimOutcome {
+        simulate(
+            &[0.0, 1.0, 2.0, 30.0],
+            BatchPolicy::Adaptive { max_batch: 4 },
+            &|_k| (0, 10.0),
+        )
+    }
+
+    #[test]
+    fn endpoint_samples_bracket_the_run() {
+        let pts = sample_outcome(&outcome(), 15.0, 10);
+        assert_eq!(pts.len(), 10);
+        assert_eq!(pts[0].t_ms, 0.0);
+        assert_eq!(pts.last().unwrap().t_ms, 40.0, "last done at 30+10");
+        assert!(pts[0].rolling_p99_ms.is_nan(), "nothing completed yet");
+        assert_eq!(pts[0].queue_depth, 0, "request 0 dispatched at arrival");
+        // At the end everything completed and the chip is idle.
+        let last = pts.last().unwrap();
+        assert_eq!(last.queue_depth, 0);
+        assert!(!last.busy);
+        assert!(last.rolling_p99_ms.is_finite());
+    }
+
+    #[test]
+    fn utilization_counts_only_busy_time() {
+        // Serves [0,10] and [10,20] back to back, then idles until 30 and
+        // serves [30,40]: busy 30 of 40 ms.
+        let pts = sample_outcome(&outcome(), 15.0, 5);
+        let last = pts.last().unwrap();
+        assert!(
+            (last.util_cum - 0.75).abs() < 1e-12,
+            "util {} != 0.75",
+            last.util_cum
+        );
+        // t=20: exactly between batches — idle, two batches of service done.
+        let mid = &pts[2];
+        assert_eq!(mid.t_ms, 20.0);
+        assert!(!mid.busy);
+        assert_eq!(mid.in_flight_batch, 0);
+    }
+
+    #[test]
+    fn burn_rate_flags_the_missed_window() {
+        // SLO 15ms: requests 1,2 ride the second batch with 19/18ms
+        // latency. Samples land at t=0,10,20,30,40; the (10,20] window
+        // contains exactly those two completions, both missed.
+        let pts = sample_outcome(&outcome(), 15.0, 5);
+        let burn: Vec<f64> = pts.iter().map(|p| p.slo_burn).collect();
+        assert_eq!(burn, vec![0.0, 0.0, 1.0, 0.0, 0.0]);
+        let s = summarize_cell(&pts);
+        assert_eq!(s.max_slo_burn, 1.0);
+        assert!(s.final_p99_ms.is_finite());
+    }
+
+    #[test]
+    fn queue_depth_peaks_while_the_first_batch_runs() {
+        // 1ms sampling: requests 1 and 2 queue behind request 0's batch
+        // (busy until t=10), so depth reaches 2 at t=2..10.
+        let pts = sample_outcome(&outcome(), 15.0, 41);
+        assert_eq!(pts[1].t_ms, 1.0);
+        assert_eq!(pts[1].queue_depth, 1);
+        assert_eq!(pts[2].queue_depth, 2);
+        assert_eq!(pts[10].queue_depth, 0, "batch 2 dispatched at t=10");
+        let s = summarize_cell(&pts);
+        assert_eq!(s.peak_queue_depth, 2);
+    }
+
+    #[test]
+    fn csv_rows_are_deterministic_and_nan_is_explicit() {
+        let pts = sample_outcome(&outcome(), 15.0, 4);
+        let row0 = timeseries_csv_row("poisson", "adaptive4", "BDC", 0.9, 0, &pts[0]);
+        assert!(row0.contains(",NaN,") || row0.contains(",nan,"), "{row0}");
+        let again = sample_outcome(&outcome(), 15.0, 4);
+        for (a, b) in pts.iter().zip(&again) {
+            let ra = timeseries_csv_row("poisson", "adaptive4", "BDC", 0.9, 0, a);
+            let rb = timeseries_csv_row("poisson", "adaptive4", "BDC", 0.9, 0, b);
+            assert_eq!(ra, rb);
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! determinism. No simulator in the loop — service times are synthetic.
 
 use lsv_serve::arrivals::{ArrivalProcess, ArrivalShape};
-use lsv_serve::queue::{simulate, BatchPolicy};
+use lsv_serve::queue::{simulate, BatchPolicy, DispatchReason};
 use lsv_serve::stats::percentile;
 use proptest::prelude::*;
 
@@ -55,6 +55,61 @@ proptest! {
         // Dispatch log and records agree on totals.
         let batched: usize = out.dispatches.iter().map(|d| d.batch).sum();
         prop_assert_eq!(batched, arrivals.len());
+    }
+
+    #[test]
+    fn dispatch_reasons_and_arrival_depths_are_consistent(
+        gaps in proptest::collection::vec(0.0f64..20.0, 1..200),
+        tag in 0u8..3,
+        batch in 1usize..9,
+        timeout in 0.5f64..30.0,
+        service in 1.0f64..40.0,
+    ) {
+        let arrivals = arrivals_from_gaps(&gaps);
+        let policy = policy_from(tag, batch, timeout);
+        let out = simulate(&arrivals, policy, &|_k| (0, service));
+
+        for (di, d) in out.dispatches.iter().enumerate() {
+            // A full batch is always attributed to Full, and only a full
+            // batch may be.
+            prop_assert_eq!(d.batch == batch, d.reason == DispatchReason::Full,
+                "k == max_batch iff reason == Full");
+            // Partial batches carry the policy's own reason.
+            if d.reason != DispatchReason::Full {
+                match policy {
+                    BatchPolicy::Fixed { .. } => {
+                        prop_assert_eq!(d.reason, DispatchReason::Drain);
+                        // A fixed-batch server only drains at end-of-stream.
+                        prop_assert_eq!(di, out.dispatches.len() - 1,
+                            "Drain can only be the final dispatch");
+                    }
+                    BatchPolicy::Timeout { .. } =>
+                        prop_assert_eq!(d.reason, DispatchReason::Timeout),
+                    BatchPolicy::Adaptive { .. } =>
+                        prop_assert_eq!(d.reason, DispatchReason::Adaptive),
+                }
+            }
+        }
+        // Each record's reason is its batch's reason.
+        let mut idx = 0;
+        for d in &out.dispatches {
+            for _ in 0..d.batch {
+                prop_assert_eq!(out.records[idx].reason, d.reason);
+                idx += 1;
+            }
+        }
+        // depth_at_arrival matches the brute-force count: earlier requests
+        // that had arrived but not yet dispatched at this arrival instant.
+        // Ties order arrivals before dispatches (a dispatch at exactly the
+        // arrival instant still counts as queued).
+        for (i, r) in out.records.iter().enumerate() {
+            let brute = out.records[..i]
+                .iter()
+                .filter(|e| e.arrival_ms <= r.arrival_ms && e.dispatch_ms >= r.arrival_ms)
+                .count();
+            prop_assert_eq!(r.depth_at_arrival, brute,
+                "depth_at_arrival disagrees with brute force at id {}", i);
+        }
     }
 
     #[test]

@@ -68,9 +68,11 @@ run crossisa crossisa.csv 32
 run validate validate.csv 1
 # The serving sweep reuses the shared store: its latency tables revisit the
 # same (layer, direction) slices the figure sweeps already simulated. The
-# JSON artifact is written (and schema-validated) by the bin itself; only
-# the CSV goes through the tmp-and-move stdout path.
-run bench-serving serving.csv --json results/BENCH_serving.json
+# JSON and time-series artifacts are written (and, for the JSON,
+# schema-validated) by the bin itself; only the CSV goes through the
+# tmp-and-move stdout path.
+run bench-serving serving.csv --json results/BENCH_serving.json \
+    --timeseries results/serving_timeseries.csv
 
 run report report.txt results
 echo ALL_DONE
